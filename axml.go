@@ -1,0 +1,159 @@
+// Package axml is a Go implementation of the distributed XML data
+// management framework of Abiteboul, Manolescu and Taropa (EDBT 2006):
+// Active XML documents (XML with embedded service calls), declarative
+// Web services defined by queries, an algebra of distributed
+// expressions (data/query shipping, delegation, generic documents and
+// services), the equivalence rules (10)–(16) of the paper, and a
+// cost-based optimizer over them.
+//
+// # Quick start
+//
+//	sys := axml.NewLocalSystem()
+//	client := sys.MustAddPeer("client")
+//	data := sys.MustAddPeer("data")
+//	_ = data.InstallDocument("catalog", axml.MustParseXML(`<catalog>…</catalog>`))
+//
+//	q := axml.MustParseQuery(`for $i in doc("catalog")/item
+//	                          where $i/price < 100 return $i/name`)
+//	res, err := sys.Eval(client.ID, &axml.Query{Q: q, At: client.ID})
+//
+// Optimize before evaluating to let the paper's rules rewrite the plan:
+//
+//	plan, _, err := axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
+//	res, err = sys.Eval(client.ID, plan.Expr)
+//
+// The deeper layers remain importable for advanced use: internal/core
+// (algebra), internal/rewrite (rules), internal/opt (optimizer),
+// internal/xquery and internal/xpath (the query languages),
+// internal/netsim (the instrumented network), internal/axmldoc
+// (document-level service-call activation).
+package axml
+
+import (
+	"axml/internal/core"
+	"axml/internal/gendoc"
+	"axml/internal/netsim"
+	"axml/internal/opt"
+	"axml/internal/peer"
+	"axml/internal/rewrite"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+	"axml/internal/xtype"
+)
+
+// Core data-model aliases.
+type (
+	// Node is one node of an XML tree (unranked, unordered model).
+	Node = xmltree.Node
+	// PeerID identifies a peer p ∈ P.
+	PeerID = netsim.PeerID
+	// NodeRef is a global node reference n@p.
+	NodeRef = peer.NodeRef
+	// Peer is a peer runtime hosting documents and services.
+	Peer = peer.Peer
+	// Service is a Web service s@p (declarative or builtin).
+	Service = service.Service
+	// Signature is a service type signature (τin, τout).
+	Signature = xtype.Signature
+	// Schema is an XML type τ ∈ Θ.
+	Schema = xtype.Schema
+	// XQuery is a parsed query (the body of declarative services).
+	XQuery = xquery.Query
+	// Network is the instrumented message-passing substrate.
+	Network = netsim.Network
+	// Link is a directed network link profile.
+	Link = netsim.Link
+	// System is a set of peers, their network and generics catalog.
+	System = core.System
+	// Result is the outcome of evaluating an expression.
+	Result = core.Result
+)
+
+// Expression algebra aliases (paper §3.1).
+type (
+	// Expr is an AXML expression e ∈ E.
+	Expr = core.Expr
+	// Tree is t@p.
+	Tree = core.Tree
+	// Doc is d@p (or d@any).
+	Doc = core.Doc
+	// Query is q@p(args…).
+	Query = core.Query
+	// QueryVal is a query as a shippable value (definition (8)).
+	QueryVal = core.QueryVal
+	// Send is the send(·) constructor (definitions (3),(4),(8)).
+	Send = core.Send
+	// Relay is a send routed through intermediary peers (rule (12)).
+	Relay = core.Relay
+	// ServiceCall is sc((p|any), s, [params], [forw]) (§2.3).
+	ServiceCall = core.ServiceCall
+	// EvalAt is eval@p(e) delegation (rules (14),(15)).
+	EvalAt = core.EvalAt
+	// DestPeer, DestNodes, DestDoc are send destinations.
+	DestPeer  = core.DestPeer
+	DestNodes = core.DestNodes
+	DestDoc   = core.DestDoc
+)
+
+// Optimizer aliases.
+type (
+	// Plan is an optimized expression with predicted costs.
+	Plan = opt.Plan
+	// OptOptions configures the plan search.
+	OptOptions = opt.Options
+	// RewriteRule is one equivalence rule of §3.3.
+	RewriteRule = rewrite.Rule
+	// DocReplica is a member of a generic-document class.
+	DocReplica = gendoc.DocReplica
+)
+
+// AnyPeer marks generic document/service references (d@any, s@any).
+const AnyPeer = core.AnyPeer
+
+// NewLocalSystem creates a system over a fresh simulated network with
+// the default LAN-like link profile.
+func NewLocalSystem() *System { return core.NewSystem(netsim.New()) }
+
+// NewSystem creates a system over the given network (configure links
+// and topologies on it first or afterwards).
+func NewSystem(net *Network) *System { return core.NewSystem(net) }
+
+// NewNetwork creates an empty simulated network.
+func NewNetwork() *Network { return netsim.New() }
+
+// ParseXML parses one XML document and returns its root.
+func ParseXML(src string) (*Node, error) { return xmltree.Parse(src) }
+
+// MustParseXML is ParseXML that panics on error.
+func MustParseXML(src string) *Node { return xmltree.MustParse(src) }
+
+// SerializeXML renders a tree compactly.
+func SerializeXML(n *Node) string { return xmltree.Serialize(n) }
+
+// SerializeXMLIndent renders a tree with indentation.
+func SerializeXMLIndent(n *Node) string { return xmltree.SerializeIndent(n) }
+
+// ParseQuery parses a query in the FLWR language.
+func ParseQuery(src string) (*XQuery, error) { return xquery.Parse(src) }
+
+// MustParseQuery is ParseQuery that panics on error.
+func MustParseQuery(src string) *XQuery { return xquery.MustParse(src) }
+
+// ParseSchema parses the compact schema syntax of internal/xtype.
+func ParseSchema(src string) (*Schema, error) { return xtype.ParseSchema(src) }
+
+// Optimize searches for the cheapest equivalent plan of e evaluated at
+// peer at, under the paper's equivalence rules.
+func Optimize(sys *System, at PeerID, e Expr, opts OptOptions) (*Plan, int, error) {
+	return opt.Optimize(sys, at, e, opts)
+}
+
+// DefaultRules returns the full rule set (10)–(16).
+func DefaultRules() []RewriteRule { return rewrite.DefaultRules() }
+
+// ExprToXML serializes an expression to its XML tree form (§3.1).
+func ExprToXML(e Expr) *Node { return core.ToXML(e) }
+
+// ParseExpr parses the XML tree form of an expression.
+func ParseExpr(n *Node) (Expr, error) { return core.ParseExpr(n) }

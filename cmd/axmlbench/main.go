@@ -1,0 +1,88 @@
+// Command axmlbench runs the experiment suite (E1–E10) and prints the
+// tables recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	axmlbench [-only E1,E5] [-quick]
+//
+// -only restricts the run to a comma-separated list of experiment IDs;
+// -quick shrinks the workloads for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"axml/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E5)")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	flag.Parse()
+
+	tables, err := run(*quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axmlbench:", err)
+		os.Exit(1)
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+	for _, t := range tables {
+		if len(selected) > 0 && !selected[t.ID] {
+			continue
+		}
+		t.Print(os.Stdout)
+	}
+}
+
+func run(quick bool) ([]*bench.Table, error) {
+	if !quick {
+		return bench.All()
+	}
+	var tables []*bench.Table
+	add := func(t *bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	if err := add(bench.E1SelectionPushdown(100, []float64{0.01, 0.2})); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E2QueryDelegation([]float64{1, 8}, 40)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E3Rerouting([]int{1, 8})); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E4TransferSharing([]int{50, 200})); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E5PushOverCall(100, []float64{0.1})); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E6PickStrategies(3, 10)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E7Continuous(200, 5, 5)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E8Optimizer(80)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E9SoftwareDist([]int{3, 7}, 40)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E10Activation(4)); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}

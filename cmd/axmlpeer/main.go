@@ -1,0 +1,93 @@
+// Command axmlpeer serves one AXML peer over TCP: its documents are
+// queryable and its declarative services callable through the wire
+// protocol (see internal/wire). This is the deployment face of the
+// framework — cmd/axmlq is the matching client.
+//
+// Usage:
+//
+//	axmlpeer -addr :7012 -id store \
+//	         -doc catalog=catalog.xml \
+//	         -service bargains=bargains.xq
+//
+// -doc and -service may be repeated. Service files contain a query in
+// the FLWR language; the query body is visible to clients (the paper's
+// declarative-service model).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"axml/internal/netsim"
+	"axml/internal/peer"
+	"axml/internal/service"
+	"axml/internal/wire"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+type pairList []string
+
+func (p *pairList) String() string     { return strings.Join(*p, ",") }
+func (p *pairList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":7012", "listen address")
+	id := flag.String("id", "peer", "peer identifier")
+	var docs, services pairList
+	flag.Var(&docs, "doc", "name=file of a document to install (repeatable)")
+	flag.Var(&services, "service", "name=file of a declarative service body (repeatable)")
+	flag.Parse()
+
+	p := peer.New(netsim.PeerID(*id))
+	for _, spec := range docs {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("axmlpeer: bad -doc %q (want name=file)", spec)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("axmlpeer: %v", err)
+		}
+		root, err := xmltree.Parse(string(data))
+		if err != nil {
+			log.Fatalf("axmlpeer: parsing %s: %v", file, err)
+		}
+		if err := p.InstallDocument(name, root); err != nil {
+			log.Fatalf("axmlpeer: %v", err)
+		}
+		fmt.Printf("installed document %q from %s\n", name, file)
+	}
+	for _, spec := range services {
+		name, file, ok := strings.Cut(spec, "=")
+		if !ok {
+			log.Fatalf("axmlpeer: bad -service %q (want name=file)", spec)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatalf("axmlpeer: %v", err)
+		}
+		q, err := xquery.Parse(string(data))
+		if err != nil {
+			log.Fatalf("axmlpeer: parsing %s: %v", file, err)
+		}
+		if err := p.RegisterService(&service.Service{
+			Name: name, Provider: p.ID, Body: q,
+		}); err != nil {
+			log.Fatalf("axmlpeer: %v", err)
+		}
+		fmt.Printf("registered service %q from %s\n", name, file)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("axmlpeer: %v", err)
+	}
+	fmt.Printf("peer %q listening on %s\n", *id, l.Addr())
+	srv := &wire.Server{Peer: p}
+	log.Fatal(srv.Serve(l))
+}

@@ -1,0 +1,78 @@
+// Command axmlq is the client of cmd/axmlpeer: it runs queries and
+// service calls against a remote peer and prints the result forest.
+//
+// Usage:
+//
+//	axmlq -addr localhost:7012 -query 'for $i in doc("catalog")/item return $i/name'
+//	axmlq -addr localhost:7012 -call bargains
+//	axmlq -addr localhost:7012 -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"axml/internal/wire"
+	"axml/internal/xmltree"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7012", "peer address")
+	query := flag.String("query", "", "query to evaluate")
+	call := flag.String("call", "", "service to call")
+	params := flag.String("params", "", "XML parameter forest for -call")
+	list := flag.Bool("list", false, "list remote documents and services")
+	compact := flag.Bool("compact", false, "print results without indentation")
+	flag.Parse()
+
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("axmlq: %v", err)
+	}
+	defer c.Close()
+
+	switch {
+	case *list:
+		docs, services, err := c.List()
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		fmt.Println("documents:", strings.Join(docs, ", "))
+		fmt.Println("services: ", strings.Join(services, ", "))
+	case *query != "":
+		out, err := c.Query(*query)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		printForest(out, *compact)
+	case *call != "":
+		var trees []*xmltree.Node
+		if *params != "" {
+			trees, err = xmltree.ParseFragment(*params)
+			if err != nil {
+				log.Fatalf("axmlq: bad -params: %v", err)
+			}
+		}
+		out, err := c.Call(*call, trees...)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		printForest(out, *compact)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printForest(out []*xmltree.Node, compact bool) {
+	for _, n := range out {
+		if compact {
+			fmt.Println(xmltree.Serialize(n))
+		} else {
+			fmt.Print(xmltree.SerializeIndent(n))
+		}
+	}
+}

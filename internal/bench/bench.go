@@ -1,0 +1,140 @@
+// Package bench implements the experiment suite of EXPERIMENTS.md:
+// one function per experiment E1–E9, each returning a printable table.
+// The EDBT'06 paper has no numeric evaluation section, so each
+// experiment operationalizes one of its claims (a rewrite rule's
+// benefit, Example 1, the software-distribution application); see
+// DESIGN.md §5 for the index.
+//
+// Each experiment compares a naive plan (the plain evaluation
+// definitions (1)–(9)) against a rewritten/optimized plan on fresh
+// systems, reporting wire bytes, messages and virtual completion time.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/workload"
+	"axml/internal/xmltree"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID     string
+	Title  string
+	Anchor string // paper anchor (rule / section)
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s  [%s]\n", t.ID, t.Title, t.Anchor)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Measurement captures one plan execution.
+type Measurement struct {
+	Bytes    int64
+	Messages int64
+	VT       float64
+	Results  int
+}
+
+func fmtBytes(b int64) string { return fmt.Sprintf("%d", b) }
+
+func fmtMs(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func factor(naive, opt int64) string {
+	if opt == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", float64(naive)/float64(opt))
+}
+
+func factorF(naive, opt float64) string {
+	if opt == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fx", naive/opt)
+}
+
+// runPlan evaluates an expression on a fresh system built by mk and
+// returns the measurement.
+func runPlan(mk func() (*core.System, core.Expr, netsim.PeerID)) (Measurement, error) {
+	sys, e, at := mk()
+	defer sys.Close()
+	res, err := sys.Eval(at, e)
+	if err != nil {
+		return Measurement{}, err
+	}
+	st := sys.Net.Stats()
+	return Measurement{
+		Bytes:    st.Bytes,
+		Messages: st.Messages,
+		VT:       res.VT,
+		Results:  len(res.Forest),
+	}, nil
+}
+
+// uniformSystem builds a system with the given peers on a uniform link.
+func uniformSystem(link netsim.Link, peers ...netsim.PeerID) *core.System {
+	net := netsim.New()
+	netsim.Uniform(net, peers, link)
+	sys := core.NewSystem(net)
+	for _, p := range peers {
+		sys.MustAddPeer(p)
+	}
+	return sys
+}
+
+// installCatalog installs a generated catalog on a peer.
+func installCatalog(sys *core.System, at netsim.PeerID, spec workload.CatalogSpec) *xmltree.Node {
+	p, _ := sys.Peer(at)
+	cat := workload.Catalog(spec)
+	if err := p.InstallDocument("catalog", cat); err != nil {
+		panic(err)
+	}
+	return cat
+}

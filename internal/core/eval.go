@@ -1,0 +1,677 @@
+package core
+
+import (
+	"fmt"
+
+	"axml/internal/netsim"
+	"axml/internal/peer"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// Eval evaluates expression e at peer at (the "eval@p(e)" of §3.2),
+// applying definitions (1)–(9). It returns the result forest produced
+// at the evaluation site, the virtual completion time, and records
+// every cross-peer transfer in the system's network statistics.
+func (s *System) Eval(at netsim.PeerID, e Expr) (*Result, error) {
+	return s.eval(at, e, 0)
+}
+
+// EvalFrom is Eval starting at virtual time startVT; schedulers use it
+// to chain dependent evaluations (e.g. dissemination trees where a
+// child transfer may only start once the parent's copy has arrived).
+func (s *System) EvalFrom(at netsim.PeerID, e Expr, startVT float64) (*Result, error) {
+	return s.eval(at, e, startVT)
+}
+
+// eval is the recursive evaluator; vt is the virtual time at which the
+// evaluation starts at peer at.
+func (s *System) eval(at netsim.PeerID, e Expr, vt float64) (*Result, error) {
+	p, ok := s.Peer(at)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown peer %q", at)
+	}
+	switch v := e.(type) {
+	case *Tree:
+		return s.evalTree(p, v, vt)
+	case *Doc:
+		return s.evalDoc(p, v, vt)
+	case *Query:
+		return s.evalQuery(p, v, vt)
+	case *QueryVal:
+		if v.At != at {
+			// A query value elsewhere must be fetched (charged).
+			return s.delegate(at, v.At, v, vt)
+		}
+		return &Result{VT: vt}, nil
+	case *Send:
+		return s.evalSend(p, v, vt)
+	case *Relay:
+		return s.evalRelay(p, v, vt)
+	case *ServiceCall:
+		return s.evalServiceCall(p, v, vt)
+	case *EvalAt:
+		if v.At == at {
+			return s.eval(at, v.E, vt)
+		}
+		return s.delegate(at, v.At, v.E, vt)
+	default:
+		return nil, fmt.Errorf("core: unknown expression type %T", e)
+	}
+}
+
+// delegate ships an expression to peer remote for evaluation and
+// returns the shipped-back result (definition (5) generalized; rules
+// (14), (15)). The expression serialization and the reply forest are
+// both charged to the network.
+func (s *System) delegate(from, remote netsim.PeerID, e Expr, vt float64) (*Result, error) {
+	s.tracef("delegate %s→%s: %s", from, remote, e.String())
+	body := SerializeExpr(e)
+	reply, kind, doneVT, err := s.Net.Call(netsim.Message{
+		From: from, To: remote, Kind: "eval", Body: body, VT: vt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if kind != "result" {
+		return nil, fmt.Errorf("core: unexpected reply kind %q", kind)
+	}
+	forest, err := parseForest(reply)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Forest: forest, VT: doneVT}, nil
+}
+
+// evalTree implements definitions (1), (5) and the sc-activation part
+// of (6) for trees containing embedded service calls.
+func (s *System) evalTree(p *peer.Peer, t *Tree, vt float64) (*Result, error) {
+	if t.At != p.ID {
+		// Definition (5): ask the owner to evaluate and ship the result.
+		return s.delegate(p.ID, t.At, t, vt)
+	}
+	// Definition (1): copy the tree, activating embedded service calls.
+	out, maxVT, err := s.expandTree(p, t.Node, vt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Forest: out, VT: maxVT}, nil
+}
+
+// expandTree copies a tree, replacing each embedded sc element by the
+// results of activating it (results with explicit forward lists
+// contribute nothing locally). It returns the resulting forest: a
+// plain node yields one tree; an sc root yields its call results.
+func (s *System) expandTree(p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltree.Node, float64, error) {
+	if n.Kind == xmltree.ElementNode && n.Label == "x:raw" {
+		// Opaque carrier: data in transit is copied verbatim — embedded
+		// service calls are NOT activated (activation is an explicit
+		// decision in the AXML model, not a side effect of shipping).
+		return []*xmltree.Node{xmltree.DeepCopy(n)}, vt, nil
+	}
+	if n.Kind == xmltree.ElementNode && n.Label == "sc" {
+		call, err := ParseExpr(n)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: bad sc element: %w", err)
+		}
+		res, err := s.eval(p.ID, call, vt)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Forest, res.VT, nil
+	}
+	if n.Kind != xmltree.ElementNode {
+		return []*xmltree.Node{xmltree.DeepCopy(n)}, vt, nil
+	}
+	copyN := &xmltree.Node{Kind: n.Kind, Label: n.Label, Text: n.Text}
+	copyN.Attrs = append(copyN.Attrs, n.Attrs...)
+	maxVT := vt
+	for _, c := range n.Children {
+		sub, subVT, err := s.expandTree(p, c, vt)
+		if err != nil {
+			return nil, 0, err
+		}
+		if subVT > maxVT {
+			maxVT = subVT
+		}
+		for _, sc := range sub {
+			copyN.AppendChild(sc)
+		}
+	}
+	return []*xmltree.Node{copyN}, maxVT, nil
+}
+
+// evalDoc implements document expressions: d@p yields the document's
+// tree (remotely via definition (5)); d@any applies definition (9).
+func (s *System) evalDoc(p *peer.Peer, d *Doc, vt float64) (*Result, error) {
+	if d.At == AnyPeer {
+		replica, err := s.Generics.ResolveDoc(p.ID, d.Name)
+		if err != nil {
+			return nil, err
+		}
+		s.tracef("pickDoc %s@any → %s (at %s)", d.Name, replica.Doc, replica.At)
+		return s.evalDoc(p, &Doc{Name: replica.Doc, At: replica.At}, vt)
+	}
+	if d.At != p.ID {
+		return s.delegate(p.ID, d.At, d, vt)
+	}
+	doc, ok := p.Document(d.Name)
+	if !ok {
+		return nil, fmt.Errorf("core: peer %s: no document %q", p.ID, d.Name)
+	}
+	return &Result{Forest: []*xmltree.Node{xmltree.DeepCopy(doc.Root)}, VT: vt}, nil
+}
+
+// evalQuery implements definitions (2) and (7): evaluate the argument
+// expressions, ship them (and the query, if defined elsewhere) to the
+// evaluation site, then apply the query.
+func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) {
+	queryVT := vt
+	if q.At != p.ID && q.At != "" {
+		// Definition (7): the query itself must be shipped from its
+		// home peer to the evaluation site. The fetch request is tiny;
+		// the reply carries the query text, charging its transfer.
+		fetchBody := xmltree.E("x:fetchq")
+		fetchBody.AppendChild(xmltree.E("x:text", xmltree.T(q.Q.String())))
+		_, _, fetchVT, err := s.Net.Call(netsim.Message{
+			From: p.ID, To: q.At, Kind: "fetchq",
+			Body: []byte(xmltree.Serialize(fetchBody)), VT: vt,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fetching query from %s: %w", q.At, err)
+		}
+		queryVT = fetchVT
+	}
+	args := make([][]*xmltree.Node, len(q.Args))
+	maxVT := queryVT
+	inputNodes := 0
+	// Rule (13): when ShareArgs is set, structurally identical argument
+	// expressions are fetched once. The reuse serializes the duplicated
+	// branches (as the paper notes), which the VT model reflects by
+	// inheriting the first fetch's completion time.
+	var shared map[string]*Result
+	if q.ShareArgs {
+		shared = map[string]*Result{}
+	}
+	for i, a := range q.Args {
+		var res *Result
+		var key string
+		if shared != nil {
+			key = string(SerializeExpr(a))
+			if prev, ok := shared[key]; ok {
+				s.tracef("shared transfer for arg %d", i)
+				res = prev
+			}
+		}
+		if res == nil {
+			r, err := s.eval(p.ID, a, queryVT)
+			if err != nil {
+				return nil, err
+			}
+			res = r
+			if shared != nil {
+				shared[key] = r
+			}
+		}
+		args[i] = res.Forest
+		if res.VT > maxVT {
+			maxVT = res.VT
+		}
+		for _, n := range res.Forest {
+			inputNodes += n.NodeCount()
+		}
+	}
+	if q.Q.Arity() != len(args) {
+		return nil, fmt.Errorf("core: query takes %d parameter(s), got %d args", q.Q.Arity(), len(args))
+	}
+	// Resolve doc("name") references: local documents are free; a
+	// document hosted elsewhere is fetched whole — the naive plan of
+	// definition (7) that Example 1's pushdown improves on. Generic
+	// classes resolve through pickDoc (definition (9)).
+	fetchVT := maxVT
+	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
+		if doc, ok := p.Document(name); ok {
+			inputNodes += doc.Root.NodeCount()
+			return doc.Root, nil
+		}
+		// Resolution order: the generics catalog (pickDoc, def (9))
+		// takes priority — a registered equivalence class is the
+		// declarative way to choose among replicas; otherwise fall
+		// back to any peer hosting the name (naive def (7) fetch).
+		var fetchExpr Expr
+		if _, err := s.Generics.ResolveDoc(p.ID, name); err == nil {
+			fetchExpr = &Doc{Name: name, At: AnyPeer}
+		} else if hosts := s.peersHosting(name, p.ID); len(hosts) > 0 {
+			fetchExpr = &Doc{Name: name, At: hosts[0]}
+		} else {
+			return nil, fmt.Errorf("core: no peer hosts document %q", name)
+		}
+		res, err := s.eval(p.ID, fetchExpr, maxVT)
+		if err != nil {
+			return nil, err
+		}
+		if res.VT > fetchVT {
+			fetchVT = res.VT
+		}
+		if len(res.Forest) != 1 {
+			return nil, fmt.Errorf("core: document %q fetch returned %d trees", name, len(res.Forest))
+		}
+		inputNodes += res.Forest[0].NodeCount()
+		return res.Forest[0], nil
+	}}
+	out, err := q.Q.Eval(env, args...)
+	if err != nil {
+		return nil, err
+	}
+	if fetchVT > maxVT {
+		maxVT = fetchVT
+	}
+	outNodes := 0
+	for _, n := range out {
+		outNodes += n.NodeCount()
+	}
+	doneVT := maxVT + s.queryCost(p.ID, inputNodes+outNodes)
+	s.Net.ObserveVT(doneVT)
+	return &Result{Forest: out, VT: doneVT}, nil
+}
+
+// evalSend implements definitions (3), (4) and (8).
+func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) {
+	// Enforce the paper's well-formedness rule: the sender must own
+	// the payload (sendp2→p1(x@p0) undefined for p2 ≠ p0).
+	if home := payloadHome(snd.Payload); home != "" && home != p.ID && home != AnyPeer {
+		return nil, fmt.Errorf("core: send at %s of payload located at %s is undefined (§3.2)", p.ID, home)
+	}
+
+	// Definition (8): shipping a query deploys it as a service.
+	if qv, ok := snd.Payload.(*QueryVal); ok {
+		dp, ok := snd.Dest.(DestPeer)
+		if !ok {
+			return nil, fmt.Errorf("core: query shipping requires a peer destination")
+		}
+		name := qv.Name
+		if name == "" {
+			name = fmt.Sprintf("sent-q-%s", p.ID)
+		}
+		body := xmltree.E("x:deploy", xmltree.A("name", name), xmltree.T(qv.Q.String()))
+		_, _, doneVT, err := s.Net.Call(netsim.Message{
+			From: p.ID, To: dp.P, Kind: "deploy",
+			Body: []byte(xmltree.Serialize(body)), VT: vt,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tracef("deployed query as %s@%s", name, dp.P)
+		return &Result{VT: doneVT, Deployed: &ServiceRef{Provider: dp.P, Name: name}}, nil
+	}
+
+	// Evaluate the payload locally first (definitions (3)/(4) operate
+	// on the payload's value).
+	res, err := s.eval(p.ID, snd.Payload, vt)
+	if err != nil {
+		return nil, err
+	}
+
+	switch d := snd.Dest.(type) {
+	case DestPeer:
+		remote, ok := s.Peer(d.P)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown destination peer %q", d.P)
+		}
+		anchor := remote.FreshAnchor("x:landing")
+		ref := peer.NodeRef{Peer: d.P, Node: anchor.ID}
+		doneVT, err := s.shipData(p.ID, ref, res.Forest, res.VT)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{VT: doneVT, Anchors: []peer.NodeRef{ref}}, nil
+	case DestNodes:
+		maxVT := res.VT
+		for _, ref := range d.Refs {
+			doneVT, err := s.shipData(p.ID, ref, res.Forest, res.VT)
+			if err != nil {
+				return nil, err
+			}
+			if doneVT > maxVT {
+				maxVT = doneVT
+			}
+		}
+		return &Result{VT: maxVT}, nil
+	case DestDoc:
+		if len(res.Forest) != 1 {
+			return nil, fmt.Errorf("core: installing document %q requires exactly one tree, got %d",
+				d.Name, len(res.Forest))
+		}
+		remote, ok := s.Peer(d.At)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown destination peer %q", d.At)
+		}
+		if d.At == p.ID {
+			roots := unwrapRaw(res.Forest[0])
+			if len(roots) != 1 {
+				return nil, fmt.Errorf("core: installing document %q requires exactly one tree", d.Name)
+			}
+			if err := remote.InstallDocument(d.Name, roots[0]); err != nil {
+				return nil, err
+			}
+			return &Result{VT: res.VT}, nil
+		}
+		// Ship the tree inside a self-installing send evaluated at the
+		// destination (the payload is local there, so the install is
+		// the local branch above). The x:raw carrier prevents embedded
+		// service calls from activating in transit.
+		_, _, doneVT, err := s.Net.Call(netsim.Message{
+			From: p.ID, To: d.At, Kind: "eval",
+			Body: SerializeExpr(&Send{
+				Dest:    DestDoc{Name: d.Name, At: d.At},
+				Payload: &Tree{Node: wrapForest(res.Forest[:1]), At: d.At},
+			}), VT: res.VT,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{VT: doneVT}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown destination type %T", snd.Dest)
+	}
+}
+
+// evalRelay implements rule (12)'s relayed route: the payload value
+// travels home → via₁ → … → viaₙ → dest, each hop charged separately.
+func (s *System) evalRelay(p *peer.Peer, r *Relay, vt float64) (*Result, error) {
+	if home := payloadHome(r.Payload); home != "" && home != p.ID && home != AnyPeer {
+		return nil, fmt.Errorf("core: relay at %s of payload located at %s is undefined (§3.2)", p.ID, home)
+	}
+	res, err := s.eval(p.ID, r.Payload, vt)
+	if err != nil {
+		return nil, err
+	}
+	data := res.Forest
+	currentPeer := p.ID
+	currentVT := res.VT
+	// Hop through intermediaries: each stop lands the data in a fresh
+	// anchor and picks it up again (the "intermediary stop" of rule 12).
+	for _, hop := range r.Via {
+		hp, ok := s.Peer(hop)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown relay peer %q", hop)
+		}
+		anchor := hp.FreshAnchor("x:hop")
+		hvt, err := s.shipData(currentPeer, peer.NodeRef{Peer: hop, Node: anchor.ID}, data, currentVT)
+		if err != nil {
+			return nil, err
+		}
+		node, _ := hp.NodeByID(anchor.ID)
+		data = xmltree.DeepCopyForest(node.Children)
+		currentPeer = hop
+		currentVT = hvt
+	}
+	switch d := r.Dest.(type) {
+	case DestPeer:
+		remote, ok := s.Peer(d.P)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown destination peer %q", d.P)
+		}
+		anchor := remote.FreshAnchor("x:landing")
+		ref := peer.NodeRef{Peer: d.P, Node: anchor.ID}
+		doneVT, err := s.shipData(currentPeer, ref, data, currentVT)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{VT: doneVT, Anchors: []peer.NodeRef{ref}}, nil
+	case DestNodes:
+		maxVT := currentVT
+		for _, ref := range d.Refs {
+			doneVT, err := s.shipData(currentPeer, ref, data, currentVT)
+			if err != nil {
+				return nil, err
+			}
+			if doneVT > maxVT {
+				maxVT = doneVT
+			}
+		}
+		return &Result{VT: maxVT}, nil
+	default:
+		return nil, fmt.Errorf("core: relay supports peer and node destinations, got %T", r.Dest)
+	}
+}
+
+// payloadHome returns the location of a send payload's data, or ""
+// when the payload is location-free.
+func payloadHome(e Expr) netsim.PeerID {
+	switch v := e.(type) {
+	case *Tree:
+		return v.At
+	case *Doc:
+		return v.At
+	case *QueryVal:
+		return v.At
+	case *Query:
+		return "" // applications are evaluated in place before sending
+	default:
+		return ""
+	}
+}
+
+// shipData sends a forest to a node reference, adding each tree as a
+// child of the target (definition (4)). Multi-tree forests travel in
+// an x:batch carrier that is unwrapped on landing.
+func (s *System) shipData(from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
+	if ref.Peer == from {
+		// Local landing: no network charge.
+		target, ok := s.Peer(from)
+		if !ok {
+			return 0, fmt.Errorf("core: unknown peer %q", from)
+		}
+		if err := landForest(target, ref.Node, forest); err != nil {
+			return 0, err
+		}
+		s.Net.ObserveVT(vt)
+		return vt, nil
+	}
+	// Use a Call so the delivery is synchronous and errors surface;
+	// the reply is an empty ack whose size is the envelope overhead.
+	_, _, doneVT, err := s.Net.Call(netsim.Message{
+		From: from, To: ref.Peer, Kind: "eval",
+		Body: SerializeExpr(&Send{
+			Dest:    DestNodes{Refs: []peer.NodeRef{ref}},
+			Payload: &Tree{Node: wrapForest(forest), At: ref.Peer},
+		}), VT: vt,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return doneVT, nil
+}
+
+// landForest adds the trees of a forest as children of the target
+// node, unwrapping x:raw carriers.
+func landForest(target *peer.Peer, node xmltree.NodeID, forest []*xmltree.Node) error {
+	for _, n := range forest {
+		if n.Kind == xmltree.ElementNode && n.Label == "x:raw" {
+			for _, c := range n.Children {
+				if err := target.AddChild(node, xmltree.DeepCopy(c)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if err := target.AddChild(node, xmltree.DeepCopy(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wrapForest packs a forest into the opaque x:raw carrier so that the
+// receiving evaluator copies it verbatim (no sc activation in transit).
+func wrapForest(forest []*xmltree.Node) *xmltree.Node {
+	w := xmltree.E("x:raw")
+	for _, n := range forest {
+		w.AppendChild(xmltree.DeepCopy(n))
+	}
+	return w
+}
+
+// unwrapRaw strips an x:raw carrier if present.
+func unwrapRaw(n *xmltree.Node) []*xmltree.Node {
+	if n.Kind == xmltree.ElementNode && n.Label == "x:raw" {
+		out := make([]*xmltree.Node, 0, len(n.Children))
+		for _, c := range n.Children {
+			cc := xmltree.DeepCopy(c)
+			out = append(out, cc)
+		}
+		return out
+	}
+	return []*xmltree.Node{n}
+}
+
+// evalServiceCall implements definition (6):
+//
+//	eval@p0(sc(p1, s1, parList, fwList)) =
+//	  send_{p1→fwList}( q1( send_{p0→p1}( eval@p0(parList) ) ) )
+func (s *System) evalServiceCall(p *peer.Peer, call *ServiceCall, vt float64) (*Result, error) {
+	provider := call.Provider
+	svcName := call.Service
+	if provider == AnyPeer {
+		ref, err := s.Generics.ResolveService(p.ID, call.Service)
+		if err != nil {
+			return nil, err
+		}
+		s.tracef("pickService %s@any → %s", call.Service, ref)
+		provider, svcName = ref.Provider, ref.Name
+	}
+
+	// eval@p0(parList): evaluate parameters at the caller.
+	maxVT := vt + s.Cost.ActivateMs*s.computeFactor(p.ID)
+	params := make([][]*xmltree.Node, len(call.Params))
+	for i, pe := range call.Params {
+		res, err := s.eval(p.ID, pe, vt)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = res.Forest
+		if res.VT > maxVT {
+			maxVT = res.VT
+		}
+	}
+
+	// send_{p0→p1}(params): ship parameters and the forward list to
+	// the provider. The provider applies q1 and ships the results
+	// directly to the forward targets (rule (15) remark: "there is no
+	// need to ship results back" when forwards are given); with an
+	// empty forward list the results come back in the reply, which
+	// netsim charges as the provider→caller leg.
+	body := xmltree.E("x:call", xmltree.A("service", svcName))
+	for _, forest := range params {
+		param := xmltree.E("x:param")
+		for _, n := range forest {
+			param.AppendChild(xmltree.DeepCopy(n))
+		}
+		body.AppendChild(param)
+	}
+	for _, ref := range call.Forward {
+		body.AppendChild(xmltree.E("x:forw", xmltree.A("ref", ref.String())))
+	}
+	reply, kind, doneVT, err := s.Net.Call(netsim.Message{
+		From: p.ID, To: provider, Kind: "call",
+		Body: []byte(xmltree.Serialize(body)), VT: maxVT,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if kind != "result" {
+		return nil, fmt.Errorf("core: unexpected reply kind %q", kind)
+	}
+	results, err := parseForest(reply)
+	if err != nil {
+		return nil, err
+	}
+
+	// Register a continuous subscription when the service streams.
+	if svc := s.lookupService(provider, svcName); svc != nil && svc.Continuous {
+		if err := s.subscribe(provider, svc, params, call.Forward, p.ID); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Forest: results, VT: doneVT}, nil
+}
+
+// peersHosting returns the peers (other than exclude) hosting a
+// document with the given name, in deterministic order.
+func (s *System) peersHosting(name string, exclude netsim.PeerID) []netsim.PeerID {
+	ids := s.Peers()
+	sortPeerIDs(ids)
+	var out []netsim.PeerID
+	for _, id := range ids {
+		if id == exclude {
+			continue
+		}
+		if p, ok := s.Peer(id); ok && p.HasDocument(name) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func sortPeerIDs(ids []netsim.PeerID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// lookupService resolves a service definition.
+func (s *System) lookupService(provider netsim.PeerID, name string) *service.Service {
+	p, ok := s.Peer(provider)
+	if !ok {
+		return nil
+	}
+	svc, ok := p.Service(name)
+	if !ok {
+		return nil
+	}
+	return svc
+}
+
+// applyService runs a service body over argument forests at its
+// provider. It returns the response forest and the compute cost.
+func (s *System) applyService(p *peer.Peer, svc *service.Service, args [][]*xmltree.Node) ([]*xmltree.Node, float64, error) {
+	if svc.Builtin != nil {
+		out, err := svc.Builtin(args)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: builtin %s@%s: %w", svc.Name, p.ID, err)
+		}
+		nodes := forestNodes(args) + countNodes(out)
+		return out, s.queryCost(p.ID, nodes), nil
+	}
+	out, err := p.RunQuery(svc.Body, args...)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: service %s@%s: %w", svc.Name, p.ID, err)
+	}
+	nodes := forestNodes(args) + countNodes(out)
+	for _, name := range svc.Body.DocRefs() {
+		if doc, ok := p.Document(name); ok {
+			nodes += doc.Root.NodeCount()
+		}
+	}
+	return out, s.queryCost(p.ID, nodes), nil
+}
+
+func forestNodes(forests [][]*xmltree.Node) int {
+	total := 0
+	for _, f := range forests {
+		total += countNodes(f)
+	}
+	return total
+}
+
+func countNodes(forest []*xmltree.Node) int {
+	total := 0
+	for _, n := range forest {
+		total += n.NodeCount()
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sync"
+
+	"axml/internal/netsim"
+	"axml/internal/peer"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// Continuous services (§2.2): after the initial response, a continuous
+// service keeps emitting result trees whenever its input documents
+// evolve. Each activated call on a continuous service creates a
+// subscription at the provider: the provider watches the documents the
+// service body reads and ships result deltas to the call's forward
+// targets (streams "accumulate as siblings of the sc node" — the
+// axmldoc package passes the sc's parent as the forward target).
+type subscription struct {
+	sys      *System
+	provider *peer.Peer
+	svc      *service.Service
+	params   [][]*xmltree.Node
+	targets  []peer.NodeRef
+	caller   netsim.PeerID
+
+	delta    func() ([]*xmltree.Node, error)
+	cancels  []func()
+	wake     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// subscribe registers a continuous stream from provider to the forward
+// targets. The initial batch has already been delivered by the call;
+// the subscription only ships subsequent deltas. Calls without forward
+// targets get no subscription (there is nowhere to push).
+func (s *System) subscribe(providerID netsim.PeerID, svc *service.Service,
+	params [][]*xmltree.Node, targets []peer.NodeRef, caller netsim.PeerID) error {
+	if len(targets) == 0 || !svc.Declarative() {
+		return nil
+	}
+	provider, ok := s.Peer(providerID)
+	if !ok {
+		return nil
+	}
+	sub := &subscription{
+		sys:      s,
+		provider: provider,
+		svc:      svc,
+		params:   params,
+		targets:  targets,
+		caller:   caller,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	env := &xquery.Env{Resolve: provider.Resolver()}
+	rc := xquery.NewRecompute(svc.Body, env, params...)
+	// Prime the seen-set with the initial batch so the first delta
+	// only carries genuinely new results.
+	if _, err := rc.Delta(); err != nil {
+		return err
+	}
+	sub.delta = rc.Delta
+
+	for _, docName := range svc.Body.DocRefs() {
+		ch, cancel := provider.Watch(docName)
+		sub.cancels = append(sub.cancels, cancel)
+		go sub.pump(ch)
+	}
+
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	go sub.run()
+	s.tracef("subscribed %s@%s → %v (continuous)", svc.Name, providerID, targets)
+	return nil
+}
+
+// pump forwards document-change signals into the subscription's wake
+// channel (coalescing).
+func (sub *subscription) pump(ch <-chan struct{}) {
+	for {
+		select {
+		case <-sub.done:
+			return
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+			select {
+			case sub.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// run ships deltas until stopped.
+func (sub *subscription) run() {
+	for {
+		select {
+		case <-sub.done:
+			return
+		case <-sub.wake:
+			out, err := sub.delta()
+			if err != nil || len(out) == 0 {
+				continue
+			}
+			for _, ref := range sub.targets {
+				// Stream pushes are one-way; VT restarts per push (the
+				// makespan of continuous phases is measured by bytes
+				// and message counts, see DESIGN.md).
+				_, _ = sub.sys.shipData(sub.provider.ID, ref, out, 0)
+			}
+		}
+	}
+}
+
+func (sub *subscription) stop() {
+	sub.stopOnce.Do(func() {
+		close(sub.done)
+		for _, cancel := range sub.cancels {
+			cancel()
+		}
+	})
+}
+
+// PumpSubscriptions synchronously evaluates all pending continuous
+// deltas once (deterministic alternative to the background goroutines;
+// used by tests and benchmarks). It returns the number of result trees
+// shipped.
+func (s *System) PumpSubscriptions() (int, error) {
+	s.mu.RLock()
+	subs := make([]*subscription, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.RUnlock()
+	total := 0
+	for _, sub := range subs {
+		out, err := sub.delta()
+		if err != nil {
+			return total, err
+		}
+		if len(out) == 0 {
+			continue
+		}
+		for _, ref := range sub.targets {
+			if _, err := sub.sys.shipData(sub.provider.ID, ref, out, 0); err != nil {
+				return total, err
+			}
+			total += len(out)
+		}
+	}
+	return total, nil
+}

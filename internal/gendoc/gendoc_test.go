@@ -1,0 +1,131 @@
+package gendoc
+
+import (
+	"testing"
+
+	"axml/internal/netsim"
+	"axml/internal/service"
+)
+
+func replicas() []DocReplica {
+	return []DocReplica{
+		{Doc: "d1", At: "p1"},
+		{Doc: "d2", At: "p2"},
+		{Doc: "d3", At: "p3"},
+	}
+}
+
+func refs() []service.Ref {
+	return []service.Ref{
+		{Provider: "p1", Name: "s"},
+		{Provider: "p2", Name: "s"},
+	}
+}
+
+func TestCatalogResolve(t *testing.T) {
+	c := NewCatalog(nil)
+	for _, r := range replicas() {
+		c.RegisterDoc("cls", r)
+	}
+	got, err := c.ResolveDoc("req", "cls")
+	if err != nil {
+		t.Fatalf("ResolveDoc: %v", err)
+	}
+	if got.Doc != "d1" {
+		t.Errorf("First strategy picked %v", got)
+	}
+	if _, err := c.ResolveDoc("req", "missing"); err == nil {
+		t.Error("missing class should error")
+	}
+	if reps := c.DocReplicas("cls"); len(reps) != 3 {
+		t.Errorf("DocReplicas = %d", len(reps))
+	}
+	for _, r := range refs() {
+		c.RegisterService("svc", r)
+	}
+	ref, err := c.ResolveService("req", "svc")
+	if err != nil || ref.Provider != "p1" {
+		t.Errorf("ResolveService = %v, %v", ref, err)
+	}
+	if _, err := c.ResolveService("req", "nope"); err == nil {
+		t.Error("missing service class should error")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	c := NewCatalog(NewRoundRobin())
+	for _, r := range replicas() {
+		c.RegisterDoc("cls", r)
+	}
+	var seq []string
+	for i := 0; i < 6; i++ {
+		r, err := c.ResolveDoc("req", "cls")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, r.Doc)
+	}
+	want := []string{"d1", "d2", "d3", "d1", "d2", "d3"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("roundrobin sequence = %v", seq)
+		}
+	}
+}
+
+func TestRandomIsSeededAndInRange(t *testing.T) {
+	s1 := NewRandom(1)
+	s2 := NewRandom(1)
+	for i := 0; i < 10; i++ {
+		a, _ := s1.PickDoc("r", "c", replicas())
+		b, _ := s2.PickDoc("r", "c", replicas())
+		if a != b {
+			t.Fatal("same seed diverged")
+		}
+	}
+	counts := map[string]int{}
+	s3 := NewRandom(7)
+	for i := 0; i < 200; i++ {
+		r, _ := s3.PickDoc("r", "c", replicas())
+		counts[r.Doc]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("random never spread: %v", counts)
+	}
+}
+
+func TestNearestUsesLinkLatency(t *testing.T) {
+	net := netsim.New()
+	net.SetLink("req", "p1", netsim.Link{LatencyMs: 50})
+	net.SetLink("req", "p2", netsim.Link{LatencyMs: 5})
+	net.SetLink("req", "p3", netsim.Link{LatencyMs: 100})
+	s := Nearest{Net: net}
+	r, err := s.PickDoc("req", "c", replicas())
+	if err != nil || r.At != "p2" {
+		t.Errorf("Nearest picked %v, %v", r, err)
+	}
+	ref, err := s.PickService("req", "c", refs())
+	if err != nil || ref.Provider != "p2" {
+		t.Errorf("Nearest service picked %v, %v", ref, err)
+	}
+}
+
+func TestSetStrategy(t *testing.T) {
+	c := NewCatalog(nil)
+	for _, r := range replicas() {
+		c.RegisterDoc("cls", r)
+	}
+	c.SetStrategy(NewRoundRobin())
+	a, _ := c.ResolveDoc("r", "cls")
+	b, _ := c.ResolveDoc("r", "cls")
+	if a == b {
+		t.Error("strategy not replaced")
+	}
+}
+
+func TestReplicaString(t *testing.T) {
+	r := DocReplica{Doc: "d", At: "p"}
+	if r.String() != "d@p" {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,332 @@
+// Package netsim provides the message-passing substrate of the AXML
+// framework: an instrumented, in-process network of peers with
+// per-link latency and bandwidth, byte/message accounting, and a
+// Lamport-style virtual clock.
+//
+// The paper's algebra observes exactly three costs of a distributed
+// plan — how many messages cross the network, how many bytes they
+// carry, and how long the critical path takes. netsim measures all
+// three deterministically, without real sleeps: every message carries
+// the virtual time (VT, in milliseconds) at which it was sent; its
+// delivery time is sendVT + link latency + size/bandwidth; handlers
+// report the VT at which their processing (including nested calls)
+// finished. The makespan of an evaluation is the largest VT it
+// produced.
+//
+// Peers are addressed by PeerID. Two interaction styles are provided:
+// asynchronous one-way Send (streams, forwarded results) and blocking
+// request/response Call (evaluation delegation). Both are accounted.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PeerID identifies a peer p ∈ P (paper §2).
+type PeerID string
+
+// Message is a transport envelope. Body is an opaque payload (the core
+// engine uses serialized XML); its length is the accounted size.
+type Message struct {
+	From, To PeerID
+	Kind     string // application-level tag, e.g. "eval", "data", "call"
+	Body     []byte
+	VT       float64 // virtual send time, ms
+}
+
+// Size returns the accounted size of the message in bytes, including a
+// fixed per-message envelope overhead.
+func (m *Message) Size() int { return len(m.Body) + envelopeOverhead }
+
+// envelopeOverhead models per-message protocol framing (headers etc.).
+const envelopeOverhead = 64
+
+// Handler is implemented by peers to receive traffic.
+type Handler interface {
+	// HandleAsync processes a one-way message. arriveVT is the virtual
+	// time at which the message reached the peer.
+	HandleAsync(msg Message, arriveVT float64)
+	// HandleCall processes a request and returns a reply payload along
+	// with the virtual time at which the reply was ready (≥ arriveVT;
+	// it includes local compute and any nested remote work).
+	HandleCall(msg Message, arriveVT float64) (body []byte, kind string, doneVT float64, err error)
+}
+
+// Link describes a directed network link.
+type Link struct {
+	// LatencyMs is the propagation delay in virtual milliseconds.
+	LatencyMs float64
+	// BytesPerMs is the bandwidth. Zero means infinite bandwidth.
+	BytesPerMs float64
+}
+
+// transferMs returns the virtual transfer duration of size bytes.
+func (l Link) transferMs(size int) float64 {
+	d := l.LatencyMs
+	if l.BytesPerMs > 0 {
+		d += float64(size) / l.BytesPerMs
+	}
+	return d
+}
+
+// DefaultLink is used for pairs without an explicit SetLink: a LAN-ish
+// 1 ms / 1 MB-per-second link.
+var DefaultLink = Link{LatencyMs: 1, BytesPerMs: 1000}
+
+type linkKey struct{ from, to PeerID }
+
+// Network is the simulated network. The zero value is not usable; use
+// New.
+type Network struct {
+	mu       sync.Mutex
+	handlers map[PeerID]Handler
+	links    map[linkKey]Link
+	down     map[PeerID]bool
+	deflink  Link
+	stats    Stats
+	wg       sync.WaitGroup
+}
+
+// New creates an empty network with the default link profile.
+func New() *Network {
+	return &Network{
+		handlers: map[PeerID]Handler{},
+		links:    map[linkKey]Link{},
+		down:     map[PeerID]bool{},
+		deflink:  DefaultLink,
+	}
+}
+
+// SetDefaultLink changes the link profile used for unconfigured pairs.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deflink = l
+}
+
+// SetLink configures the directed link from → to.
+func (n *Network) SetLink(from, to PeerID, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = l
+}
+
+// SetLinkBoth configures both directions symmetrically.
+func (n *Network) SetLinkBoth(a, b PeerID, l Link) {
+	n.SetLink(a, b, l)
+	n.SetLink(b, a, l)
+}
+
+// Register attaches a peer handler. Registering an existing ID is an
+// error.
+func (n *Network) Register(id PeerID, h Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; ok {
+		return fmt.Errorf("netsim: peer %q already registered", id)
+	}
+	n.handlers[id] = h
+	return nil
+}
+
+// Unregister removes a peer.
+func (n *Network) Unregister(id PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+}
+
+// SetDown marks a peer unreachable (failure injection); messages to it
+// error.
+func (n *Network) SetDown(id PeerID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Peers returns the registered peer IDs.
+func (n *Network) Peers() []PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ErrUnknownPeer is returned for sends to unregistered peers.
+var ErrUnknownPeer = errors.New("netsim: unknown peer")
+
+// ErrPeerDown is returned for sends to peers marked down.
+var ErrPeerDown = errors.New("netsim: peer down")
+
+func (n *Network) lookup(msg *Message) (Handler, Link, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.handlers[msg.To]
+	if !ok {
+		return nil, Link{}, fmt.Errorf("%w: %q", ErrUnknownPeer, msg.To)
+	}
+	if n.down[msg.To] {
+		return nil, Link{}, fmt.Errorf("%w: %q", ErrPeerDown, msg.To)
+	}
+	l, ok := n.links[linkKey{msg.From, msg.To}]
+	if !ok {
+		l = n.deflink
+	}
+	return h, l, nil
+}
+
+// Local delivery: a message from a peer to itself costs nothing. The
+// paper's expressions frequently evaluate sub-expressions in place;
+// only genuine cross-peer transfers are accounted.
+func (n *Network) isLocal(msg *Message) bool { return msg.From == msg.To }
+
+// Send delivers a one-way message asynchronously. The handler runs in
+// its own goroutine; use Quiesce to wait for cascades to settle.
+func (n *Network) Send(msg Message) error {
+	if n.isLocal(&msg) {
+		h, _, err := n.lookup(&msg)
+		if err != nil {
+			return err
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			h.HandleAsync(msg, msg.VT)
+		}()
+		return nil
+	}
+	h, link, err := n.lookup(&msg)
+	if err != nil {
+		return err
+	}
+	arrive := msg.VT + link.transferMs(msg.Size())
+	n.account(&msg, arrive)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		h.HandleAsync(msg, arrive)
+	}()
+	return nil
+}
+
+// Call delivers a request and blocks for the reply. The returned VT is
+// the virtual time at which the reply arrived back at the caller.
+func (n *Network) Call(msg Message) (body []byte, kind string, vt float64, err error) {
+	h, link, err := n.lookup(&msg)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	arrive := msg.VT
+	if !n.isLocal(&msg) {
+		arrive += link.transferMs(msg.Size())
+		n.account(&msg, arrive)
+	}
+	rbody, rkind, doneVT, err := h.HandleCall(msg, arrive)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	respVT := doneVT
+	if !n.isLocal(&msg) {
+		resp := Message{From: msg.To, To: msg.From, Kind: rkind, Body: rbody, VT: doneVT}
+		_, backLink, lerr := n.lookup(&resp)
+		if lerr != nil {
+			return nil, "", 0, lerr
+		}
+		respVT = doneVT + backLink.transferMs(resp.Size())
+		n.account(&resp, respVT)
+	}
+	return rbody, rkind, respVT, nil
+}
+
+// Quiesce blocks until all in-flight asynchronous deliveries (and the
+// cascades they trigger) have completed.
+func (n *Network) Quiesce() { n.wg.Wait() }
+
+// account records a completed transfer.
+func (n *Network) account(msg *Message, arriveVT float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Messages++
+	n.stats.Bytes += int64(msg.Size())
+	if n.stats.PerLink == nil {
+		n.stats.PerLink = map[PeerID]map[PeerID]LinkStats{}
+	}
+	fromMap := n.stats.PerLink[msg.From]
+	if fromMap == nil {
+		fromMap = map[PeerID]LinkStats{}
+		n.stats.PerLink[msg.From] = fromMap
+	}
+	ls := fromMap[msg.To]
+	ls.Messages++
+	ls.Bytes += int64(msg.Size())
+	fromMap[msg.To] = ls
+	if arriveVT > n.stats.MaxVT {
+		n.stats.MaxVT = arriveVT
+	}
+}
+
+// LinkInfo returns the configured link from → to (the default link
+// when unconfigured). Strategies use it for locality-aware picking.
+func (n *Network) LinkInfo(from, to PeerID) Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if from == to {
+		return Link{} // local: zero latency, infinite bandwidth
+	}
+	if l, ok := n.links[linkKey{from, to}]; ok {
+		return l
+	}
+	return n.deflink
+}
+
+// ObserveVT folds a locally observed virtual time into the makespan
+// (used by engines for compute-only completions).
+func (n *Network) ObserveVT(vt float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if vt > n.stats.MaxVT {
+		n.stats.MaxVT = vt
+	}
+}
+
+// LinkStats aggregates one direction of one link.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Stats aggregates network activity.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	MaxVT    float64
+	PerLink  map[PeerID]map[PeerID]LinkStats
+}
+
+// Stats returns a copy of the current counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.PerLink = map[PeerID]map[PeerID]LinkStats{}
+	for from, m := range n.stats.PerLink {
+		cp := map[PeerID]LinkStats{}
+		for to, ls := range m {
+			cp[to] = ls
+		}
+		out.PerLink[from] = cp
+	}
+	return out
+}
+
+// ResetStats zeroes the counters (links and peers are kept).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}

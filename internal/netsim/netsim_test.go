@@ -1,0 +1,302 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// echoHandler records async messages and answers calls with a fixed
+// payload after a fixed compute cost.
+type echoHandler struct {
+	mu       sync.Mutex
+	received []Message
+	arrives  []float64
+	reply    []byte
+	cost     float64
+}
+
+func (h *echoHandler) HandleAsync(msg Message, arriveVT float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.received = append(h.received, msg)
+	h.arrives = append(h.arrives, arriveVT)
+}
+
+func (h *echoHandler) HandleCall(msg Message, arriveVT float64) ([]byte, string, float64, error) {
+	return h.reply, "reply", arriveVT + h.cost, nil
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := New()
+	h := &echoHandler{}
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", h); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLink("a", "b", Link{LatencyMs: 10, BytesPerMs: 100})
+
+	body := make([]byte, 936) // 936+64 envelope = 1000 bytes → 10ms transfer
+	if err := n.Send(Message{From: "a", To: "b", Kind: "k", Body: body, VT: 5}); err != nil {
+		t.Fatal(err)
+	}
+	n.Quiesce()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.received) != 1 {
+		t.Fatalf("received %d messages", len(h.received))
+	}
+	// arrive = 5 (send) + 10 (latency) + 1000/100 (transfer) = 25
+	if got := h.arrives[0]; got != 25 {
+		t.Errorf("arriveVT = %v, want 25", got)
+	}
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 1000 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxVT != 25 {
+		t.Errorf("MaxVT = %v", st.MaxVT)
+	}
+	if st.PerLink["a"]["b"].Messages != 1 {
+		t.Errorf("per-link stats missing")
+	}
+}
+
+func TestLocalSendIsFree(t *testing.T) {
+	n := New()
+	h := &echoHandler{}
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "a", Kind: "k", Body: []byte("x"), VT: 7}); err != nil {
+		t.Fatal(err)
+	}
+	n.Quiesce()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Errorf("local send should not be accounted: %+v", st)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.received) != 1 || h.arrives[0] != 7 {
+		t.Errorf("local delivery wrong: %v", h.arrives)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := New()
+	h := &echoHandler{reply: make([]byte, 136), cost: 3} // reply size 200
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", h); err != nil {
+		t.Fatal(err)
+	}
+	n.SetLinkBoth("a", "b", Link{LatencyMs: 2, BytesPerMs: 100})
+
+	body := make([]byte, 36) // request size 100 → 1ms transfer
+	rbody, kind, vt, err := n.Call(Message{From: "a", To: "b", Kind: "req", Body: body, VT: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "reply" || len(rbody) != 136 {
+		t.Errorf("reply = %q/%d", kind, len(rbody))
+	}
+	// out: 2 + 100/100 = 3; compute: +3 → 6; back: 2 + 200/100 = 4 → 10
+	if vt != 10 {
+		t.Errorf("vt = %v, want 10", vt)
+	}
+	st := n.Stats()
+	if st.Messages != 2 || st.Bytes != 300 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLocalCallFree(t *testing.T) {
+	n := New()
+	h := &echoHandler{reply: []byte("r"), cost: 5}
+	if err := n.Register("a", h); err != nil {
+		t.Fatal(err)
+	}
+	_, _, vt, err := n.Call(Message{From: "a", To: "a", Kind: "req", VT: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt != 7 { // 2 + 5 compute, no network
+		t.Errorf("vt = %v, want 7", vt)
+	}
+	if st := n.Stats(); st.Messages != 0 {
+		t.Errorf("local call accounted: %+v", st)
+	}
+}
+
+func TestUnknownAndDownPeers(t *testing.T) {
+	n := New()
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	err := n.Send(Message{From: "a", To: "ghost"})
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("want ErrUnknownPeer, got %v", err)
+	}
+	if err := n.Register("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetDown("b", true)
+	err = n.Send(Message{From: "a", To: "b"})
+	if !errors.Is(err, ErrPeerDown) {
+		t.Errorf("want ErrPeerDown, got %v", err)
+	}
+	if _, _, _, err := n.Call(Message{From: "a", To: "b"}); !errors.Is(err, ErrPeerDown) {
+		t.Errorf("Call want ErrPeerDown, got %v", err)
+	}
+	n.SetDown("b", false)
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Errorf("recovered peer should accept: %v", err)
+	}
+	n.Quiesce()
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	n := New()
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("a", &echoHandler{}); err == nil {
+		t.Error("duplicate register should error")
+	}
+	n.Unregister("a")
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Errorf("re-register after unregister: %v", err)
+	}
+}
+
+// cascadeHandler forwards each message once to the next peer, to test
+// that Quiesce waits for cascades.
+type cascadeHandler struct {
+	n     *Network
+	next  PeerID
+	count *atomic.Int64
+}
+
+func (h *cascadeHandler) HandleAsync(msg Message, arriveVT float64) {
+	h.count.Add(1)
+	if h.next != "" {
+		_ = h.n.Send(Message{From: msg.To, To: h.next, Kind: msg.Kind, Body: msg.Body, VT: arriveVT})
+	}
+}
+
+func (h *cascadeHandler) HandleCall(Message, float64) ([]byte, string, float64, error) {
+	return nil, "", 0, errors.New("not used")
+}
+
+func TestQuiesceWaitsForCascade(t *testing.T) {
+	n := New()
+	var count atomic.Int64
+	peers := PeerNames("p", 10)
+	for i, p := range peers {
+		next := PeerID("")
+		if i+1 < len(peers) {
+			next = peers[i+1]
+		}
+		if err := n.Register(p, &cascadeHandler{n: n, next: next, count: &count}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Send(Message{From: "p0", To: "p1", Kind: "go", VT: 0}); err != nil {
+		t.Fatal(err)
+	}
+	n.Quiesce()
+	if got := count.Load(); got != 9 {
+		t.Errorf("cascade visited %d peers, want 9", got)
+	}
+	st := n.Stats()
+	if st.Messages != 9 {
+		t.Errorf("messages = %d, want 9", st.Messages)
+	}
+	// Each hop adds default 1ms latency + transfer time; VT grows monotonically.
+	if st.MaxVT <= 0 {
+		t.Errorf("MaxVT = %v", st.MaxVT)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New()
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	n.Quiesce()
+	n.ResetStats()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 || st.MaxVT != 0 {
+		t.Errorf("stats not reset: %+v", st)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	n := New()
+	peers := PeerNames("p", 4)
+	Uniform(n, peers, Link{LatencyMs: 5, BytesPerMs: 10})
+	Line(n, peers, Link{LatencyMs: 3, BytesPerMs: 10})
+	// p0→p3 over the line: 3 hops → 9ms.
+	n.mu.Lock()
+	l := n.links[linkKey{"p0", "p3"}]
+	n.mu.Unlock()
+	if l.LatencyMs != 9 {
+		t.Errorf("line p0→p3 latency = %v, want 9", l.LatencyMs)
+	}
+	Star(n, "hub", peers, Link{LatencyMs: 2, BytesPerMs: 10})
+	n.mu.Lock()
+	spoke := n.links[linkKey{"hub", "p1"}]
+	leaf := n.links[linkKey{"p1", "p2"}]
+	n.mu.Unlock()
+	if spoke.LatencyMs != 2 || leaf.LatencyMs != 4 {
+		t.Errorf("star latencies = %v, %v", spoke.LatencyMs, leaf.LatencyMs)
+	}
+	RandomWAN(n, peers, 42, 10, 50, 1, 100)
+	n.mu.Lock()
+	w := n.links[linkKey{"p0", "p1"}]
+	n.mu.Unlock()
+	if w.LatencyMs < 10 || w.LatencyMs > 50 {
+		t.Errorf("wan latency out of range: %v", w.LatencyMs)
+	}
+	// Determinism.
+	n2 := New()
+	RandomWAN(n2, peers, 42, 10, 50, 1, 100)
+	n2.mu.Lock()
+	w2 := n2.links[linkKey{"p0", "p1"}]
+	n2.mu.Unlock()
+	if w != w2 {
+		t.Errorf("RandomWAN not deterministic: %v vs %v", w, w2)
+	}
+}
+
+func TestObserveVT(t *testing.T) {
+	n := New()
+	n.ObserveVT(123)
+	if st := n.Stats(); st.MaxVT != 123 {
+		t.Errorf("MaxVT = %v", st.MaxVT)
+	}
+	n.ObserveVT(50) // lower: no change
+	if st := n.Stats(); st.MaxVT != 123 {
+		t.Errorf("MaxVT = %v after lower observe", st.MaxVT)
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{LatencyMs: 5, BytesPerMs: 100}
+	if got := l.transferMs(1000); got != 15 {
+		t.Errorf("transferMs = %v, want 15", got)
+	}
+	inf := Link{LatencyMs: 5}
+	if got := inf.transferMs(1 << 30); got != 5 {
+		t.Errorf("infinite bandwidth transferMs = %v, want 5", got)
+	}
+}

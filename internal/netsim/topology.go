@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology builders for experiments. Each configures links between the
+// given peers on an existing network; peers must be registered
+// separately.
+
+// Star connects every peer to a hub with the given link, and peers to
+// each other through a slower two-hop-equivalent direct link (2× hub
+// latency), modeling a coordinator-centric deployment.
+func Star(n *Network, hub PeerID, leaves []PeerID, spoke Link) {
+	for _, p := range leaves {
+		n.SetLinkBoth(hub, p, spoke)
+	}
+	twoHop := Link{LatencyMs: 2 * spoke.LatencyMs, BytesPerMs: spoke.BytesPerMs}
+	for i, a := range leaves {
+		for _, b := range leaves[i+1:] {
+			n.SetLinkBoth(a, b, twoHop)
+		}
+	}
+}
+
+// Line arranges peers on a chain: adjacent peers get the base link,
+// and the latency between non-adjacent peers grows linearly with hop
+// distance (bandwidth stays that of the base link).
+func Line(n *Network, peers []PeerID, base Link) {
+	for i := range peers {
+		for j := range peers {
+			if i == j {
+				continue
+			}
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			n.SetLink(peers[i], peers[j], Link{
+				LatencyMs:  base.LatencyMs * float64(d),
+				BytesPerMs: base.BytesPerMs,
+			})
+		}
+	}
+}
+
+// Uniform gives every ordered pair the same link.
+func Uniform(n *Network, peers []PeerID, l Link) {
+	for _, a := range peers {
+		for _, b := range peers {
+			if a != b {
+				n.SetLink(a, b, l)
+			}
+		}
+	}
+}
+
+// RandomWAN assigns every ordered pair an independent random latency
+// in [minMs, maxMs] and bandwidth in [minBw, maxBw] bytes/ms, using the
+// given seed (deterministic for tests and benchmarks).
+func RandomWAN(n *Network, peers []PeerID, seed int64, minMs, maxMs, minBw, maxBw float64) {
+	r := rand.New(rand.NewSource(seed))
+	for _, a := range peers {
+		for _, b := range peers {
+			if a == b {
+				continue
+			}
+			n.SetLink(a, b, Link{
+				LatencyMs:  minMs + r.Float64()*(maxMs-minMs),
+				BytesPerMs: minBw + r.Float64()*(maxBw-minBw),
+			})
+		}
+	}
+}
+
+// PeerNames generates n peer IDs with the given prefix: p0, p1, ...
+func PeerNames(prefix string, n int) []PeerID {
+	out := make([]PeerID, n)
+	for i := range out {
+		out[i] = PeerID(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/peer"
+	"axml/internal/rewrite"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// buildSystem: client, data (big catalog + declarative service), spare.
+func buildSystem(t testing.TB, items int) *core.System {
+	t.Helper()
+	net := netsim.New()
+	netsim.Uniform(net, []netsim.PeerID{"client", "data", "spare"}, netsim.Link{LatencyMs: 5, BytesPerMs: 500})
+	sys := core.NewSystem(net)
+	sys.MustAddPeer("client")
+	data := sys.MustAddPeer("data")
+	sys.MustAddPeer("spare")
+
+	cat := xmltree.NewElement("catalog")
+	for i := 0; i < items; i++ {
+		cat.AppendChild(xmltree.E("item",
+			xmltree.A("id", fmt.Sprint(i)),
+			xmltree.E("name", xmltree.T(fmt.Sprintf("product-%d", i))),
+			xmltree.E("price", xmltree.T(fmt.Sprint((i*37)%200))),
+			xmltree.E("desc", xmltree.T(strings.Repeat("lorem ipsum ", 5))),
+		))
+	}
+	if err := data.InstallDocument("catalog", cat); err != nil {
+		t.Fatal(err)
+	}
+	q := xquery.MustParse(`for $i in doc("catalog")/item return <offer>{$i/name, $i/price}</offer>`)
+	if err := data.RegisterService(&service.Service{Name: "offers", Provider: "data", Body: q}); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestEstimateRemoteDocCostsMoreThanLocal(t *testing.T) {
+	sys := buildSystem(t, 50)
+	es := NewEstimator(sys)
+	remote, err := es.Estimate("client", &core.Doc{Name: "catalog", At: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := es.Estimate("data", &core.Doc{Name: "catalog", At: "data"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Bytes <= local.Bytes || remote.Messages == 0 {
+		t.Errorf("remote=%+v local=%+v", remote, local)
+	}
+	if local.Bytes != 0 || local.Messages != 0 {
+		t.Errorf("local doc should be free: %+v", local)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	sys := buildSystem(t, 5)
+	es := NewEstimator(sys)
+	if _, err := es.Estimate("client", &core.Doc{Name: "ghost", At: "data"}); err == nil {
+		t.Error("unknown doc should error")
+	}
+	if _, err := es.Estimate("client", &core.Doc{Name: "x", At: "ghostpeer"}); err == nil {
+		t.Error("unknown peer should error")
+	}
+	q := xquery.MustParse(`doc("ghost")/x`)
+	if _, err := es.Estimate("client", &core.Query{Q: q, At: "client"}); err == nil {
+		t.Error("query over unknown doc should error")
+	}
+}
+
+func TestOptimizerPicksSelectionPushdown(t *testing.T) {
+	sys := buildSystem(t, 200)
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price < 10 return $i/name`)
+	e := &core.Query{Q: q, At: "client"}
+
+	plan, explored, err := Optimize(sys, "client", e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explored < 2 {
+		t.Errorf("explored only %d plans", explored)
+	}
+	if len(plan.Derivation) == 0 {
+		t.Fatal("optimizer kept the naive plan for a highly selective query")
+	}
+	foundPush := false
+	for _, step := range plan.Derivation {
+		if strings.Contains(step, "pushSelection") || strings.Contains(step, "delegate") {
+			foundPush = true
+		}
+	}
+	if !foundPush {
+		t.Errorf("derivation lacks pushdown/delegation: %v", plan.Derivation)
+	}
+
+	// The predicted winner must actually win: measure both plans.
+	naiveSys := buildSystem(t, 200)
+	if _, err := naiveSys.Eval("client", e); err != nil {
+		t.Fatal(err)
+	}
+	naiveBytes := naiveSys.Net.Stats().Bytes
+
+	optSys := buildSystem(t, 200)
+	res, err := optSys.Eval("client", plan.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optBytes := optSys.Net.Stats().Bytes
+	if optBytes >= naiveBytes {
+		t.Errorf("optimized plan moved %d bytes, naive %d", optBytes, naiveBytes)
+	}
+	// And the results agree.
+	direct, _ := naiveSys.Eval("client", e)
+	if len(res.Forest) != len(direct.Forest) {
+		t.Errorf("result count: optimized %d vs naive %d", len(res.Forest), len(direct.Forest))
+	}
+}
+
+func TestOptimizerKeepsLocalPlan(t *testing.T) {
+	sys := buildSystem(t, 50)
+	// Query over a doc at the evaluation site: nothing to improve.
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price < 10 return $i/name`)
+	e := &core.Query{Q: q, At: "data"}
+	plan, _, err := Optimize(sys, "data", e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Derivation) != 0 {
+		t.Errorf("local plan should stay local, got %v", plan.Derivation)
+	}
+}
+
+func TestOptimizerPushesQueryOverCall(t *testing.T) {
+	sys := buildSystem(t, 200)
+	q := xquery.MustParse(`param $in; for $o in $in where $o/price < 10 return $o/name`)
+	e := &core.Query{Q: q, At: "client", Args: []core.Expr{
+		&core.ServiceCall{Provider: "data", Service: "offers"},
+	}}
+	plan, _, err := Optimize(sys, "client", e, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, step := range plan.Derivation {
+		if strings.Contains(step, "pushOverCall") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected pushOverCall in derivation, got %v", plan.Derivation)
+	}
+}
+
+func TestOptimizerShareTransfer(t *testing.T) {
+	sys := buildSystem(t, 100)
+	q := xquery.MustParse(`param $a, $b; <pair>{count($a/item), count($b/item)}</pair>`)
+	e := &core.Query{Q: q, At: "client", Args: []core.Expr{
+		&core.Doc{Name: "catalog", At: "data"},
+		&core.Doc{Name: "catalog", At: "data"},
+	}}
+	plan, _, err := Optimize(sys, "client", e, Options{
+		Rules: []rewrite.Rule{rewrite.ShareTransfer{}, rewrite.UnshareTransfer{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, ok := plan.Expr.(*core.Query)
+	if !ok || !pq.ShareArgs {
+		t.Errorf("optimizer should enable transfer sharing: %s", plan.Expr.String())
+	}
+}
+
+func TestOptimizerRulesAblation(t *testing.T) {
+	sys := buildSystem(t, 200)
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price < 10 return $i/name`)
+	e := &core.Query{Q: q, At: "client"}
+	// With no rules, the plan cannot change.
+	plan, explored, err := Optimize(sys, "client", e, Options{Rules: []rewrite.Rule{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explored != 1 || len(plan.Derivation) != 0 {
+		t.Errorf("empty rule set: explored=%d deriv=%v", explored, plan.Derivation)
+	}
+	// With only pushdown the plan must use it.
+	plan2, _, err := Optimize(sys, "client", e, Options{
+		Rules: []rewrite.Rule{rewrite.SelectionPushdown{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan2.Derivation) != 1 || !strings.Contains(plan2.Derivation[0], "pushSelection") {
+		t.Errorf("deriv = %v", plan2.Derivation)
+	}
+	if plan2.Cost >= plan.Cost {
+		t.Errorf("pushdown plan should be cheaper: %v vs %v", plan2.Cost, plan.Cost)
+	}
+}
+
+func TestOptimizerRerouteOnSlowLink(t *testing.T) {
+	net := netsim.New()
+	sys := core.NewSystem(net)
+	sys.MustAddPeer("src")
+	sys.MustAddPeer("dst")
+	sys.MustAddPeer("hub")
+	// Slow direct link, fast two-hop route through the hub — the case
+	// where rule (12) applied right-to-left wins.
+	net.SetLinkBoth("src", "dst", netsim.Link{LatencyMs: 200, BytesPerMs: 10})
+	net.SetLinkBoth("src", "hub", netsim.Link{LatencyMs: 5, BytesPerMs: 1000})
+	net.SetLinkBoth("hub", "dst", netsim.Link{LatencyMs: 5, BytesPerMs: 1000})
+
+	payload := xmltree.E("blob", xmltree.T(strings.Repeat("x", 5000)))
+	e := &core.Send{Dest: core.DestPeer{P: "dst"}, Payload: &core.Tree{Node: payload, At: "src"}}
+	plan, _, err := Optimize(sys, "src", e, Options{
+		Rules: []rewrite.Rule{rewrite.RouteIntro{}, rewrite.RouteElim{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, ok := plan.Expr.(*core.Relay)
+	if !ok || len(relay.Via) != 1 || relay.Via[0] != "hub" {
+		t.Fatalf("expected relay via hub, got %s", plan.Expr.String())
+	}
+	// And measured VT agrees: relayed beats direct.
+	directSys := freshRouteSystem(t)
+	dRes, err := directSys.Eval("src", &core.Send{
+		Dest: core.DestPeer{P: "dst"}, Payload: &core.Tree{Node: xmltree.DeepCopy(payload), At: "src"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relaySys := freshRouteSystem(t)
+	rRes, err := relaySys.Eval("src", &core.Relay{
+		Via: []netsim.PeerID{"hub"}, Dest: core.DestPeer{P: "dst"},
+		Payload: &core.Tree{Node: xmltree.DeepCopy(payload), At: "src"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRes.VT >= dRes.VT {
+		t.Errorf("relayed VT %v should beat direct %v", rRes.VT, dRes.VT)
+	}
+}
+
+func freshRouteSystem(t *testing.T) *core.System {
+	t.Helper()
+	net := netsim.New()
+	sys := core.NewSystem(net)
+	sys.MustAddPeer("src")
+	sys.MustAddPeer("dst")
+	sys.MustAddPeer("hub")
+	net.SetLinkBoth("src", "dst", netsim.Link{LatencyMs: 200, BytesPerMs: 10})
+	net.SetLinkBoth("src", "hub", netsim.Link{LatencyMs: 5, BytesPerMs: 1000})
+	net.SetLinkBoth("hub", "dst", netsim.Link{LatencyMs: 5, BytesPerMs: 1000})
+	return sys
+}
+
+func TestPlanString(t *testing.T) {
+	sys := buildSystem(t, 10)
+	q := xquery.MustParse(`doc("catalog")/item/name`)
+	plan, _, err := Optimize(sys, "client", &core.Query{Q: q, At: "client"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "cost=") || !strings.Contains(s, "bytes=") {
+		t.Errorf("Plan.String = %q", s)
+	}
+}
+
+func TestEstimateServiceCallWithForward(t *testing.T) {
+	sys := buildSystem(t, 50)
+	client, _ := sys.Peer("client")
+	if err := client.InstallDocument("inbox", xmltree.E("inbox")); err != nil {
+		t.Fatal(err)
+	}
+	inbox, _ := client.Document("inbox")
+	es := NewEstimator(sys)
+	withFw, err := es.Estimate("client", &core.ServiceCall{
+		Provider: "data", Service: "offers",
+		Forward: []peer.NodeRef{{Peer: "client", Node: inbox.Root.ID}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withFw.OutBytes != 0 {
+		t.Errorf("forwarded call should return no local bytes: %+v", withFw)
+	}
+	noFw, err := es.Estimate("client", &core.ServiceCall{Provider: "data", Service: "offers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFw.OutBytes == 0 {
+		t.Errorf("plain call returns data: %+v", noFw)
+	}
+}

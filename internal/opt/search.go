@@ -1,0 +1,135 @@
+package opt
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/rewrite"
+)
+
+// Options configures the plan search.
+type Options struct {
+	// Rules is the rewrite rule set (DefaultRules when nil). Ablation
+	// experiments pass subsets.
+	Rules []rewrite.Rule
+	// MaxDepth bounds the number of rule applications along one
+	// derivation (default 4).
+	MaxDepth int
+	// MaxPlans bounds the total number of plans explored (default 512).
+	MaxPlans int
+	// Weights scalarize estimates (DefaultWeights when zero).
+	Weights Weights
+}
+
+func (o *Options) fill() {
+	if o.Rules == nil {
+		o.Rules = rewrite.DefaultRules()
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.MaxPlans == 0 {
+		o.MaxPlans = 512
+	}
+	if o.Weights == (Weights{}) {
+		o.Weights = DefaultWeights
+	}
+}
+
+// Plan is an optimized expression with its predicted cost and the
+// derivation that produced it.
+type Plan struct {
+	Expr       core.Expr
+	Est        Estimate
+	Cost       float64
+	Derivation []string // "rule @ position" steps from the original
+}
+
+// String renders a one-line plan summary.
+func (p *Plan) String() string {
+	return fmt.Sprintf("cost=%.2f bytes=%.0f msgs=%.0f time=%.2fms via [%s]: %s",
+		p.Cost, p.Est.Bytes, p.Est.Messages, p.Est.TimeMs,
+		strings.Join(p.Derivation, "; "), p.Expr.String())
+}
+
+// Optimize searches for the cheapest plan equivalent to e (under the
+// rule set) when evaluated at peer at. It returns the best plan and
+// the number of plans explored.
+func Optimize(sys *core.System, at netsim.PeerID, e core.Expr, opts Options) (*Plan, int, error) {
+	opts.fill()
+	est := NewEstimator(sys)
+	ctx := &rewrite.Context{Sys: sys, At: at}
+
+	baseEst, err := est.Estimate(at, e)
+	if err != nil {
+		return nil, 0, fmt.Errorf("opt: estimating original plan: %w", err)
+	}
+	start := &node{expr: e, cost: baseEst.Total(opts.Weights), est: baseEst}
+	best := start
+
+	seen := map[string]bool{string(core.SerializeExpr(e)): true}
+	pq := &nodeHeap{start}
+	explored := 0
+	for pq.Len() > 0 && explored < opts.MaxPlans {
+		cur := heap.Pop(pq).(*node)
+		explored++
+		if cur.cost < best.cost {
+			best = cur
+		}
+		if cur.depth >= opts.MaxDepth {
+			continue
+		}
+		for _, d := range rewrite.Alternatives(cur.expr, ctx, opts.Rules) {
+			key := string(core.SerializeExpr(d.E))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			de, err := est.Estimate(at, d.E)
+			if err != nil {
+				// Some alternatives may be inestimable (e.g. missing
+				// stats); skip rather than fail the search.
+				continue
+			}
+			heap.Push(pq, &node{
+				expr:  d.E,
+				deriv: append(append([]string{}, cur.deriv...), d.Rule+" @ "+d.Pos),
+				depth: cur.depth + 1,
+				cost:  de.Total(opts.Weights),
+				est:   de,
+			})
+		}
+	}
+	return &Plan{
+		Expr:       best.expr,
+		Est:        best.est,
+		Cost:       best.cost,
+		Derivation: best.deriv,
+	}, explored, nil
+}
+
+// node is one explored plan in the search frontier.
+type node struct {
+	expr  core.Expr
+	deriv []string
+	depth int
+	cost  float64
+	est   Estimate
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,331 @@
+// Package peer implements the peer runtime of the AXML framework
+// (paper §2): a context of computation hosting named documents and
+// services. A peer owns its trees — every node of an installed
+// document gets an identifier unique within the peer, so that global
+// node references n@p (the targets of forw lists and send expressions)
+// can be resolved. Mutations go through the peer so that the node
+// index stays consistent and document watchers fire.
+package peer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"axml/internal/netsim"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// NodeRef is a global node reference n@p (paper §2.3).
+type NodeRef struct {
+	Peer netsim.PeerID
+	Node xmltree.NodeID
+}
+
+func (r NodeRef) String() string {
+	return "n" + strconv.FormatUint(uint64(r.Node), 10) + "@" + string(r.Peer)
+}
+
+// ParseNodeRef parses the "n<id>@<peer>" notation.
+func ParseNodeRef(s string) (NodeRef, error) {
+	body, peerName, ok := strings.Cut(s, "@")
+	if !ok || !strings.HasPrefix(body, "n") {
+		return NodeRef{}, fmt.Errorf("peer: bad node reference %q", s)
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(body, "n"), 10, 64)
+	if err != nil {
+		return NodeRef{}, fmt.Errorf("peer: bad node reference %q: %w", s, err)
+	}
+	return NodeRef{Peer: netsim.PeerID(peerName), Node: xmltree.NodeID(id)}, nil
+}
+
+// Document is a named tree d@p.
+type Document struct {
+	Name    string
+	Root    *xmltree.Node
+	Version int64
+}
+
+type indexEntry struct {
+	node *xmltree.Node
+	doc  string
+}
+
+// Peer is one peer p ∈ P.
+type Peer struct {
+	ID netsim.PeerID
+
+	mu       sync.RWMutex
+	docs     map[string]*Document
+	services map[string]*service.Service
+	idgen    xmltree.SeqIDGen
+	index    map[xmltree.NodeID]indexEntry
+	watchers map[string][]chan struct{}
+}
+
+// New creates an empty peer.
+func New(id netsim.PeerID) *Peer {
+	return &Peer{
+		ID:       id,
+		docs:     map[string]*Document{},
+		services: map[string]*service.Service{},
+		index:    map[xmltree.NodeID]indexEntry{},
+		watchers: map[string][]chan struct{}{},
+	}
+}
+
+// InstallDocument installs root as document name (paper: a new pair
+// (d, p); no two documents agree on (d, p)). The peer takes ownership
+// of the tree: all nodes get fresh identifiers and are indexed.
+func (p *Peer) InstallDocument(name string, root *xmltree.Node) error {
+	if name == "" {
+		return fmt.Errorf("peer %s: empty document name", p.ID)
+	}
+	if root == nil {
+		return fmt.Errorf("peer %s: nil document root", p.ID)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.docs[name]; exists {
+		return fmt.Errorf("peer %s: document %q already exists", p.ID, name)
+	}
+	xmltree.AssignIDs(root, &p.idgen)
+	root.Walk(func(n *xmltree.Node) bool {
+		p.index[n.ID] = indexEntry{node: n, doc: name}
+		return true
+	})
+	p.docs[name] = &Document{Name: name, Root: root, Version: 1}
+	return nil
+}
+
+// RemoveDocument uninstalls a document and de-indexes its nodes.
+func (p *Peer) RemoveDocument(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	doc, ok := p.docs[name]
+	if !ok {
+		return fmt.Errorf("peer %s: no document %q", p.ID, name)
+	}
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		delete(p.index, n.ID)
+		return true
+	})
+	delete(p.docs, name)
+	return nil
+}
+
+// Document returns the named document. The returned root must be
+// treated as read-only by callers; mutations go through peer methods.
+func (p *Peer) Document(name string) (*Document, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	d, ok := p.docs[name]
+	return d, ok
+}
+
+// HasDocument reports whether the named document exists.
+func (p *Peer) HasDocument(name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.docs[name]
+	return ok
+}
+
+// DocumentNames lists installed documents.
+func (p *Peer) DocumentNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.docs))
+	for name := range p.docs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// NodeByID resolves a node identifier.
+func (p *Peer) NodeByID(id xmltree.NodeID) (*xmltree.Node, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.index[id]
+	return e.node, ok
+}
+
+// DocumentOfNode returns the name of the document containing the node.
+func (p *Peer) DocumentOfNode(id xmltree.NodeID) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.index[id]
+	return e.doc, ok
+}
+
+// AddChild appends tree as a new child of the identified node. The
+// peer takes ownership of the tree (fresh IDs, indexed). Watchers of
+// the owning document are notified. This is the landing operation of
+// definition (4): the sent tree is "added as a child of n@p".
+func (p *Peer) AddChild(parent xmltree.NodeID, tree *xmltree.Node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.index[parent]
+	if !ok {
+		return fmt.Errorf("peer %s: no node n%d", p.ID, parent)
+	}
+	if e.node.Kind != xmltree.ElementNode {
+		return fmt.Errorf("peer %s: node n%d cannot take children", p.ID, parent)
+	}
+	p.adopt(tree, e.doc)
+	e.node.AppendChild(tree)
+	p.bumpLocked(e.doc)
+	return nil
+}
+
+// InsertAfter inserts tree as the next sibling of the identified node
+// (the AXML placement of service results next to their sc node, §2.2).
+func (p *Peer) InsertAfter(ref xmltree.NodeID, tree *xmltree.Node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.index[ref]
+	if !ok {
+		return fmt.Errorf("peer %s: no node n%d", p.ID, ref)
+	}
+	if e.node.Parent == nil {
+		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, ref)
+	}
+	p.adopt(tree, e.doc)
+	if err := e.node.Parent.InsertAfter(e.node, tree); err != nil {
+		return err
+	}
+	p.bumpLocked(e.doc)
+	return nil
+}
+
+// adopt assigns IDs and indexes a subtree into the given document.
+func (p *Peer) adopt(tree *xmltree.Node, doc string) {
+	xmltree.AssignIDs(tree, &p.idgen)
+	tree.Walk(func(n *xmltree.Node) bool {
+		p.index[n.ID] = indexEntry{node: n, doc: doc}
+		return true
+	})
+}
+
+// bumpLocked increments a document version and notifies watchers.
+// Callers hold p.mu.
+func (p *Peer) bumpLocked(doc string) {
+	d, ok := p.docs[doc]
+	if !ok {
+		return
+	}
+	d.Version++
+	for _, ch := range p.watchers[doc] {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending notification
+		}
+	}
+}
+
+// Touch bumps a document's version and notifies watchers without a
+// structural change (used by engines after bulk edits).
+func (p *Peer) Touch(doc string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.bumpLocked(doc)
+}
+
+// Watch returns a channel receiving a (coalesced) signal whenever the
+// named document changes, and a cancel function.
+func (p *Peer) Watch(doc string) (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	p.mu.Lock()
+	p.watchers[doc] = append(p.watchers[doc], ch)
+	p.mu.Unlock()
+	cancel := func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		ws := p.watchers[doc]
+		for i, w := range ws {
+			if w == ch {
+				p.watchers[doc] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// RegisterService registers a service provided by this peer.
+func (p *Peer) RegisterService(s *service.Service) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Provider != p.ID {
+		return fmt.Errorf("peer %s: service %q declares provider %q", p.ID, s.Name, s.Provider)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.services[s.Name]; exists {
+		return fmt.Errorf("peer %s: service %q already registered", p.ID, s.Name)
+	}
+	p.services[s.Name] = s
+	return nil
+}
+
+// Service resolves a local service by name.
+func (p *Peer) Service(name string) (*service.Service, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s, ok := p.services[name]
+	return s, ok
+}
+
+// ServiceNames lists registered services.
+func (p *Peer) ServiceNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.services))
+	for name := range p.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Resolver returns a document resolver over this peer's store, for
+// evaluating queries locally.
+func (p *Peer) Resolver() xquery.DocResolver {
+	return func(name string) (*xmltree.Node, error) {
+		d, ok := p.Document(name)
+		if !ok {
+			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+		}
+		return d.Root, nil
+	}
+}
+
+// RunQuery evaluates a query against this peer's documents under a
+// read lock (concurrent mutations are excluded for the duration).
+func (p *Peer) RunQuery(q *xquery.Query, args ...[]*xmltree.Node) ([]*xmltree.Node, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
+		d, ok := p.docs[name]
+		if !ok {
+			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+		}
+		return d.Root, nil
+	}}
+	return q.Eval(env, args...)
+}
+
+// FreshAnchor creates a detached element owned by the peer (indexed,
+// with an ID) for use as a stream accumulation target. It belongs to
+// the pseudo-document "" and never notifies watchers.
+func (p *Peer) FreshAnchor(label string) *xmltree.Node {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := xmltree.NewElement(label)
+	n.ID = p.idgen.NextID()
+	p.index[n.ID] = indexEntry{node: n, doc: ""}
+	return n
+}

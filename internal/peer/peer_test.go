@@ -1,0 +1,277 @@
+package peer
+
+import (
+	"strings"
+	"testing"
+
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+func TestInstallAndLookup(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(`<catalog><item><name>chair</name></item></catalog>`)
+	if err := p.InstallDocument("catalog", root); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if err := p.InstallDocument("catalog", xmltree.E("x")); err == nil {
+		t.Error("duplicate install should error")
+	}
+	d, ok := p.Document("catalog")
+	if !ok || d.Root != root || d.Version != 1 {
+		t.Fatalf("Document lookup wrong: %+v", d)
+	}
+	// Every node got an ID and is resolvable.
+	root.Walk(func(n *xmltree.Node) bool {
+		if n.ID == 0 {
+			t.Errorf("node %s has no ID", n.Path())
+			return true
+		}
+		got, ok := p.NodeByID(n.ID)
+		if !ok || got != n {
+			t.Errorf("NodeByID(%d) wrong", n.ID)
+		}
+		if doc, _ := p.DocumentOfNode(n.ID); doc != "catalog" {
+			t.Errorf("DocumentOfNode(%d) = %q", n.ID, doc)
+		}
+		return true
+	})
+	if !p.HasDocument("catalog") || p.HasDocument("nope") {
+		t.Error("HasDocument wrong")
+	}
+	if names := p.DocumentNames(); len(names) != 1 || names[0] != "catalog" {
+		t.Errorf("DocumentNames = %v", names)
+	}
+}
+
+func TestInstallValidation(t *testing.T) {
+	p := New("p1")
+	if err := p.InstallDocument("", xmltree.E("x")); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := p.InstallDocument("d", nil); err == nil {
+		t.Error("nil root should error")
+	}
+}
+
+func TestRemoveDocument(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(`<a><b/></a>`)
+	if err := p.InstallDocument("d", root); err != nil {
+		t.Fatal(err)
+	}
+	id := root.Children[0].ID
+	if err := p.RemoveDocument("d"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, ok := p.NodeByID(id); ok {
+		t.Error("removed document's nodes still indexed")
+	}
+	if err := p.RemoveDocument("d"); err == nil {
+		t.Error("double remove should error")
+	}
+}
+
+func TestAddChildAndInsertAfter(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(`<log><entry>one</entry></log>`)
+	if err := p.InstallDocument("log", root); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("log")
+	defer cancel()
+
+	newEntry := xmltree.E("entry", "two")
+	if err := p.AddChild(root.ID, newEntry); err != nil {
+		t.Fatalf("AddChild: %v", err)
+	}
+	if len(root.Children) != 2 {
+		t.Errorf("children = %d", len(root.Children))
+	}
+	if newEntry.ID == 0 {
+		t.Error("added tree not adopted (no ID)")
+	}
+	if _, ok := p.NodeByID(newEntry.ID); !ok {
+		t.Error("added tree not indexed")
+	}
+	select {
+	case <-ch:
+	default:
+		t.Error("watcher not notified")
+	}
+	d, _ := p.Document("log")
+	if d.Version != 2 {
+		t.Errorf("version = %d, want 2", d.Version)
+	}
+
+	first := root.Children[0]
+	mid := xmltree.E("entry", "one-and-a-half")
+	if err := p.InsertAfter(first.ID, mid); err != nil {
+		t.Fatalf("InsertAfter: %v", err)
+	}
+	if root.Children[1] != mid {
+		t.Errorf("InsertAfter position wrong: %s", xmltree.Serialize(root))
+	}
+
+	// Errors.
+	if err := p.AddChild(99999, xmltree.E("x")); err == nil {
+		t.Error("AddChild to unknown node should error")
+	}
+	if err := p.InsertAfter(root.ID, xmltree.E("x")); err == nil {
+		t.Error("InsertAfter root (no parent) should error")
+	}
+	textChild := xmltree.NewText("t")
+	if err := p.AddChild(root.ID, textChild); err != nil {
+		t.Errorf("AddChild(text) should work: %v", err)
+	}
+	if err := p.AddChild(textChild.ID, xmltree.E("x")); err == nil {
+		t.Error("AddChild to text node should error")
+	}
+}
+
+func TestWatchCoalesceAndCancel(t *testing.T) {
+	p := New("p1")
+	root := xmltree.E("d")
+	if err := p.InstallDocument("d", root); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("d")
+	// Multiple changes coalesce into one pending signal.
+	_ = p.AddChild(root.ID, xmltree.E("a"))
+	_ = p.AddChild(root.ID, xmltree.E("b"))
+	count := 0
+	for {
+		select {
+		case <-ch:
+			count++
+			continue
+		default:
+		}
+		break
+	}
+	if count != 1 {
+		t.Errorf("signals = %d, want 1 (coalesced)", count)
+	}
+	cancel()
+	_ = p.AddChild(root.ID, xmltree.E("c"))
+	select {
+	case <-ch:
+		t.Error("cancelled watcher received signal")
+	default:
+	}
+}
+
+func TestTouch(t *testing.T) {
+	p := New("p1")
+	if err := p.InstallDocument("d", xmltree.E("d")); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("d")
+	defer cancel()
+	p.Touch("d")
+	select {
+	case <-ch:
+	default:
+		t.Error("Touch did not notify")
+	}
+	p.Touch("missing") // no-op, must not panic
+}
+
+func TestRegisterService(t *testing.T) {
+	p := New("p1")
+	q := xquery.MustParse(`doc("catalog")/item`)
+	svc := &service.Service{Name: "getItems", Provider: "p1", Body: q}
+	if err := p.RegisterService(svc); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := p.RegisterService(svc); err == nil {
+		t.Error("duplicate service should error")
+	}
+	if err := p.RegisterService(&service.Service{Name: "bad", Provider: "other", Body: q}); err == nil {
+		t.Error("foreign provider should error")
+	}
+	if err := p.RegisterService(&service.Service{Name: "", Provider: "p1", Body: q}); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := p.RegisterService(&service.Service{Name: "both", Provider: "p1"}); err == nil {
+		t.Error("neither body nor builtin should error")
+	}
+	got, ok := p.Service("getItems")
+	if !ok || got != svc {
+		t.Error("Service lookup wrong")
+	}
+	if names := p.ServiceNames(); len(names) != 1 {
+		t.Errorf("ServiceNames = %v", names)
+	}
+}
+
+func TestRunQuery(t *testing.T) {
+	p := New("p1")
+	if err := p.InstallDocument("catalog", xmltree.MustParse(
+		`<catalog><item><price>10</price></item><item><price>90</price></item></catalog>`)); err != nil {
+		t.Fatal(err)
+	}
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price > 50 return $i`)
+	out, err := p.RunQuery(q)
+	if err != nil {
+		t.Fatalf("RunQuery: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("results = %d", len(out))
+	}
+	// Missing doc surfaces as error.
+	q2 := xquery.MustParse(`doc("ghost")/x`)
+	if _, err := p.RunQuery(q2); err == nil {
+		t.Error("missing doc should error")
+	}
+}
+
+func TestNodeRefString(t *testing.T) {
+	r := NodeRef{Peer: "p2", Node: 17}
+	if r.String() != "n17@p2" {
+		t.Errorf("String = %q", r.String())
+	}
+	back, err := ParseNodeRef("n17@p2")
+	if err != nil || back != r {
+		t.Errorf("ParseNodeRef = %+v, %v", back, err)
+	}
+	for _, bad := range []string{"", "x17@p2", "n@p", "nXX@p2", "n17"} {
+		if _, err := ParseNodeRef(bad); err == nil {
+			t.Errorf("ParseNodeRef(%q) should error", bad)
+		}
+	}
+}
+
+func TestFreshAnchor(t *testing.T) {
+	p := New("p1")
+	a := p.FreshAnchor("results")
+	if a.ID == 0 {
+		t.Error("anchor has no ID")
+	}
+	got, ok := p.NodeByID(a.ID)
+	if !ok || got != a {
+		t.Error("anchor not indexed")
+	}
+	if doc, _ := p.DocumentOfNode(a.ID); doc != "" {
+		t.Errorf("anchor doc = %q", doc)
+	}
+	// Anchors accept children through the peer API.
+	if err := p.AddChild(a.ID, xmltree.E("r")); err != nil {
+		t.Errorf("AddChild to anchor: %v", err)
+	}
+}
+
+func TestResolver(t *testing.T) {
+	p := New("p1")
+	if err := p.InstallDocument("d", xmltree.E("d")); err != nil {
+		t.Fatal(err)
+	}
+	res := p.Resolver()
+	if _, err := res("d"); err != nil {
+		t.Errorf("resolver: %v", err)
+	}
+	if _, err := res("nope"); err == nil || !strings.Contains(err.Error(), "no document") {
+		t.Errorf("resolver miss: %v", err)
+	}
+}

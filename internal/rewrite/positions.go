@@ -1,0 +1,89 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+)
+
+// Derived is one expression obtained from the original by a single
+// rule application at some position.
+type Derived struct {
+	E    core.Expr
+	Rule string
+	Pos  string // human-readable position path, e.g. "/args[0]"
+}
+
+// Alternatives enumerates every expression derivable from e by one
+// application of one rule at any position. The evaluation site is
+// tracked through EvalAt boundaries so rules see the correct "at".
+func Alternatives(e core.Expr, ctx *Context, rules []Rule) []Derived {
+	var out []Derived
+	enumerate(e, ctx.At, "", ctx, rules, func(alt core.Expr) core.Expr { return alt }, &out)
+	return out
+}
+
+// enumerate visits e and its sub-expressions. rebuild embeds a
+// replacement for the current position back into the full expression.
+func enumerate(e core.Expr, at netsim.PeerID, pos string, ctx *Context, rules []Rule,
+	rebuild func(core.Expr) core.Expr, out *[]Derived) {
+	// Rules at this position.
+	for _, r := range rules {
+		for _, alt := range r.Apply(e, at, ctx) {
+			*out = append(*out, Derived{E: rebuild(alt), Rule: r.Name(), Pos: orRoot(pos)})
+		}
+	}
+	// Recurse into children.
+	switch v := e.(type) {
+	case *core.Query:
+		for i := range v.Args {
+			i := i
+			childRebuild := func(alt core.Expr) core.Expr {
+				c := core.Clone(v).(*core.Query)
+				c.Args[i] = alt
+				return rebuild(c)
+			}
+			enumerate(v.Args[i], at, fmt.Sprintf("%s/args[%d]", pos, i), ctx, rules, childRebuild, out)
+		}
+	case *core.Send:
+		childRebuild := func(alt core.Expr) core.Expr {
+			c := core.Clone(v).(*core.Send)
+			c.Payload = alt
+			return rebuild(c)
+		}
+		enumerate(v.Payload, at, pos+"/payload", ctx, rules, childRebuild, out)
+	case *core.Relay:
+		childRebuild := func(alt core.Expr) core.Expr {
+			c := core.Clone(v).(*core.Relay)
+			c.Payload = alt
+			return rebuild(c)
+		}
+		enumerate(v.Payload, at, pos+"/payload", ctx, rules, childRebuild, out)
+	case *core.ServiceCall:
+		for i := range v.Params {
+			i := i
+			childRebuild := func(alt core.Expr) core.Expr {
+				c := core.Clone(v).(*core.ServiceCall)
+				c.Params[i] = alt
+				return rebuild(c)
+			}
+			enumerate(v.Params[i], at, fmt.Sprintf("%s/params[%d]", pos, i), ctx, rules, childRebuild, out)
+		}
+	case *core.EvalAt:
+		childRebuild := func(alt core.Expr) core.Expr {
+			c := core.Clone(v).(*core.EvalAt)
+			c.E = alt
+			return rebuild(c)
+		}
+		// The inner expression evaluates at v.At.
+		enumerate(v.E, v.At, pos+"/eval", ctx, rules, childRebuild, out)
+	}
+}
+
+func orRoot(pos string) string {
+	if pos == "" {
+		return "/"
+	}
+	return pos
+}

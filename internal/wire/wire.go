@@ -1,0 +1,275 @@
+// Package wire implements a small line-oriented TCP protocol exposing
+// one peer's documents and declarative services to remote clients —
+// the stand-in for the WSDL/SOAP endpoint of the original AXML system
+// (paper §2.1: services "correspond to (simplified) WSDL
+// request-response operations").
+//
+// Requests and replies are single lines. Requests:
+//
+//	QUERY <xquery on one line>
+//	CALL <service> [<param-forest-xml>]
+//	INSTALL <docname> <xml>
+//	LIST
+//
+// Replies: <x:forest>…</x:forest>, <x:ok/>, <x:info>…</x:info> or
+// <x:error>message</x:error>, always one line (the XML serializer
+// emits no newlines in compact mode).
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"axml/internal/peer"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// maxLine bounds request/reply sizes (16 MiB).
+const maxLine = 16 << 20
+
+// Server serves one peer over a listener.
+type Server struct {
+	Peer *peer.Peer
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "QUIT") {
+			return
+		}
+		reply := s.dispatch(line)
+		fmt.Fprintln(w, reply)
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func errReply(err error) string {
+	e := xmltree.E("x:error", xmltree.T(err.Error()))
+	return xmltree.Serialize(e)
+}
+
+func (s *Server) dispatch(line string) string {
+	cmd, rest, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "QUERY":
+		return s.doQuery(rest)
+	case "CALL":
+		return s.doCall(rest)
+	case "INSTALL":
+		return s.doInstall(rest)
+	case "LIST":
+		return s.doList()
+	default:
+		return errReply(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+func (s *Server) doQuery(src string) string {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return errReply(err)
+	}
+	out, err := s.Peer.RunQuery(q)
+	if err != nil {
+		return errReply(err)
+	}
+	return forestReply(out)
+}
+
+func (s *Server) doCall(rest string) string {
+	name, paramXML, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return errReply(fmt.Errorf("CALL requires a service name"))
+	}
+	svc, ok := s.Peer.Service(name)
+	if !ok {
+		return errReply(fmt.Errorf("no service %q", name))
+	}
+	if !svc.Declarative() {
+		return errReply(fmt.Errorf("service %q is not declarative", name))
+	}
+	var args [][]*xmltree.Node
+	if strings.TrimSpace(paramXML) != "" {
+		trees, err := xmltree.ParseFragment(paramXML)
+		if err != nil {
+			return errReply(err)
+		}
+		for _, t := range trees {
+			args = append(args, []*xmltree.Node{t})
+		}
+	}
+	if len(args) != svc.Body.Arity() {
+		return errReply(fmt.Errorf("service %q takes %d parameter(s), got %d",
+			name, svc.Body.Arity(), len(args)))
+	}
+	out, err := s.Peer.RunQuery(svc.Body, args...)
+	if err != nil {
+		return errReply(err)
+	}
+	return forestReply(out)
+}
+
+func (s *Server) doInstall(rest string) string {
+	name, xml, ok := strings.Cut(rest, " ")
+	if !ok || name == "" {
+		return errReply(fmt.Errorf("INSTALL requires a name and a document"))
+	}
+	root, err := xmltree.Parse(xml)
+	if err != nil {
+		return errReply(err)
+	}
+	if err := s.Peer.InstallDocument(name, root); err != nil {
+		return errReply(err)
+	}
+	return "<x:ok/>"
+}
+
+func (s *Server) doList() string {
+	info := xmltree.E("x:info")
+	for _, d := range s.Peer.DocumentNames() {
+		info.AppendChild(xmltree.E("doc", xmltree.A("name", d)))
+	}
+	for _, svc := range s.Peer.ServiceNames() {
+		info.AppendChild(xmltree.E("service", xmltree.A("name", svc)))
+	}
+	return xmltree.Serialize(info)
+}
+
+func forestReply(out []*xmltree.Node) string {
+	env := xmltree.E("x:forest")
+	for _, n := range out {
+		env.AppendChild(xmltree.DeepCopy(n))
+	}
+	return xmltree.Serialize(env)
+}
+
+// Client is a connection to an axmlpeer server.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	return &Client{conn: conn, sc: sc}, nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.conn, "QUIT")
+	return c.conn.Close()
+}
+
+// roundTrip sends one request line and parses the reply.
+func (c *Client) roundTrip(line string) (*xmltree.Node, error) {
+	if strings.ContainsAny(line, "\n\r") {
+		line = strings.ReplaceAll(strings.ReplaceAll(line, "\r", " "), "\n", " ")
+	}
+	if _, err := fmt.Fprintln(c.conn, line); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: connection closed")
+	}
+	root, err := xmltree.Parse(c.sc.Text())
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad reply: %w", err)
+	}
+	if root.Label == "x:error" {
+		return nil, fmt.Errorf("wire: server: %s", root.TextContent())
+	}
+	return root, nil
+}
+
+// Query evaluates a query on the server and returns the result forest.
+func (c *Client) Query(src string) ([]*xmltree.Node, error) {
+	root, err := c.roundTrip("QUERY " + src)
+	if err != nil {
+		return nil, err
+	}
+	return detachChildren(root), nil
+}
+
+// Call invokes a declarative service with the given parameter trees.
+func (c *Client) Call(service string, params ...*xmltree.Node) ([]*xmltree.Node, error) {
+	var sb strings.Builder
+	sb.WriteString("CALL ")
+	sb.WriteString(service)
+	if len(params) > 0 {
+		sb.WriteByte(' ')
+		for _, p := range params {
+			sb.WriteString(xmltree.Serialize(p))
+		}
+	}
+	root, err := c.roundTrip(sb.String())
+	if err != nil {
+		return nil, err
+	}
+	return detachChildren(root), nil
+}
+
+// Install installs a document on the server.
+func (c *Client) Install(name string, doc *xmltree.Node) error {
+	_, err := c.roundTrip("INSTALL " + name + " " + xmltree.Serialize(doc))
+	return err
+}
+
+// List returns the server's document and service names.
+func (c *Client) List() (docs, services []string, err error) {
+	root, err := c.roundTrip("LIST")
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ch := range root.ChildElements() {
+		name, _ := ch.Attr("name")
+		switch ch.Label {
+		case "doc":
+			docs = append(docs, name)
+		case "service":
+			services = append(services, name)
+		}
+	}
+	return docs, services, nil
+}
+
+func detachChildren(root *xmltree.Node) []*xmltree.Node {
+	out := make([]*xmltree.Node, 0, len(root.Children))
+	for _, ch := range root.Children {
+		ch.Parent = nil
+		out = append(out, ch)
+	}
+	return out
+}

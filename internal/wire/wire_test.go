@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"axml/internal/peer"
+	"axml/internal/service"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// startServer runs a wire server for a populated peer on a random port.
+func startServer(t *testing.T) (*Client, *peer.Peer) {
+	t.Helper()
+	p := peer.New("store")
+	if err := p.InstallDocument("catalog", xmltree.MustParse(
+		`<catalog><item><name>chair</name><price>30</price></item>
+		 <item><name>desk</name><price>120</price></item></catalog>`)); err != nil {
+		t.Fatal(err)
+	}
+	q := xquery.MustParse(`param $max;
+		for $i in doc("catalog")/item where $i/price < $max return $i/name`)
+	if err := p.RegisterService(&service.Service{Name: "below", Provider: "store", Body: q}); err != nil {
+		t.Fatal(err)
+	}
+	q2 := xquery.MustParse(`doc("catalog")/item/name`)
+	if err := p.RegisterService(&service.Service{Name: "names", Provider: "store", Body: q2}); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Peer: p}
+	go srv.Serve(l) //nolint:errcheck // closed by test cleanup
+	t.Cleanup(func() { l.Close() })
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, p
+}
+
+func TestQueryOverWire(t *testing.T) {
+	c, _ := startServer(t)
+	out, err := c.Query(`for $i in doc("catalog")/item where $i/price < 100 return $i/name`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(out) != 1 || out[0].TextContent() != "chair" {
+		t.Errorf("result = %v", out)
+	}
+}
+
+func TestMultilineQueryFlattened(t *testing.T) {
+	c, _ := startServer(t)
+	out, err := c.Query("for $i in doc(\"catalog\")/item\nwhere $i/price < 100\nreturn $i/name")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(out) != 1 {
+		t.Errorf("results = %d", len(out))
+	}
+}
+
+func TestCallOverWire(t *testing.T) {
+	c, _ := startServer(t)
+	out, err := c.Call("below", xmltree.E("max", "200"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if len(out) != 2 {
+		t.Errorf("results = %d, want 2", len(out))
+	}
+	// Zero-arity service.
+	out, err = c.Call("names")
+	if err != nil {
+		t.Fatalf("Call names: %v", err)
+	}
+	if len(out) != 2 {
+		t.Errorf("names = %d", len(out))
+	}
+	// Arity mismatch surfaces as a server error.
+	if _, err := c.Call("below"); err == nil || !strings.Contains(err.Error(), "parameter") {
+		t.Errorf("arity error not surfaced: %v", err)
+	}
+	// Unknown service.
+	if _, err := c.Call("ghost"); err == nil {
+		t.Error("unknown service should error")
+	}
+}
+
+func TestInstallAndList(t *testing.T) {
+	c, p := startServer(t)
+	if err := c.Install("notes", xmltree.E("notes", xmltree.E("note", "hi"))); err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	if !p.HasDocument("notes") {
+		t.Error("document not installed server-side")
+	}
+	docs, services, err := c.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(docs) != 2 || len(services) != 2 {
+		t.Errorf("docs=%v services=%v", docs, services)
+	}
+	// Duplicate install errors.
+	if err := c.Install("notes", xmltree.E("x")); err == nil {
+		t.Error("duplicate install should error")
+	}
+	// Query the installed document.
+	out, err := c.Query(`doc("notes")/note`)
+	if err != nil || len(out) != 1 {
+		t.Errorf("query over installed doc: %v, %v", out, err)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	c, _ := startServer(t)
+	if _, err := c.Query("not a ! query"); err == nil {
+		t.Error("bad query should error")
+	}
+	if _, err := c.Query(`doc("ghost")/x`); err == nil {
+		t.Error("unknown doc should error")
+	}
+	if _, err := c.roundTrip("BOGUS cmd"); err == nil {
+		t.Error("unknown command should error")
+	}
+	if _, err := c.roundTrip("INSTALL onlyname"); err == nil {
+		t.Error("INSTALL without doc should error")
+	}
+	// The connection survives errors.
+	if _, err := c.Query(`doc("catalog")/item/name`); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package workload generates the synthetic datasets of the experiment
+// suite: product catalogs with controllable size and selectivity
+// (Example 1 and the query experiments), review collections (joins),
+// and an eDos-style software-distribution corpus (packages, versions,
+// dependencies, mirrors) standing in for the real-life application of
+// the paper's companion report [4]. Generators are deterministic in
+// their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"axml/internal/xmltree"
+)
+
+// CatalogSpec parametrizes product-catalog generation.
+type CatalogSpec struct {
+	Items int
+	// PriceMax is the exclusive upper bound of uniform prices; with
+	// uniform prices, a predicate price < s·PriceMax has selectivity s.
+	PriceMax int
+	// DescWords pads each item with filler text so document size can
+	// be swept independently of cardinality.
+	DescWords int
+	Seed      int64
+}
+
+// Catalog generates <catalog><item id><name/><price/><desc/>… .
+func Catalog(spec CatalogSpec) *xmltree.Node {
+	if spec.PriceMax <= 0 {
+		spec.PriceMax = 1000
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	root := xmltree.NewElement("catalog")
+	for i := 0; i < spec.Items; i++ {
+		item := xmltree.E("item",
+			xmltree.A("id", fmt.Sprint(i)),
+			xmltree.A("cat", category(r)),
+			xmltree.E("name", xmltree.T(productName(r, i))),
+			xmltree.E("price", xmltree.T(fmt.Sprint(r.Intn(spec.PriceMax)))),
+		)
+		if spec.DescWords > 0 {
+			item.AppendChild(xmltree.E("desc", xmltree.T(filler(r, spec.DescWords))))
+		}
+		root.AppendChild(item)
+	}
+	return root
+}
+
+func category(r *rand.Rand) string {
+	cats := []string{"furniture", "light", "kitchen", "garden", "office"}
+	return cats[r.Intn(len(cats))]
+}
+
+func productName(r *rand.Rand, i int) string {
+	adjectives := []string{"oak", "steel", "classic", "modern", "compact", "deluxe"}
+	nouns := []string{"chair", "desk", "lamp", "shelf", "table", "stool"}
+	return fmt.Sprintf("%s-%s-%d", adjectives[r.Intn(len(adjectives))], nouns[r.Intn(len(nouns))], i)
+}
+
+var fillerWords = strings.Fields(
+	"data management applications grow more complex they need efficient " +
+		"distributed query processing subscription archival peers exchange " +
+		"documents services declarative algebra optimization")
+
+func filler(r *rand.Rand, words int) string {
+	var sb strings.Builder
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(fillerWords[r.Intn(len(fillerWords))])
+	}
+	return sb.String()
+}
+
+// Reviews generates <reviews><review><about/><stars/><text/>… where
+// about references catalog item names ("product-<i>" style names are
+// matched by index).
+func Reviews(catalog *xmltree.Node, perItem int, seed int64) *xmltree.Node {
+	r := rand.New(rand.NewSource(seed))
+	root := xmltree.NewElement("reviews")
+	for _, item := range catalog.ChildElementsByLabel("item") {
+		name := item.FirstChildElement("name").TextContent()
+		for k := 0; k < perItem; k++ {
+			root.AppendChild(xmltree.E("review",
+				xmltree.E("about", xmltree.T(name)),
+				xmltree.E("stars", xmltree.T(fmt.Sprint(1+r.Intn(5)))),
+				xmltree.E("text", xmltree.T(filler(r, 8))),
+			))
+		}
+	}
+	return root
+}
+
+// DistSpec parametrizes the software-distribution corpus (the eDos
+// application of [4]: Debian-like package metadata replicated across
+// mirrors, with clients resolving dependencies).
+type DistSpec struct {
+	Packages   int
+	MaxDeps    int // dependencies per package (uniform 0..MaxDeps)
+	Seed       int64
+	DescWords  int
+	Severities []string // update severities cycled through releases
+}
+
+// Packages generates <packages><package name version severity><dep/>…
+func Packages(spec DistSpec) *xmltree.Node {
+	if spec.Severities == nil {
+		spec.Severities = []string{"security", "important", "optional"}
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	root := xmltree.NewElement("packages")
+	for i := 0; i < spec.Packages; i++ {
+		pkg := xmltree.E("package",
+			xmltree.A("name", fmt.Sprintf("pkg-%03d", i)),
+			xmltree.A("version", fmt.Sprintf("1.%d.%d", r.Intn(10), r.Intn(20))),
+			xmltree.A("severity", spec.Severities[r.Intn(len(spec.Severities))]),
+		)
+		// Dependencies point only backwards: the graph is acyclic.
+		if i > 0 && spec.MaxDeps > 0 {
+			for d := r.Intn(spec.MaxDeps + 1); d > 0; d-- {
+				pkg.AppendChild(xmltree.E("dep",
+					xmltree.A("on", fmt.Sprintf("pkg-%03d", r.Intn(i)))))
+			}
+		}
+		if spec.DescWords > 0 {
+			pkg.AppendChild(xmltree.E("desc", xmltree.T(filler(r, spec.DescWords))))
+		}
+		root.AppendChild(pkg)
+	}
+	return root
+}
+
+// Update generates one release announcement for the software
+// distribution stream experiments.
+func Update(seq int, severity string, seed int64) *xmltree.Node {
+	r := rand.New(rand.NewSource(seed + int64(seq)))
+	return xmltree.E("package",
+		xmltree.A("name", fmt.Sprintf("pkg-%03d", r.Intn(1000))),
+		xmltree.A("version", fmt.Sprintf("2.0.%d", seq)),
+		xmltree.A("severity", severity),
+		xmltree.E("desc", xmltree.T(filler(r, 6))),
+	)
+}

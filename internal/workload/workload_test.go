@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"axml/internal/xmltree"
+	"axml/internal/xtype"
+)
+
+func TestCatalogDeterministicAndSized(t *testing.T) {
+	spec := CatalogSpec{Items: 25, PriceMax: 100, DescWords: 4, Seed: 5}
+	a := Catalog(spec)
+	b := Catalog(spec)
+	if !xmltree.Equal(a, b) {
+		t.Error("same seed produced different catalogs")
+	}
+	if got := len(a.ChildElementsByLabel("item")); got != 25 {
+		t.Errorf("items = %d", got)
+	}
+	c := Catalog(CatalogSpec{Items: 25, PriceMax: 100, Seed: 6})
+	if xmltree.Equal(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCatalogValidatesAgainstSchema(t *testing.T) {
+	schema := xtype.MustParseSchema(`
+root catalog
+catalog := item*
+item := (name, price, desc?) @id @cat
+name := #PCDATA
+price := #PCDATA
+desc := #PCDATA
+`)
+	cat := Catalog(CatalogSpec{Items: 40, PriceMax: 50, DescWords: 3, Seed: 1})
+	if errs := schema.Validate(cat); len(errs) != 0 {
+		t.Errorf("generated catalog invalid: %v", errs[0])
+	}
+}
+
+func TestCatalogSelectivity(t *testing.T) {
+	// Uniform prices: price < PriceMax/10 should select ~10%.
+	cat := Catalog(CatalogSpec{Items: 2000, PriceMax: 1000, Seed: 2})
+	count := 0
+	for _, item := range cat.ChildElementsByLabel("item") {
+		p := item.FirstChildElement("price").TextContent()
+		if len(p) <= 2 { // < 100
+			count++
+		}
+	}
+	frac := float64(count) / 2000
+	if frac < 0.05 || frac > 0.15 {
+		t.Errorf("selectivity = %.3f, want ≈0.10", frac)
+	}
+}
+
+func TestReviewsReferenceCatalog(t *testing.T) {
+	cat := Catalog(CatalogSpec{Items: 10, PriceMax: 10, Seed: 3})
+	rev := Reviews(cat, 2, 4)
+	reviews := rev.ChildElementsByLabel("review")
+	if len(reviews) != 20 {
+		t.Fatalf("reviews = %d", len(reviews))
+	}
+	names := map[string]bool{}
+	for _, item := range cat.ChildElementsByLabel("item") {
+		names[item.FirstChildElement("name").TextContent()] = true
+	}
+	for _, r := range reviews {
+		about := r.FirstChildElement("about").TextContent()
+		if !names[about] {
+			t.Errorf("review about unknown product %q", about)
+		}
+	}
+}
+
+func TestPackagesAcyclicDeps(t *testing.T) {
+	pkgs := Packages(DistSpec{Packages: 50, MaxDeps: 4, Seed: 7})
+	list := pkgs.ChildElementsByLabel("package")
+	if len(list) != 50 {
+		t.Fatalf("packages = %d", len(list))
+	}
+	index := map[string]int{}
+	for i, p := range list {
+		name, _ := p.Attr("name")
+		index[name] = i
+	}
+	for i, p := range list {
+		for _, dep := range p.ChildElementsByLabel("dep") {
+			on, _ := dep.Attr("on")
+			j, ok := index[on]
+			if !ok {
+				t.Errorf("dep on unknown package %q", on)
+				continue
+			}
+			if j >= i {
+				t.Errorf("package %d depends forward on %d: not acyclic", i, j)
+			}
+		}
+	}
+}
+
+func TestPackagesSeverities(t *testing.T) {
+	pkgs := Packages(DistSpec{Packages: 100, Seed: 9})
+	seen := map[string]bool{}
+	for _, p := range pkgs.ChildElementsByLabel("package") {
+		sev, _ := p.Attr("severity")
+		seen[sev] = true
+	}
+	for _, want := range []string{"security", "important", "optional"} {
+		if !seen[want] {
+			t.Errorf("severity %q never generated", want)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	u1 := Update(1, "security", 11)
+	u2 := Update(1, "security", 11)
+	if !xmltree.Equal(u1, u2) {
+		t.Error("Update not deterministic")
+	}
+	if v, _ := u1.Attr("severity"); v != "security" {
+		t.Errorf("severity = %q", v)
+	}
+	if v, _ := u1.Attr("version"); v != "2.0.1" {
+		t.Errorf("version = %q", v)
+	}
+}

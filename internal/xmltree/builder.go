@@ -1,0 +1,45 @@
+package xmltree
+
+// Builder DSL: concise construction of trees in tests, examples and
+// workload generators.
+//
+//	t := E("catalog",
+//	    E("item", A("id", "1"), E("name", T("chair")), E("price", T("30"))),
+//	    E("item", A("id", "2"), E("name", T("desk")), E("price", T("120"))),
+//	)
+
+// Content is anything the E constructor accepts as element content:
+// *Node children, Attr attributes, or plain strings (wrapped as text).
+type Content interface{}
+
+// E builds an element node with the given label. Contents may be Attr
+// values (attached as attributes), *Node values (appended as children),
+// or strings (appended as text nodes).
+func E(label string, contents ...Content) *Node {
+	n := NewElement(label)
+	for _, c := range contents {
+		switch v := c.(type) {
+		case Attr:
+			n.Attrs = append(n.Attrs, v)
+		case *Node:
+			n.AppendChild(v)
+		case string:
+			n.AppendChild(NewText(v))
+		case []*Node:
+			for _, ch := range v {
+				n.AppendChild(ch)
+			}
+		case nil:
+			// Allow conditional construction: E("a", maybeNil()).
+		default:
+			panic("xmltree: E: unsupported content type")
+		}
+	}
+	return n
+}
+
+// A builds an attribute for use inside E.
+func A(name, value string) Attr { return Attr{Name: name, Value: value} }
+
+// T builds a text node for use inside E.
+func T(text string) *Node { return NewText(text) }

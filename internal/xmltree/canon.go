@@ -1,0 +1,243 @@
+package xmltree
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// This file implements the unordered-tree equivalence of the paper's
+// data model (§2.1): two trees are structurally equal iff they have the
+// same label, the same attribute set, and their multisets of child
+// subtrees are equal — regardless of sibling order. Comments and
+// processing instructions are ignored. Node identifiers are ignored:
+// identity is positional/structural, matching the paper's use of
+// equivalence for optimization rather than node-level identity.
+
+// Digest is a 128-bit structural digest of a subtree under unordered
+// semantics. Equal digests are taken as equal trees throughout the
+// system; Equal performs a full structural check and is used by tests
+// to validate the digest's fidelity.
+type Digest [16]byte
+
+// Canonical returns the canonical string form of the subtree: a
+// deterministic serialization with attributes sorted by name and
+// sibling subtrees sorted by their canonical forms. Two trees are
+// structurally equal under unordered semantics iff their canonical
+// forms are byte-equal.
+func Canonical(n *Node) string {
+	var sb strings.Builder
+	writeCanonical(&sb, n)
+	return sb.String()
+}
+
+func writeCanonical(sb *strings.Builder, n *Node) {
+	switch n.Kind {
+	case TextNode:
+		sb.WriteString("#t(")
+		sb.WriteString(n.Text)
+		sb.WriteByte(')')
+		return
+	case CommentNode, ProcInstNode:
+		return
+	}
+	sb.WriteByte('<')
+	sb.WriteString(n.Label)
+	attrs := make([]Attr, len(n.Attrs))
+	copy(attrs, n.Attrs)
+	sortAttrs(attrs)
+	for _, a := range attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(a.Value)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('>')
+	visible := visibleChildren(n)
+	kids := make([]string, 0, len(visible))
+	for _, c := range visible {
+		kids = append(kids, Canonical(c))
+	}
+	sort.Strings(kids)
+	for _, k := range kids {
+		sb.WriteString(k)
+	}
+	sb.WriteString("</>")
+}
+
+// Hash returns the structural digest of the subtree under unordered
+// semantics. It is computed bottom-up in O(n log n) without
+// materializing canonical strings.
+func Hash(n *Node) Digest {
+	return hashNode(n)
+}
+
+func hashNode(n *Node) Digest {
+	h := fnv.New128a()
+	switch n.Kind {
+	case TextNode:
+		h.Write([]byte{0x01})
+		h.Write([]byte(n.Text))
+	case CommentNode, ProcInstNode:
+		// Ignored content hashes to a fixed marker so parents can skip it.
+		return Digest{}
+	case ElementNode:
+		h.Write([]byte{0x02})
+		h.Write([]byte(n.Label))
+		h.Write([]byte{0x00})
+		attrs := make([]Attr, len(n.Attrs))
+		copy(attrs, n.Attrs)
+		sortAttrs(attrs)
+		for _, a := range attrs {
+			h.Write([]byte{0x03})
+			h.Write([]byte(a.Name))
+			h.Write([]byte{0x00})
+			h.Write([]byte(a.Value))
+		}
+		visible := visibleChildren(n)
+		childDigests := make([]Digest, 0, len(visible))
+		for _, c := range visible {
+			childDigests = append(childDigests, hashNode(c))
+		}
+		sort.Slice(childDigests, func(i, j int) bool {
+			return compareDigests(childDigests[i], childDigests[j]) < 0
+		})
+		var count [8]byte
+		binary.BigEndian.PutUint64(count[:], uint64(len(childDigests)))
+		h.Write(count[:])
+		for _, d := range childDigests {
+			h.Write(d[:])
+		}
+	}
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+func compareDigests(a, b Digest) int {
+	for i := 0; i < len(a); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two subtrees are structurally equal under
+// unordered semantics. It performs a complete recursive comparison
+// (no reliance on hashing), matching children greedily via canonical
+// sort, so it is suitable as the reference implementation in tests.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ka, kb := effectiveKind(a), effectiveKind(b)
+	if ka != kb {
+		return false
+	}
+	switch ka {
+	case TextNode:
+		return a.Text == b.Text
+	case ElementNode:
+		if a.Label != b.Label {
+			return false
+		}
+		if !attrsEqual(a.Attrs, b.Attrs) {
+			return false
+		}
+		ca := visibleChildren(a)
+		cb := visibleChildren(b)
+		if len(ca) != len(cb) {
+			return false
+		}
+		// Sort both child lists by canonical form and compare pairwise.
+		sa := sortByCanonical(ca)
+		sbb := sortByCanonical(cb)
+		for i := range sa {
+			if !Equal(sa[i], sbb[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func effectiveKind(n *Node) Kind { return n.Kind }
+
+// visibleChildren returns the children relevant to equivalence:
+// comments and PIs are dropped, and runs of adjacent text nodes are
+// merged into one (XML serialization cannot represent the boundary
+// between adjacent text nodes, so equivalence must not either).
+func visibleChildren(n *Node) []*Node {
+	var out []*Node
+	var pendingText *strings.Builder
+	flush := func() {
+		if pendingText != nil {
+			out = append(out, NewText(pendingText.String()))
+			pendingText = nil
+		}
+	}
+	for _, c := range n.Children {
+		switch c.Kind {
+		case CommentNode, ProcInstNode:
+			continue
+		case TextNode:
+			if pendingText == nil {
+				pendingText = &strings.Builder{}
+			}
+			pendingText.WriteString(c.Text)
+		default:
+			flush()
+			out = append(out, c)
+		}
+	}
+	flush()
+	return out
+}
+
+func attrsEqual(a, b []Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[string]string, len(a))
+	for _, x := range a {
+		am[x.Name] = x.Value
+	}
+	for _, y := range b {
+		v, ok := am[y.Name]
+		if !ok || v != y.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func sortByCanonical(nodes []*Node) []*Node {
+	out := make([]*Node, len(nodes))
+	copy(out, nodes)
+	keys := make([]string, len(out))
+	for i, n := range out {
+		keys[i] = Canonical(n)
+	}
+	sort.Sort(&byKey{nodes: out, keys: keys})
+	return out
+}
+
+type byKey struct {
+	nodes []*Node
+	keys  []string
+}
+
+func (s *byKey) Len() int           { return len(s.nodes) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,421 @@
+package xpath
+
+import (
+	"fmt"
+
+	"axml/internal/xmltree"
+)
+
+// Compiled is an executable XPath expression.
+type Compiled struct {
+	Source string
+	Root   Expr
+}
+
+func (c *Compiled) String() string { return c.Root.String() }
+
+// Context carries the dynamic evaluation state.
+type Context struct {
+	// Node is the context node.
+	Node *xmltree.Node
+	// Pos and Size are the 1-based context position and size, used by
+	// position() and last(). Zero values mean "1 of 1".
+	Pos, Size int
+	// Vars binds $variables. May be nil.
+	Vars map[string]Value
+}
+
+func (c *Context) position() float64 {
+	if c.Pos == 0 {
+		return 1
+	}
+	return float64(c.Pos)
+}
+
+func (c *Context) last() float64 {
+	if c.Size == 0 {
+		return 1
+	}
+	return float64(c.Size)
+}
+
+// EvalError reports a dynamic evaluation failure.
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *EvalError) Error() string { return fmt.Sprintf("xpath: eval %q: %s", e.Expr, e.Msg) }
+
+// Eval evaluates the expression in the given context.
+func (c *Compiled) Eval(ctx *Context) (Value, error) {
+	return evalExpr(c.Root, ctx)
+}
+
+// Select evaluates the expression and coerces the result to a node-set.
+// Non-node results yield an error.
+func (c *Compiled) Select(n *xmltree.Node) ([]*xmltree.Node, error) {
+	v, err := c.Eval(&Context{Node: n})
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := v.(NodeSet)
+	if !ok {
+		return nil, &EvalError{Expr: c.Source, Msg: fmt.Sprintf("expected node-set, got %T", v)}
+	}
+	return ns, nil
+}
+
+// EvalBool evaluates and coerces to boolean.
+func (c *Compiled) EvalBool(ctx *Context) (bool, error) {
+	v, err := c.Eval(ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool(), nil
+}
+
+// EvalString evaluates and coerces to string.
+func (c *Compiled) EvalString(ctx *Context) (string, error) {
+	v, err := c.Eval(ctx)
+	if err != nil {
+		return "", err
+	}
+	return v.Str(), nil
+}
+
+// EvalNumber evaluates and coerces to number.
+func (c *Compiled) EvalNumber(ctx *Context) (float64, error) {
+	v, err := c.Eval(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return v.Number(), nil
+}
+
+func evalExpr(e Expr, ctx *Context) (Value, error) {
+	switch v := e.(type) {
+	case NumberLit:
+		return Number(v), nil
+	case StringLit:
+		return String(v), nil
+	case VarRef:
+		if ctx.Vars == nil {
+			return nil, &EvalError{Expr: v.String(), Msg: "unbound variable"}
+		}
+		val, ok := ctx.Vars[string(v)]
+		if !ok {
+			return nil, &EvalError{Expr: v.String(), Msg: "unbound variable"}
+		}
+		return val, nil
+	case *NegExpr:
+		x, err := evalExpr(v.X, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Number(-x.Number()), nil
+	case *BinaryExpr:
+		return evalBinary(v, ctx)
+	case *UnionExpr:
+		var out NodeSet
+		seen := map[*xmltree.Node]bool{}
+		for _, pe := range v.Paths {
+			val, err := evalExpr(pe, ctx)
+			if err != nil {
+				return nil, err
+			}
+			ns, ok := val.(NodeSet)
+			if !ok {
+				return nil, &EvalError{Expr: pe.String(), Msg: "union operand is not a node-set"}
+			}
+			for _, n := range ns {
+				if !seen[n] {
+					seen[n] = true
+					out = append(out, n)
+				}
+			}
+		}
+		return out, nil
+	case *FuncCall:
+		return evalFunc(v, ctx)
+	case *PathExpr:
+		return evalPath(v, ctx)
+	default:
+		return nil, &EvalError{Expr: fmt.Sprintf("%T", e), Msg: "unknown expression type"}
+	}
+}
+
+func evalBinary(b *BinaryExpr, ctx *Context) (Value, error) {
+	switch b.Op {
+	case "or":
+		l, err := evalExpr(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if l.Bool() {
+			return Boolean(true), nil
+		}
+		r, err := evalExpr(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(r.Bool()), nil
+	case "and":
+		l, err := evalExpr(b.L, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !l.Bool() {
+			return Boolean(false), nil
+		}
+		r, err := evalExpr(b.R, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(r.Bool()), nil
+	}
+	l, err := evalExpr(b.L, ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalExpr(b.R, ctx)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return Boolean(compareValues(b.Op, l, r)), nil
+	case "+":
+		return Number(l.Number() + r.Number()), nil
+	case "-":
+		return Number(l.Number() - r.Number()), nil
+	case "*":
+		return Number(l.Number() * r.Number()), nil
+	case "div":
+		return Number(l.Number() / r.Number()), nil
+	case "mod":
+		return Number(modXPath(l.Number(), r.Number())), nil
+	default:
+		return nil, &EvalError{Expr: b.Op, Msg: "unknown operator"}
+	}
+}
+
+func modXPath(a, b float64) float64 {
+	// XPath mod follows the sign of the dividend (like Go's math.Mod).
+	q := a - b*trunc(a/b)
+	return q
+}
+
+func trunc(f float64) float64 {
+	if f < 0 {
+		return float64(int64(f))
+	}
+	return float64(int64(f))
+}
+
+func evalPath(p *PathExpr, ctx *Context) (Value, error) {
+	var current NodeSet
+	switch {
+	case p.Filter != nil:
+		v, err := evalExpr(p.Filter, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Steps) == 0 {
+			return v, nil
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, &EvalError{Expr: p.Filter.String(), Msg: "path start is not a node-set"}
+		}
+		current = ns
+	case p.Absolute:
+		if ctx.Node == nil {
+			return nil, &EvalError{Expr: p.String(), Msg: "no context node for absolute path"}
+		}
+		// XPath absolute paths start at the document node above the root
+		// element; the tree model has no such node, so synthesize one.
+		// Its Children slice references (does not adopt) the root.
+		root := ctx.Node.Root()
+		docNode := &xmltree.Node{
+			Kind:     xmltree.ElementNode,
+			Label:    "#document",
+			Children: []*xmltree.Node{root},
+		}
+		current = NodeSet{docNode}
+	default:
+		if ctx.Node == nil {
+			return nil, &EvalError{Expr: p.String(), Msg: "no context node for relative path"}
+		}
+		current = NodeSet{ctx.Node}
+	}
+	for _, step := range p.Steps {
+		next, err := applyStep(step, current, ctx)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+	}
+	return current, nil
+}
+
+// applyStep maps a node-set through one location step, preserving
+// first-visit order and removing duplicates.
+func applyStep(st Step, input NodeSet, ctx *Context) (NodeSet, error) {
+	var out NodeSet
+	seen := map[*xmltree.Node]bool{}
+	for _, n := range input {
+		candidates := axisNodes(st.Axis, n)
+		// candidates may alias the tree's own child slice; never mutate it.
+		matched := make([]*xmltree.Node, 0, len(candidates))
+		for _, c := range candidates {
+			if testMatches(st.Test, st.Axis, c) {
+				matched = append(matched, c)
+			}
+		}
+		filtered, err := applyPredicates(st.Preds, matched, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range filtered {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+func applyPredicates(preds []Expr, nodes []*xmltree.Node, outer *Context) ([]*xmltree.Node, error) {
+	current := nodes
+	for _, pred := range preds {
+		var kept []*xmltree.Node
+		size := len(current)
+		for i, n := range current {
+			pctx := &Context{Node: n, Pos: i + 1, Size: size, Vars: outer.Vars}
+			v, err := evalExpr(pred, pctx)
+			if err != nil {
+				return nil, err
+			}
+			// A numeric predicate selects by position.
+			if num, ok := v.(Number); ok {
+				if float64(i+1) == float64(num) {
+					kept = append(kept, n)
+				}
+				continue
+			}
+			if v.Bool() {
+				kept = append(kept, n)
+			}
+		}
+		current = kept
+	}
+	return current, nil
+}
+
+// axisNodes enumerates the nodes on the given axis from n, in document
+// order (reverse axes included — see package comment).
+func axisNodes(axis Axis, n *xmltree.Node) []*xmltree.Node {
+	switch axis {
+	case AxisChild:
+		return n.Children
+	case AxisDescendant:
+		var out []*xmltree.Node
+		for _, c := range n.Children {
+			c.Walk(func(m *xmltree.Node) bool {
+				out = append(out, m)
+				return true
+			})
+		}
+		return out
+	case AxisDescendantOrSelf:
+		var out []*xmltree.Node
+		n.Walk(func(m *xmltree.Node) bool {
+			out = append(out, m)
+			return true
+		})
+		return out
+	case AxisSelf:
+		return []*xmltree.Node{n}
+	case AxisParent:
+		if n.Parent == nil {
+			return nil
+		}
+		return []*xmltree.Node{n.Parent}
+	case AxisAncestor:
+		var out []*xmltree.Node
+		for p := n.Parent; p != nil; p = p.Parent {
+			out = append(out, p)
+		}
+		return out
+	case AxisAncestorOrSelf:
+		var out []*xmltree.Node
+		for p := n; p != nil; p = p.Parent {
+			out = append(out, p)
+		}
+		return out
+	case AxisAttribute:
+		if n.Kind != xmltree.ElementNode {
+			return nil
+		}
+		out := make([]*xmltree.Node, 0, len(n.Attrs))
+		for _, a := range n.Attrs {
+			out = append(out, &xmltree.Node{
+				Kind:   xmltree.AttrNode,
+				Label:  a.Name,
+				Text:   a.Value,
+				Parent: n,
+			})
+		}
+		return out
+	case AxisFollowingSibling:
+		if n.Parent == nil {
+			return nil
+		}
+		sibs := n.Parent.Children
+		for i, s := range sibs {
+			if s == n {
+				return sibs[i+1:]
+			}
+		}
+		return nil
+	case AxisPrecedingSibling:
+		if n.Parent == nil {
+			return nil
+		}
+		sibs := n.Parent.Children
+		for i, s := range sibs {
+			if s == n {
+				out := make([]*xmltree.Node, i)
+				copy(out, sibs[:i])
+				return out
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func testMatches(t NodeTest, axis Axis, n *xmltree.Node) bool {
+	switch t.Kind {
+	case TestNode:
+		return true
+	case TestText:
+		return n.Kind == xmltree.TextNode
+	case TestComment:
+		return n.Kind == xmltree.CommentNode
+	case TestWild:
+		if axis == AxisAttribute {
+			return n.Kind == xmltree.AttrNode
+		}
+		return n.Kind == xmltree.ElementNode
+	case TestName:
+		if axis == AxisAttribute {
+			return n.Kind == xmltree.AttrNode && n.Label == t.Name
+		}
+		return n.Kind == xmltree.ElementNode && n.Label == t.Name
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+package xpath
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"axml/internal/xmltree"
+)
+
+// evalFunc dispatches the XPath core function library.
+func evalFunc(f *FuncCall, ctx *Context) (Value, error) {
+	argn := func(want int) error {
+		if len(f.Args) != want {
+			return &EvalError{Expr: f.Name, Msg: fmt.Sprintf("takes %d argument(s), got %d", want, len(f.Args))}
+		}
+		return nil
+	}
+	eval := func(i int) (Value, error) { return evalExpr(f.Args[i], ctx) }
+
+	switch f.Name {
+	case "position":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Number(ctx.position()), nil
+	case "last":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Number(ctx.last()), nil
+	case "true":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Boolean(true), nil
+	case "false":
+		if err := argn(0); err != nil {
+			return nil, err
+		}
+		return Boolean(false), nil
+	case "not":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(!v.Bool()), nil
+	case "boolean":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(v.Bool()), nil
+	case "number":
+		if len(f.Args) == 0 {
+			return Number(stringToNumber(nodeStringValue(ctx.Node))), nil
+		}
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(v.Number()), nil
+	case "string":
+		if len(f.Args) == 0 {
+			return String(nodeStringValue(ctx.Node)), nil
+		}
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return String(v.Str()), nil
+	case "count":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, &EvalError{Expr: f.Name, Msg: "argument is not a node-set"}
+		}
+		return Number(len(ns)), nil
+	case "sum":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok {
+			return nil, &EvalError{Expr: f.Name, Msg: "argument is not a node-set"}
+		}
+		total := 0.0
+		for _, n := range ns {
+			total += stringToNumber(nodeStringValue(n))
+		}
+		return Number(total), nil
+	case "name", "local-name":
+		if len(f.Args) == 0 {
+			return String(nodeName(ctx.Node, f.Name == "local-name")), nil
+		}
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		ns, ok := v.(NodeSet)
+		if !ok || len(ns) == 0 {
+			return String(""), nil
+		}
+		return String(nodeName(ns[0], f.Name == "local-name")), nil
+	case "concat":
+		if len(f.Args) < 2 {
+			return nil, &EvalError{Expr: f.Name, Msg: "takes at least 2 arguments"}
+		}
+		var sb strings.Builder
+		for i := range f.Args {
+			v, err := eval(i)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(v.Str())
+		}
+		return String(sb.String()), nil
+	case "contains":
+		if err := argn(2); err != nil {
+			return nil, err
+		}
+		a, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := eval(1)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(strings.Contains(a.Str(), b.Str())), nil
+	case "starts-with":
+		if err := argn(2); err != nil {
+			return nil, err
+		}
+		a, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := eval(1)
+		if err != nil {
+			return nil, err
+		}
+		return Boolean(strings.HasPrefix(a.Str(), b.Str())), nil
+	case "substring":
+		if len(f.Args) != 2 && len(f.Args) != 3 {
+			return nil, &EvalError{Expr: f.Name, Msg: "takes 2 or 3 arguments"}
+		}
+		sv, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		startV, err := eval(1)
+		if err != nil {
+			return nil, err
+		}
+		s := []rune(sv.Str())
+		// XPath substring is 1-based with round() semantics.
+		start := int(math.Round(startV.Number()))
+		end := len(s) + 1
+		if len(f.Args) == 3 {
+			lenV, err := eval(2)
+			if err != nil {
+				return nil, err
+			}
+			end = start + int(math.Round(lenV.Number()))
+		}
+		if start < 1 {
+			start = 1
+		}
+		if end > len(s)+1 {
+			end = len(s) + 1
+		}
+		if start >= end {
+			return String(""), nil
+		}
+		return String(string(s[start-1 : end-1])), nil
+	case "substring-before", "substring-after":
+		if err := argn(2); err != nil {
+			return nil, err
+		}
+		a, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := eval(1)
+		if err != nil {
+			return nil, err
+		}
+		idx := strings.Index(a.Str(), b.Str())
+		if idx < 0 {
+			return String(""), nil
+		}
+		if f.Name == "substring-before" {
+			return String(a.Str()[:idx]), nil
+		}
+		return String(a.Str()[idx+len(b.Str()):]), nil
+	case "string-length":
+		if len(f.Args) == 0 {
+			return Number(len([]rune(nodeStringValue(ctx.Node)))), nil
+		}
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(len([]rune(v.Str()))), nil
+	case "normalize-space":
+		var s string
+		if len(f.Args) == 0 {
+			s = nodeStringValue(ctx.Node)
+		} else {
+			if err := argn(1); err != nil {
+				return nil, err
+			}
+			v, err := eval(0)
+			if err != nil {
+				return nil, err
+			}
+			s = v.Str()
+		}
+		return String(strings.Join(strings.Fields(s), " ")), nil
+	case "floor":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(math.Floor(v.Number())), nil
+	case "ceiling":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(math.Ceil(v.Number())), nil
+	case "round":
+		if err := argn(1); err != nil {
+			return nil, err
+		}
+		v, err := eval(0)
+		if err != nil {
+			return nil, err
+		}
+		return Number(math.Round(v.Number())), nil
+	default:
+		return nil, &EvalError{Expr: f.Name, Msg: "unknown function"}
+	}
+}
+
+func nodeName(n *xmltree.Node, local bool) string {
+	if n == nil {
+		return ""
+	}
+	name := ""
+	switch n.Kind {
+	case xmltree.ElementNode, xmltree.AttrNode, xmltree.ProcInstNode:
+		name = n.Label
+	}
+	if local {
+		if i := strings.LastIndexByte(name, ':'); i >= 0 {
+			return name[i+1:]
+		}
+	}
+	return name
+}

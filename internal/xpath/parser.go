@@ -1,0 +1,479 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Compile parses an XPath expression into an executable form.
+func Compile(src string) (*Compiled, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, tokens: tokens}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected %s", p.cur().kind)
+	}
+	return &Compiled{Source: src, Root: e}, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and constants.
+func MustCompile(src string) *Compiled {
+	c, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type parser struct {
+	src    string
+	tokens []token
+	pos    int
+}
+
+func (p *parser) cur() token  { return p.tokens[p.pos] }
+func (p *parser) next() token { t := p.tokens[p.pos]; p.pos++; return t }
+
+func (p *parser) accept(kind tokenKind) bool {
+	if p.cur().kind == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind) error {
+	if !p.accept(kind) {
+		return p.errf("expected %s, found %s", kind, p.cur().kind)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Expr: p.src, Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// acceptKeyword consumes an identifier token with the given text when
+// it appears in operator position.
+func (p *parser) acceptKeyword(word string) bool {
+	if p.cur().kind == tokIdent && p.cur().text == word {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// Expr := OrExpr
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		r, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseEquality() (Expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokEq:
+			op = "="
+		case tokNeq:
+			op = "!="
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokLt:
+			op = "<"
+		case tokLe:
+			op = "<="
+		case tokGt:
+			op = ">"
+		case tokGe:
+			op = ">="
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.cur().kind == tokStar:
+			op = "*"
+		case p.cur().kind == tokIdent && p.cur().text == "div":
+			op = "div"
+		case p.cur().kind == tokIdent && p.cur().text == "mod":
+			op = "mod"
+		default:
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(tokMinus) {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NegExpr{X: x}, nil
+	}
+	return p.parseUnion()
+}
+
+func (p *parser) parseUnion() (Expr, error) {
+	l, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokPipe {
+		return l, nil
+	}
+	u := &UnionExpr{Paths: []Expr{l}}
+	for p.accept(tokPipe) {
+		r, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		u.Paths = append(u.Paths, r)
+	}
+	return u, nil
+}
+
+// parsePath parses [primary] [/ steps] | absolute path | relative path.
+func (p *parser) parsePath() (Expr, error) {
+	switch p.cur().kind {
+	case tokSlash:
+		p.pos++
+		pe := &PathExpr{Absolute: true}
+		if p.startsStep() {
+			if err := p.parseSteps(pe); err != nil {
+				return nil, err
+			}
+		}
+		return pe, nil
+	case tokSlashSlash:
+		p.pos++
+		pe := &PathExpr{Absolute: true}
+		pe.Steps = append(pe.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+		if err := p.parseSteps(pe); err != nil {
+			return nil, err
+		}
+		return pe, nil
+	}
+
+	// Primary expression start? (literal, number, variable, '(' or
+	// function call). A function call is ident followed by '(' — but
+	// node-test keywords text/node/comment are handled in steps.
+	if prim, ok, err := p.tryParsePrimary(); err != nil {
+		return nil, err
+	} else if ok {
+		pe := &PathExpr{Filter: prim}
+		for {
+			if p.cur().kind == tokSlash {
+				p.pos++
+			} else if p.cur().kind == tokSlashSlash {
+				p.pos++
+				pe.Steps = append(pe.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+			} else {
+				break
+			}
+			st, err := p.parseStep()
+			if err != nil {
+				return nil, err
+			}
+			pe.Steps = append(pe.Steps, st)
+		}
+		if len(pe.Steps) == 0 {
+			return prim, nil
+		}
+		return pe, nil
+	}
+
+	// Relative location path.
+	pe := &PathExpr{}
+	if err := p.parseSteps(pe); err != nil {
+		return nil, err
+	}
+	return pe, nil
+}
+
+func (p *parser) parseSteps(pe *PathExpr) error {
+	st, err := p.parseStep()
+	if err != nil {
+		return err
+	}
+	pe.Steps = append(pe.Steps, st)
+	for {
+		if p.cur().kind == tokSlash {
+			p.pos++
+		} else if p.cur().kind == tokSlashSlash {
+			p.pos++
+			pe.Steps = append(pe.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+		} else {
+			return nil
+		}
+		st, err := p.parseStep()
+		if err != nil {
+			return err
+		}
+		pe.Steps = append(pe.Steps, st)
+	}
+}
+
+// startsStep reports whether the current token can begin a location step.
+func (p *parser) startsStep() bool {
+	switch p.cur().kind {
+	case tokIdent, tokStar, tokAt, tokDot, tokDotDot:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseStep() (Step, error) {
+	switch p.cur().kind {
+	case tokDot:
+		p.pos++
+		return Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}}, nil
+	case tokDotDot:
+		p.pos++
+		return Step{Axis: AxisParent, Test: NodeTest{Kind: TestNode}}, nil
+	case tokAt:
+		p.pos++
+		test, err := p.parseNodeTest()
+		if err != nil {
+			return Step{}, err
+		}
+		st := Step{Axis: AxisAttribute, Test: test}
+		return p.parsePredicates(st)
+	case tokIdent:
+		// axis::… ?
+		if p.pos+1 < len(p.tokens) && p.tokens[p.pos+1].kind == tokAxis {
+			axName := p.cur().text
+			ax, ok := axisNames[axName]
+			if !ok {
+				return Step{}, p.errf("unknown axis %q", axName)
+			}
+			p.pos += 2
+			test, err := p.parseNodeTest()
+			if err != nil {
+				return Step{}, err
+			}
+			return p.parsePredicates(Step{Axis: ax, Test: test})
+		}
+		test, err := p.parseNodeTest()
+		if err != nil {
+			return Step{}, err
+		}
+		return p.parsePredicates(Step{Axis: AxisChild, Test: test})
+	case tokStar:
+		p.pos++
+		return p.parsePredicates(Step{Axis: AxisChild, Test: NodeTest{Kind: TestWild}})
+	default:
+		return Step{}, p.errf("expected location step, found %s", p.cur().kind)
+	}
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	if p.accept(tokStar) {
+		return NodeTest{Kind: TestWild}, nil
+	}
+	if p.cur().kind != tokIdent {
+		return NodeTest{}, p.errf("expected node test, found %s", p.cur().kind)
+	}
+	name := p.next().text
+	// text() / node() / comment()
+	if p.cur().kind == tokLParen {
+		switch name {
+		case "text", "node", "comment":
+			p.pos++
+			if err := p.expect(tokRParen); err != nil {
+				return NodeTest{}, err
+			}
+			switch name {
+			case "text":
+				return NodeTest{Kind: TestText}, nil
+			case "node":
+				return NodeTest{Kind: TestNode}, nil
+			default:
+				return NodeTest{Kind: TestComment}, nil
+			}
+		default:
+			return NodeTest{}, p.errf("function %q cannot be used as a node test", name)
+		}
+	}
+	return NodeTest{Kind: TestName, Name: name}, nil
+}
+
+func (p *parser) parsePredicates(st Step) (Step, error) {
+	for p.accept(tokLBracket) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return Step{}, err
+		}
+		if err := p.expect(tokRBracket); err != nil {
+			return Step{}, err
+		}
+		st.Preds = append(st.Preds, e)
+	}
+	return st, nil
+}
+
+// tryParsePrimary recognizes primary expressions that can start a
+// filter path: literals, numbers, variables, parenthesized expressions
+// and function calls. It returns ok=false when the tokens should be
+// parsed as a relative location path instead.
+func (p *parser) tryParsePrimary() (Expr, bool, error) {
+	switch p.cur().kind {
+	case tokString:
+		t := p.next()
+		return StringLit(t.text), true, nil
+	case tokNumber:
+		t := p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, false, p.errf("bad number %q", t.text)
+		}
+		return NumberLit(v), true, nil
+	case tokDollar:
+		p.pos++
+		if p.cur().kind != tokIdent {
+			return nil, false, p.errf("expected variable name after '$'")
+		}
+		return VarRef(p.next().text), true, nil
+	case tokLParen:
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, false, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, false, err
+		}
+		return e, true, nil
+	case tokIdent:
+		name := p.cur().text
+		// Function call (but not node-test keywords).
+		if p.pos+1 < len(p.tokens) && p.tokens[p.pos+1].kind == tokLParen {
+			switch name {
+			case "text", "node", "comment":
+				return nil, false, nil // node test, not a function
+			}
+			p.pos += 2 // name and '('
+			fc := &FuncCall{Name: name}
+			if p.cur().kind != tokRParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, false, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.accept(tokComma) {
+						break
+					}
+				}
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, false, err
+			}
+			return fc, true, nil
+		}
+		return nil, false, nil
+	default:
+		return nil, false, nil
+	}
+}

@@ -1,0 +1,175 @@
+package xpath
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"axml/internal/xmltree"
+)
+
+// Value is the XPath 1.0 value domain: node-set, boolean, number, string.
+type Value interface {
+	// Bool converts the value per the boolean() rules.
+	Bool() bool
+	// Number converts the value per the number() rules.
+	Number() float64
+	// Str converts the value per the string() rules.
+	Str() string
+}
+
+// NodeSet is an ordered, duplicate-free set of nodes (first-visit order
+// acts as document order in this engine).
+type NodeSet []*xmltree.Node
+
+// Bool reports whether the node-set is non-empty.
+func (ns NodeSet) Bool() bool { return len(ns) > 0 }
+
+// Number converts the string-value of the first node.
+func (ns NodeSet) Number() float64 { return stringToNumber(ns.Str()) }
+
+// Str returns the string-value of the first node, or "".
+func (ns NodeSet) Str() string {
+	if len(ns) == 0 {
+		return ""
+	}
+	return nodeStringValue(ns[0])
+}
+
+// Boolean is an XPath boolean.
+type Boolean bool
+
+func (b Boolean) Bool() bool { return bool(b) }
+
+// Number converts true→1, false→0.
+func (b Boolean) Number() float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (b Boolean) Str() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Number is an XPath number (IEEE 754 double).
+type Number float64
+
+// Bool reports whether the number is neither zero nor NaN.
+func (n Number) Bool() bool { return float64(n) != 0 && !math.IsNaN(float64(n)) }
+
+func (n Number) Number() float64 { return float64(n) }
+
+func (n Number) Str() string { return formatNumber(float64(n)) }
+
+// String is an XPath string.
+type String string
+
+// Bool reports whether the string is non-empty.
+func (s String) Bool() bool { return len(s) > 0 }
+
+func (s String) Number() float64 { return stringToNumber(string(s)) }
+
+func (s String) Str() string { return string(s) }
+
+// nodeStringValue implements the XPath string-value of a node.
+func nodeStringValue(n *xmltree.Node) string { return n.TextContent() }
+
+func stringToNumber(s string) float64 {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return math.NaN()
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// formatNumber renders a float per XPath string() rules: integers have
+// no decimal point, NaN is "NaN", infinities are "Infinity".
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// compareValues implements XPath comparison semantics including the
+// existential rules for node-sets.
+func compareValues(op string, a, b Value) bool {
+	nsA, aIsNS := a.(NodeSet)
+	nsB, bIsNS := b.(NodeSet)
+	switch {
+	case aIsNS && bIsNS:
+		for _, x := range nsA {
+			for _, y := range nsB {
+				if cmpAtomic(op, String(nodeStringValue(x)), String(nodeStringValue(y))) {
+					return true
+				}
+			}
+		}
+		return false
+	case aIsNS:
+		for _, x := range nsA {
+			if cmpAtomic(op, String(nodeStringValue(x)), b) {
+				return true
+			}
+		}
+		return false
+	case bIsNS:
+		for _, y := range nsB {
+			if cmpAtomic(op, a, String(nodeStringValue(y))) {
+				return true
+			}
+		}
+		return false
+	default:
+		return cmpAtomic(op, a, b)
+	}
+}
+
+// cmpAtomic compares two non-node-set values.
+func cmpAtomic(op string, a, b Value) bool {
+	switch op {
+	case "=", "!=":
+		var eq bool
+		switch {
+		case isBool(a) || isBool(b):
+			eq = a.Bool() == b.Bool()
+		case isNumber(a) || isNumber(b):
+			eq = a.Number() == b.Number()
+		default:
+			eq = a.Str() == b.Str()
+		}
+		if op == "=" {
+			return eq
+		}
+		return !eq
+	case "<":
+		return a.Number() < b.Number()
+	case "<=":
+		return a.Number() <= b.Number()
+	case ">":
+		return a.Number() > b.Number()
+	case ">=":
+		return a.Number() >= b.Number()
+	}
+	return false
+}
+
+func isBool(v Value) bool   { _, ok := v.(Boolean); return ok }
+func isNumber(v Value) bool { _, ok := v.(Number); return ok }

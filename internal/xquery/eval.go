@@ -1,0 +1,387 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"axml/internal/xmltree"
+	"axml/internal/xpath"
+)
+
+// DocResolver resolves a document name to its root. Peers install
+// their document stores here; the gendoc package installs pickDoc
+// resolution for generic documents.
+type DocResolver func(name string) (*xmltree.Node, error)
+
+// Env is the dynamic environment of a query evaluation.
+type Env struct {
+	// Resolve resolves doc("name") references. May be nil if the query
+	// references no documents.
+	Resolve DocResolver
+}
+
+// EvalError reports a dynamic query failure.
+type EvalError struct {
+	Msg string
+}
+
+func (e *EvalError) Error() string { return "xquery: " + e.Msg }
+
+func errf(format string, args ...any) error {
+	return &EvalError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Eval evaluates the query with the given positional arguments (one
+// forest per declared parameter) and returns the result forest. The
+// result trees are freshly constructed (or deep-copied) — they share
+// no structure with the queried documents.
+func (q *Query) Eval(env *Env, args ...[]*xmltree.Node) ([]*xmltree.Node, error) {
+	if len(args) != len(q.Params) {
+		return nil, errf("query takes %d parameter(s), got %d", len(q.Params), len(args))
+	}
+	ctx := &evalCtx{env: env, vars: map[string]xpath.Value{}}
+	for i, p := range q.Params {
+		ctx.vars[p] = xpath.NodeSet(args[i])
+	}
+	return evalToForest(q.Body, ctx)
+}
+
+// EvalValue evaluates the query body to an XPath value rather than a
+// forest; used for scalar queries (counts, predicates).
+func (q *Query) EvalValue(env *Env, args ...[]*xmltree.Node) (xpath.Value, error) {
+	if len(args) != len(q.Params) {
+		return nil, errf("query takes %d parameter(s), got %d", len(q.Params), len(args))
+	}
+	ctx := &evalCtx{env: env, vars: map[string]xpath.Value{}}
+	for i, p := range q.Params {
+		ctx.vars[p] = xpath.NodeSet(args[i])
+	}
+	return evalToValue(q.Body, ctx)
+}
+
+type evalCtx struct {
+	env  *Env
+	vars map[string]xpath.Value
+}
+
+func (c *evalCtx) child() *evalCtx {
+	vars := make(map[string]xpath.Value, len(c.vars)+2)
+	for k, v := range c.vars {
+		vars[k] = v
+	}
+	return &evalCtx{env: c.env, vars: vars}
+}
+
+// bindDocs resolves the doc() references of a path and binds their
+// synthetic variables.
+func (c *evalCtx) bindDocs(p *Path) error {
+	for _, name := range p.Docs {
+		key := docVarPrefix + name
+		if _, done := c.vars[key]; done {
+			continue
+		}
+		if c.env == nil || c.env.Resolve == nil {
+			return errf("query references doc(%q) but no document resolver is configured", name)
+		}
+		root, err := c.env.Resolve(name)
+		if err != nil {
+			return fmt.Errorf("xquery: resolving doc(%q): %w", name, err)
+		}
+		c.vars[key] = xpath.NodeSet{root}
+	}
+	return nil
+}
+
+// evalToValue evaluates an expression to an XPath value.
+func evalToValue(e Expr, ctx *evalCtx) (xpath.Value, error) {
+	switch v := e.(type) {
+	case *Path:
+		if err := ctx.bindDocs(v); err != nil {
+			return nil, err
+		}
+		val, err := xpathEval(v.X, ctx.vars)
+		if err != nil {
+			return nil, err
+		}
+		return val, nil
+	case TextLit:
+		return xpath.String(v), nil
+	case *Elem, *FLWR, *Seq:
+		forest, err := evalToForest(e, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return xpath.NodeSet(forest), nil
+	default:
+		return nil, errf("unknown expression type %T", e)
+	}
+}
+
+// evalToForest evaluates an expression to a forest of trees.
+func evalToForest(e Expr, ctx *evalCtx) ([]*xmltree.Node, error) {
+	switch v := e.(type) {
+	case *FLWR:
+		return evalFLWR(v, ctx)
+	case *Elem:
+		n, err := evalElem(v, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return []*xmltree.Node{n}, nil
+	case *Seq:
+		var out []*xmltree.Node
+		for _, item := range v.Items {
+			f, err := evalToForest(item, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, f...)
+		}
+		return out, nil
+	case TextLit:
+		return []*xmltree.Node{xmltree.NewText(string(v))}, nil
+	case *Path:
+		val, err := evalToValue(v, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return materialize(val), nil
+	default:
+		return nil, errf("unknown expression type %T", e)
+	}
+}
+
+// materialize converts an XPath value to a forest: node-sets are
+// deep-copied, scalars become text nodes.
+func materialize(v xpath.Value) []*xmltree.Node {
+	switch x := v.(type) {
+	case xpath.NodeSet:
+		out := make([]*xmltree.Node, 0, len(x))
+		for _, n := range x {
+			if n.Kind == xmltree.AttrNode {
+				out = append(out, xmltree.NewText(n.Text))
+				continue
+			}
+			out = append(out, xmltree.DeepCopy(n))
+		}
+		return out
+	default:
+		return []*xmltree.Node{xmltree.NewText(v.Str())}
+	}
+}
+
+func xpathEval(e xpath.Expr, vars map[string]xpath.Value) (xpath.Value, error) {
+	c := &xpath.Compiled{Source: e.String(), Root: e}
+	return c.Eval(&xpath.Context{Vars: vars})
+}
+
+func evalFLWR(f *FLWR, ctx *evalCtx) ([]*xmltree.Node, error) {
+	var tuples []*evalCtx
+	// Expand clauses depth-first to produce the tuple stream.
+	var expand func(i int, cur *evalCtx) error
+	expand = func(i int, cur *evalCtx) error {
+		if i == len(f.Clauses) {
+			if f.Where != nil {
+				v, err := evalToValue(f.Where, cur)
+				if err != nil {
+					return err
+				}
+				if !v.Bool() {
+					return nil
+				}
+			}
+			tuples = append(tuples, cur)
+			return nil
+		}
+		switch cl := f.Clauses[i].(type) {
+		case ForClause:
+			val, err := evalToValue(cl.Source, cur)
+			if err != nil {
+				return err
+			}
+			ns, ok := val.(xpath.NodeSet)
+			if !ok {
+				return errf("for $%s: source is not a node sequence (got %T)", cl.Var, val)
+			}
+			for _, n := range ns {
+				next := cur.child()
+				next.vars[cl.Var] = xpath.NodeSet{n}
+				if err := expand(i+1, next); err != nil {
+					return err
+				}
+			}
+			return nil
+		case LetClause:
+			val, err := evalToValue(cl.Source, cur)
+			if err != nil {
+				return err
+			}
+			next := cur.child()
+			next.vars[cl.Var] = val
+			return expand(i+1, next)
+		default:
+			return errf("unknown clause type %T", cl)
+		}
+	}
+	if err := expand(0, ctx); err != nil {
+		return nil, err
+	}
+
+	if f.Order != nil {
+		keys := make([]xpath.Value, len(tuples))
+		for i, tup := range tuples {
+			k, err := evalToValue(f.Order.Key, tup)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = k
+		}
+		numeric := true
+		for _, k := range keys {
+			if math.IsNaN(k.Number()) {
+				numeric = false
+				break
+			}
+		}
+		idx := make([]int, len(tuples))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(i, j int) bool {
+			a, b := idx[i], idx[j]
+			if f.Order.Descending {
+				if numeric {
+					return keys[a].Number() > keys[b].Number()
+				}
+				return keys[a].Str() > keys[b].Str()
+			}
+			if numeric {
+				return keys[a].Number() < keys[b].Number()
+			}
+			return keys[a].Str() < keys[b].Str()
+		})
+		sorted := make([]*evalCtx, len(tuples))
+		for i, j := range idx {
+			sorted[i] = tuples[j]
+		}
+		tuples = sorted
+	}
+
+	var out []*xmltree.Node
+	for _, tup := range tuples {
+		f, err := evalToForest(f.Return, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+func evalElem(e *Elem, ctx *evalCtx) (*xmltree.Node, error) {
+	n := xmltree.NewElement(e.Label)
+	for _, a := range e.Attrs {
+		if a.Computed == nil {
+			n.SetAttr(a.Name, a.Literal)
+			continue
+		}
+		v, err := evalToValue(a.Computed, ctx)
+		if err != nil {
+			return nil, fmt.Errorf("xquery: attribute %q: %w", a.Name, err)
+		}
+		n.SetAttr(a.Name, v.Str())
+	}
+	for _, c := range e.Content {
+		if t, ok := c.(TextLit); ok {
+			n.AppendChild(xmltree.NewText(string(t)))
+			continue
+		}
+		forest, err := evalToForest(c, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, child := range forest {
+			n.AppendChild(child)
+		}
+	}
+	return n, nil
+}
+
+// DocRefs returns the names of all documents the query references via
+// doc("name"), in first-occurrence order.
+func (q *Query) DocRefs() []string {
+	var out []string
+	seen := map[string]bool{}
+	var walkX func(e xpath.Expr)
+	walkX = func(e xpath.Expr) {
+		switch v := e.(type) {
+		case xpath.VarRef:
+			if name, ok := strings.CutPrefix(string(v), docVarPrefix); ok && !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		case *xpath.PathExpr:
+			if v.Filter != nil {
+				walkX(v.Filter)
+			}
+			for _, s := range v.Steps {
+				for _, p := range s.Preds {
+					walkX(p)
+				}
+			}
+		case *xpath.BinaryExpr:
+			walkX(v.L)
+			walkX(v.R)
+		case *xpath.UnionExpr:
+			for _, p := range v.Paths {
+				walkX(p)
+			}
+		case *xpath.NegExpr:
+			walkX(v.X)
+		case *xpath.FuncCall:
+			for _, a := range v.Args {
+				walkX(a)
+			}
+		}
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *Path:
+			walkX(v.X)
+		case *FLWR:
+			for _, c := range v.Clauses {
+				switch cl := c.(type) {
+				case ForClause:
+					walk(cl.Source)
+				case LetClause:
+					walk(cl.Source)
+				}
+			}
+			if v.Where != nil {
+				walk(v.Where)
+			}
+			if v.Order != nil {
+				walk(v.Order.Key)
+			}
+			walk(v.Return)
+		case *Elem:
+			for _, a := range v.Attrs {
+				if a.Computed != nil {
+					walk(a.Computed)
+				}
+			}
+			for _, c := range v.Content {
+				walk(c)
+			}
+		case *Seq:
+			for _, it := range v.Items {
+				walk(it)
+			}
+		}
+	}
+	walk(q.Body)
+	return out
+}

@@ -1,0 +1,157 @@
+package xquery
+
+import (
+	"axml/internal/xmltree"
+	"axml/internal/xpath"
+)
+
+// Continuous query evaluation (paper §2.2: "all services are
+// continuous"; §3.2: definition (2) generalized to streams). Two
+// strategies are provided:
+//
+//   - Recompute: re-evaluate the whole query on every input change and
+//     diff against the already-emitted multiset (the baseline).
+//   - DeltaFor: for single-for queries, evaluate the body only for
+//     source nodes not seen before (incremental evaluation; sound for
+//     the monotone, insertion-only streams of Positive AXML).
+//
+// Experiment E7 compares the two.
+
+// Recompute is the diff-based continuous evaluator.
+type Recompute struct {
+	q    *Query
+	env  *Env
+	args [][]*xmltree.Node
+	seen map[xmltree.Digest]int
+}
+
+// NewRecompute creates a continuous evaluator over fixed arguments.
+// The underlying documents (reached through env's resolver) may change
+// between Delta calls.
+func NewRecompute(q *Query, env *Env, args ...[]*xmltree.Node) *Recompute {
+	return &Recompute{q: q, env: env, args: args, seen: map[xmltree.Digest]int{}}
+}
+
+// Delta re-evaluates the query and returns only results not emitted
+// before (multiset semantics: if a result tree now occurs more often
+// than previously emitted, the extra occurrences are returned).
+func (r *Recompute) Delta() ([]*xmltree.Node, error) {
+	full, err := r.q.Eval(r.env, r.args...)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[xmltree.Digest]int{}
+	var out []*xmltree.Node
+	for _, n := range full {
+		d := xmltree.Hash(n)
+		counts[d]++
+		if counts[d] > r.seen[d] {
+			out = append(out, n)
+		}
+	}
+	for d, c := range counts {
+		if c > r.seen[d] {
+			r.seen[d] = c
+		}
+	}
+	return out, nil
+}
+
+// DeltaFor is the incremental evaluator for single-for queries: it
+// tracks which source nodes have been processed and evaluates the
+// where/return only for new ones. It requires the query body to be a
+// FLWR whose first clause is the only for clause, ranging over a path
+// (additional let clauses are allowed; additional for clauses are not).
+type DeltaFor struct {
+	env     *Env
+	forVar  string
+	source  *Path
+	rest    *FLWR // body with the leading for clause removed
+	visited map[*xmltree.Node]bool
+}
+
+// NewDeltaFor creates the incremental evaluator. ok is false when the
+// query shape is unsupported (fall back to Recompute).
+func NewDeltaFor(q *Query, env *Env) (*DeltaFor, bool) {
+	f, isFLWR := q.Body.(*FLWR)
+	if !isFLWR || len(q.Params) != 0 {
+		return nil, false
+	}
+	forCount := 0
+	var first ForClause
+	for _, c := range f.Clauses {
+		if fc, isFor := c.(ForClause); isFor {
+			forCount++
+			first = fc
+		}
+	}
+	if forCount != 1 {
+		return nil, false
+	}
+	if _, isFirst := f.Clauses[0].(ForClause); !isFirst {
+		return nil, false
+	}
+	src, isPath := first.Source.(*Path)
+	if !isPath {
+		return nil, false
+	}
+	rest := &FLWR{
+		Clauses: f.Clauses[1:],
+		Where:   f.Where,
+		Order:   f.Order,
+		Return:  f.Return,
+	}
+	return &DeltaFor{
+		env:     env,
+		forVar:  first.Var,
+		source:  src,
+		rest:    rest,
+		visited: map[*xmltree.Node]bool{},
+	}, true
+}
+
+// Delta evaluates the query body for source nodes that appeared since
+// the previous call and returns the corresponding results.
+func (d *DeltaFor) Delta() ([]*xmltree.Node, error) {
+	ctx := &evalCtx{env: d.env, vars: map[string]xpath.Value{}}
+	val, err := evalToValue(d.source, ctx)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := val.(xpath.NodeSet)
+	if !ok {
+		return nil, errf("for $%s: source is not a node sequence", d.forVar)
+	}
+	var out []*xmltree.Node
+	for _, n := range ns {
+		if d.visited[n] {
+			continue
+		}
+		d.visited[n] = true
+		tup := ctx.child()
+		tup.vars[d.forVar] = xpath.NodeSet{n}
+		if len(d.rest.Clauses) == 0 && d.rest.Order == nil {
+			if d.rest.Where != nil {
+				v, err := evalToValue(d.rest.Where, tup)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					continue
+				}
+			}
+			forest, err := evalToForest(d.rest.Return, tup)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, forest...)
+			continue
+		}
+		forest, err := evalFLWR(d.rest, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, forest...)
+	}
+	return out, nil
+}

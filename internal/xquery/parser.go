@@ -1,0 +1,674 @@
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"axml/internal/xpath"
+)
+
+// docVarPrefix is the prefix of synthetic variables that stand for
+// doc("name") references after parsing.
+const docVarPrefix = "#doc:"
+
+// ParseError reports a query syntax error.
+type ParseError struct {
+	Src string
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xquery: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a query:
+//
+//	[param $a, $b;] expr
+//
+// where expr is a FLWR expression, an element constructor, or an XPath
+// expression (with doc("name") document references).
+func Parse(src string) (*Query, error) {
+	stripped, err := stripComments(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{src: stripped}
+	q := &Query{}
+	p.skipWS()
+	if p.peekWord() == "param" {
+		p.readWord()
+		for {
+			p.skipWS()
+			if !p.consume('$') {
+				return nil, p.errf("expected '$' in parameter list")
+			}
+			name := p.readName()
+			if name == "" {
+				return nil, p.errf("expected parameter name")
+			}
+			q.Params = append(q.Params, name)
+			p.skipWS()
+			if p.consume(',') {
+				continue
+			}
+			if p.consume(';') {
+				break
+			}
+			return nil, p.errf("expected ',' or ';' in parameter list")
+		}
+	}
+	body, err := p.parseExpr(stopSet{})
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input %q", truncate(p.src[p.pos:], 30))
+	}
+	q.Body = body
+	return q, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// stripComments removes (: ... :) comments (nested per XQuery).
+func stripComments(src string) (string, error) {
+	var sb strings.Builder
+	depth := 0
+	i := 0
+	for i < len(src) {
+		if i+1 < len(src) && src[i] == '(' && src[i+1] == ':' {
+			depth++
+			i += 2
+			continue
+		}
+		if i+1 < len(src) && src[i] == ':' && src[i+1] == ')' {
+			if depth == 0 {
+				return "", &ParseError{Src: src, Pos: i, Msg: "unmatched comment close ':)'"}
+			}
+			depth--
+			i += 2
+			continue
+		}
+		if depth == 0 {
+			sb.WriteByte(src[i])
+		}
+		i++
+	}
+	if depth != 0 {
+		return "", &ParseError{Src: src, Pos: len(src), Msg: "unterminated comment"}
+	}
+	return sb.String(), nil
+}
+
+// stopSet describes where an embedded XPath span ends: at any of the
+// keywords (as whole words at nesting depth 0), at a top-level comma,
+// or at a top-level closing brace.
+type stopSet struct {
+	words  map[string]bool
+	comma  bool
+	rbrace bool
+}
+
+func stops(words ...string) stopSet {
+	m := make(map[string]bool, len(words))
+	for _, w := range words {
+		m[w] = true
+	}
+	return stopSet{words: m}
+}
+
+func (s stopSet) withComma() stopSet  { s2 := s; s2.comma = true; return s2 }
+func (s stopSet) withRBrace() stopSet { s2 := s; s2.rbrace = true; return s2 }
+
+var flwrKeywords = []string{"for", "let", "where", "order", "return", "stable"}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &ParseError{Src: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *qparser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *qparser) peekAt(off int) byte {
+	if p.pos+off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos+off]
+}
+
+func (p *qparser) consume(c byte) bool {
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordChar(c byte) bool {
+	return isWordStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.'
+}
+
+// peekWord returns the identifier at the cursor without consuming it.
+func (p *qparser) peekWord() string {
+	i := p.pos
+	if i >= len(p.src) || !isWordStart(p.src[i]) {
+		return ""
+	}
+	j := i
+	for j < len(p.src) && isWordChar(p.src[j]) {
+		j++
+	}
+	return p.src[i:j]
+}
+
+func (p *qparser) readWord() string {
+	w := p.peekWord()
+	p.pos += len(w)
+	return w
+}
+
+func (p *qparser) readName() string {
+	start := p.pos
+	for p.pos < len(p.src) && isWordChar(p.src[p.pos]) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// parseExpr parses a full query expression: FLWR, constructor, or
+// XPath span, bounded by the given stop set.
+func (p *qparser) parseExpr(stop stopSet) (Expr, error) {
+	p.skipWS()
+	switch {
+	case p.peekWord() == "for" || p.peekWord() == "let":
+		return p.parseFLWR(stop)
+	case p.peek() == '<' && isWordStart(p.peekAt(1)):
+		return p.parseConstructor()
+	default:
+		return p.parsePathSpan(stop)
+	}
+}
+
+func (p *qparser) parseFLWR(stop stopSet) (Expr, error) {
+	f := &FLWR{}
+	clauseStops := stops(flwrKeywords...).withComma()
+	for {
+		p.skipWS()
+		switch p.peekWord() {
+		case "for":
+			p.readWord()
+			for {
+				p.skipWS()
+				if !p.consume('$') {
+					return nil, p.errf("expected '$variable' after 'for'")
+				}
+				v := p.readName()
+				if v == "" {
+					return nil, p.errf("expected variable name")
+				}
+				p.skipWS()
+				if w := p.readWord(); w != "in" {
+					return nil, p.errf("expected 'in' after variable $%s, got %q", v, w)
+				}
+				src, err := p.parseExpr(clauseStops)
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, ForClause{Var: v, Source: src})
+				p.skipWS()
+				if p.consume(',') {
+					continue
+				}
+				break
+			}
+		case "let":
+			p.readWord()
+			for {
+				p.skipWS()
+				if !p.consume('$') {
+					return nil, p.errf("expected '$variable' after 'let'")
+				}
+				v := p.readName()
+				p.skipWS()
+				if !(p.consume(':') && p.consume('=')) {
+					return nil, p.errf("expected ':=' after let variable $%s", v)
+				}
+				src, err := p.parseExpr(clauseStops)
+				if err != nil {
+					return nil, err
+				}
+				f.Clauses = append(f.Clauses, LetClause{Var: v, Source: src})
+				p.skipWS()
+				if p.consume(',') {
+					continue
+				}
+				break
+			}
+		default:
+			goto clausesDone
+		}
+	}
+clausesDone:
+	if len(f.Clauses) == 0 {
+		return nil, p.errf("FLWR expression has no for/let clauses")
+	}
+	p.skipWS()
+	if p.peekWord() == "where" {
+		p.readWord()
+		w, err := p.parseExpr(stops("order", "return", "stable"))
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	p.skipWS()
+	if p.peekWord() == "stable" {
+		p.readWord()
+		p.skipWS()
+	}
+	if p.peekWord() == "order" {
+		p.readWord()
+		p.skipWS()
+		if w := p.readWord(); w != "by" {
+			return nil, p.errf("expected 'by' after 'order', got %q", w)
+		}
+		key, err := p.parseExpr(stops("return", "ascending", "descending"))
+		if err != nil {
+			return nil, err
+		}
+		f.Order = &OrderSpec{Key: key}
+		p.skipWS()
+		switch p.peekWord() {
+		case "descending":
+			p.readWord()
+			f.Order.Descending = true
+		case "ascending":
+			p.readWord()
+		}
+	}
+	p.skipWS()
+	if w := p.readWord(); w != "return" {
+		return nil, p.errf("expected 'return', got %q", w)
+	}
+	ret, err := p.parseExpr(stop)
+	if err != nil {
+		return nil, err
+	}
+	f.Return = ret
+	return f, nil
+}
+
+// parseConstructor parses <label attr="v" attr2="{expr}">content</label>.
+func (p *qparser) parseConstructor() (Expr, error) {
+	if !p.consume('<') {
+		return nil, p.errf("expected '<'")
+	}
+	label := p.readName()
+	if label == "" {
+		return nil, p.errf("expected element name in constructor")
+	}
+	e := &Elem{Label: label}
+	for {
+		p.skipWS()
+		switch {
+		case p.consume('/'):
+			if !p.consume('>') {
+				return nil, p.errf("expected '>' after '/' in constructor")
+			}
+			return e, nil
+		case p.consume('>'):
+			if err := p.parseConstructorContent(e); err != nil {
+				return nil, err
+			}
+			return e, nil
+		default:
+			aname := p.readName()
+			if aname == "" {
+				return nil, p.errf("expected attribute name or '>' in constructor <%s>", label)
+			}
+			p.skipWS()
+			if !p.consume('=') {
+				return nil, p.errf("expected '=' after attribute %q", aname)
+			}
+			p.skipWS()
+			quote := p.peek()
+			if quote != '"' && quote != '\'' {
+				return nil, p.errf("expected quoted attribute value")
+			}
+			p.pos++
+			start := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != quote {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return nil, p.errf("unterminated attribute value")
+			}
+			raw := p.src[start:p.pos]
+			p.pos++ // closing quote
+			at := AttrTemplate{Name: aname}
+			if strings.HasPrefix(raw, "{") && strings.HasSuffix(raw, "}") {
+				inner := raw[1 : len(raw)-1]
+				sub := &qparser{src: inner}
+				ex, err := sub.parseExpr(stopSet{})
+				if err != nil {
+					return nil, fmt.Errorf("in attribute %q: %w", aname, err)
+				}
+				at.Computed = ex
+			} else {
+				at.Literal = unescapeLit(raw)
+			}
+			e.Attrs = append(e.Attrs, at)
+		}
+	}
+}
+
+// parseConstructorContent parses the mixed content of a constructor up
+// to the matching end tag.
+func (p *qparser) parseConstructorContent(e *Elem) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			e.Content = append(e.Content, TextLit(unescapeLit(text.String())))
+			text.Reset()
+		}
+	}
+	for {
+		if p.pos >= len(p.src) {
+			return p.errf("unterminated constructor <%s>", e.Label)
+		}
+		c := p.peek()
+		switch {
+		case c == '{':
+			if p.peekAt(1) == '{' { // escaped brace
+				text.WriteByte('{')
+				p.pos += 2
+				continue
+			}
+			flush()
+			p.pos++
+			for {
+				item, err := p.parseExpr(stops(flwrKeywords...).withComma().withRBrace())
+				if err != nil {
+					return err
+				}
+				e.Content = append(e.Content, item)
+				p.skipWS()
+				if p.consume(',') {
+					continue
+				}
+				break
+			}
+			p.skipWS()
+			if !p.consume('}') {
+				return p.errf("expected '}' in constructor content")
+			}
+		case c == '}':
+			if p.peekAt(1) == '}' {
+				text.WriteByte('}')
+				p.pos += 2
+				continue
+			}
+			return p.errf("unescaped '}' in constructor content")
+		case c == '<' && p.peekAt(1) == '/':
+			flush()
+			p.pos += 2
+			name := p.readName()
+			if name != e.Label {
+				return p.errf("mismatched end tag </%s>, expected </%s>", name, e.Label)
+			}
+			p.skipWS()
+			if !p.consume('>') {
+				return p.errf("unterminated end tag </%s", name)
+			}
+			return nil
+		case c == '<' && isWordStart(p.peekAt(1)):
+			flush()
+			child, err := p.parseConstructor()
+			if err != nil {
+				return err
+			}
+			e.Content = append(e.Content, child)
+		case c == '<':
+			return p.errf("unexpected '<' in constructor content")
+		default:
+			text.WriteByte(c)
+			p.pos++
+		}
+	}
+}
+
+func unescapeLit(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer(
+		"&lt;", "<", "&gt;", ">", "&quot;", `"`, "&apos;", "'", "&amp;", "&",
+	)
+	return r.Replace(s)
+}
+
+// parsePathSpan scans an XPath span bounded by the stop set, compiles
+// it, and rewrites doc("name") calls into synthetic variables.
+func (p *qparser) parsePathSpan(stop stopSet) (Expr, error) {
+	p.skipWS()
+	start := p.pos
+	depth := 0 // () and [] nesting
+	var inQuote byte
+	prevNonSpace := byte(0)
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if inQuote != 0 {
+			if c == inQuote {
+				inQuote = 0
+			}
+			p.pos++
+			prevNonSpace = c
+			continue
+		}
+		switch {
+		case c == '"' || c == '\'':
+			inQuote = c
+			p.pos++
+		case c == '(' || c == '[':
+			depth++
+			p.pos++
+		case c == ')' || c == ']':
+			if depth == 0 {
+				// closing bracket of an enclosing context
+				goto done
+			}
+			depth--
+			p.pos++
+		case c == ',' && depth == 0 && stop.comma:
+			goto done
+		case c == '}' && depth == 0 && stop.rbrace:
+			goto done
+		case c == '{' || c == '}':
+			goto done
+		case c == '<' && isWordStart(p.peekAt(1)) && p.pos > start && prevNonSpace != 0 && !isPathOperand(prevNonSpace):
+			// '<' binds as comparison only after an operand; otherwise
+			// it would start a constructor, which cannot appear inside
+			// an XPath span — stop here and let the caller error out.
+			goto advance
+		case depth == 0 && isWordStart(c):
+			w := p.peekWord()
+			if stop.words[w] && !followsPathContext(prevNonSpace) {
+				goto done
+			}
+			p.pos += len(w)
+			prevNonSpace = w[len(w)-1]
+			continue
+		default:
+			goto advance
+		}
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			prevNonSpace = c
+		}
+		continue
+	advance:
+		p.pos++
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			prevNonSpace = c
+		}
+	}
+done:
+	span := strings.TrimSpace(p.src[start:p.pos])
+	if span == "" {
+		return nil, p.errf("expected expression")
+	}
+	compiled, err := xpath.Compile(span)
+	if err != nil {
+		return nil, fmt.Errorf("xquery: in path %q: %w", span, err)
+	}
+	rewritten, docs, err := rewriteDocCalls(compiled.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Path{X: rewritten, Docs: docs}, nil
+}
+
+// isPathOperand reports whether c can end an XPath operand (so that a
+// following '<' must be a comparison operator, not markup).
+func isPathOperand(c byte) bool {
+	return isWordChar(c) || c == ')' || c == ']' || c == '"' || c == '\'' || c == '.'
+}
+
+// followsPathContext reports whether a keyword immediately preceded by
+// this character is actually part of a path (e.g. a/return, @return,
+// $return) rather than a FLWR keyword.
+func followsPathContext(prev byte) bool {
+	return prev == '/' || prev == '@' || prev == ':' || prev == '$'
+}
+
+// rewriteDocCalls replaces doc("name") with VarRef("#doc:name"),
+// returning the rewritten expression and referenced names.
+func rewriteDocCalls(e xpath.Expr) (xpath.Expr, []string, error) {
+	var docs []string
+	seen := map[string]bool{}
+	addDoc := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			docs = append(docs, name)
+		}
+	}
+	var walk func(e xpath.Expr) (xpath.Expr, error)
+	walk = func(e xpath.Expr) (xpath.Expr, error) {
+		switch v := e.(type) {
+		case *xpath.FuncCall:
+			if v.Name == "doc" {
+				if len(v.Args) != 1 {
+					return nil, fmt.Errorf("xquery: doc() takes exactly one argument")
+				}
+				lit, ok := v.Args[0].(xpath.StringLit)
+				if !ok {
+					return nil, fmt.Errorf("xquery: doc() argument must be a string literal")
+				}
+				addDoc(string(lit))
+				return xpath.VarRef(docVarPrefix + string(lit)), nil
+			}
+			out := &xpath.FuncCall{Name: v.Name}
+			for _, a := range v.Args {
+				na, err := walk(a)
+				if err != nil {
+					return nil, err
+				}
+				out.Args = append(out.Args, na)
+			}
+			return out, nil
+		case *xpath.PathExpr:
+			out := &xpath.PathExpr{Absolute: v.Absolute}
+			if v.Filter != nil {
+				nf, err := walk(v.Filter)
+				if err != nil {
+					return nil, err
+				}
+				out.Filter = nf
+			}
+			for _, s := range v.Steps {
+				ns := xpath.Step{Axis: s.Axis, Test: s.Test}
+				for _, pr := range s.Preds {
+					np, err := walk(pr)
+					if err != nil {
+						return nil, err
+					}
+					ns.Preds = append(ns.Preds, np)
+				}
+				out.Steps = append(out.Steps, ns)
+			}
+			return out, nil
+		case *xpath.BinaryExpr:
+			l, err := walk(v.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := walk(v.R)
+			if err != nil {
+				return nil, err
+			}
+			return &xpath.BinaryExpr{Op: v.Op, L: l, R: r}, nil
+		case *xpath.UnionExpr:
+			out := &xpath.UnionExpr{}
+			for _, pe := range v.Paths {
+				np, err := walk(pe)
+				if err != nil {
+					return nil, err
+				}
+				out.Paths = append(out.Paths, np)
+			}
+			return out, nil
+		case *xpath.NegExpr:
+			nx, err := walk(v.X)
+			if err != nil {
+				return nil, err
+			}
+			return &xpath.NegExpr{X: nx}, nil
+		default:
+			return e, nil
+		}
+	}
+	out, err := walk(e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, docs, nil
+}

@@ -1,0 +1,207 @@
+// Package xtype implements the type system Θ of the AXML framework
+// (paper §2.1): XML tree types used as service signatures (τin, τout)
+// and for document validation. Types are DTD-style element declarations
+// whose content models are regular expressions over child element
+// labels, compiled to Glushkov automata for linear-time validation.
+//
+// The paper references XML Schema; per DESIGN.md this reproduction
+// substitutes content-model types, which cover everything the paper
+// uses types for (service input/output checking and document typing).
+package xtype
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ContentModel is a regular expression over child element labels.
+type ContentModel interface {
+	String() string
+}
+
+// CMName matches one child element with the given label.
+type CMName struct{ Label string }
+
+func (c CMName) String() string { return c.Label }
+
+// CMSeq matches a sequence of models in order: (a, b, c).
+type CMSeq struct{ Items []ContentModel }
+
+func (c CMSeq) String() string {
+	parts := make([]string, len(c.Items))
+	for i, x := range c.Items {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// CMChoice matches one of the alternatives: (a | b | c).
+type CMChoice struct{ Alts []ContentModel }
+
+func (c CMChoice) String() string {
+	parts := make([]string, len(c.Alts))
+	for i, x := range c.Alts {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// CMStar matches zero or more repetitions: x*.
+type CMStar struct{ X ContentModel }
+
+func (c CMStar) String() string { return c.X.String() + "*" }
+
+// CMPlus matches one or more repetitions: x+.
+type CMPlus struct{ X ContentModel }
+
+func (c CMPlus) String() string { return c.X.String() + "+" }
+
+// CMOpt matches zero or one occurrence: x?.
+type CMOpt struct{ X ContentModel }
+
+func (c CMOpt) String() string { return c.X.String() + "?" }
+
+// CMEmpty matches no children (EMPTY).
+type CMEmpty struct{}
+
+func (CMEmpty) String() string { return "EMPTY" }
+
+// CMAny matches any children (ANY).
+type CMAny struct{}
+
+func (CMAny) String() string { return "ANY" }
+
+// ParseContentModel parses the DTD-like content model syntax:
+//
+//	EMPTY | ANY | name | (m, m, ...) | (m | m | ...) | m* | m+ | m?
+func ParseContentModel(src string) (ContentModel, error) {
+	p := &cmParser{src: src}
+	p.skipWS()
+	m, err := p.parseItem()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return m, nil
+}
+
+type cmParser struct {
+	src string
+	pos int
+}
+
+func (p *cmParser) errf(format string, args ...any) error {
+	return fmt.Errorf("xtype: content model %q at %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *cmParser) skipWS() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *cmParser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+// parseItem parses a single unit (name or group) with optional
+// repetition suffix.
+func (p *cmParser) parseItem() (ContentModel, error) {
+	p.skipWS()
+	var base ContentModel
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		m, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		base = m
+	default:
+		name := p.parseName()
+		if name == "" {
+			return nil, p.errf("expected name or '('")
+		}
+		switch name {
+		case "EMPTY":
+			return CMEmpty{}, nil
+		case "ANY":
+			return CMAny{}, nil
+		}
+		base = CMName{Label: name}
+	}
+	switch p.peek() {
+	case '*':
+		p.pos++
+		return CMStar{X: base}, nil
+	case '+':
+		p.pos++
+		return CMPlus{X: base}, nil
+	case '?':
+		p.pos++
+		return CMOpt{X: base}, nil
+	}
+	return base, nil
+}
+
+// parseGroup parses the inside of parentheses: items separated
+// uniformly by ',' (sequence) or '|' (choice).
+func (p *cmParser) parseGroup() (ContentModel, error) {
+	first, err := p.parseItem()
+	if err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	switch p.peek() {
+	case ',':
+		items := []ContentModel{first}
+		for p.peek() == ',' {
+			p.pos++
+			it, err := p.parseItem()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+			p.skipWS()
+		}
+		return CMSeq{Items: items}, nil
+	case '|':
+		alts := []ContentModel{first}
+		for p.peek() == '|' {
+			p.pos++
+			it, err := p.parseItem()
+			if err != nil {
+				return nil, err
+			}
+			alts = append(alts, it)
+			p.skipWS()
+		}
+		return CMChoice{Alts: alts}, nil
+	default:
+		return first, nil
+	}
+}
+
+func (p *cmParser) parseName() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || c == '.' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '#' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}

@@ -1,0 +1,185 @@
+package xtype
+
+// Glushkov construction: compiles a ContentModel into a position
+// automaton that accepts exactly the label sequences the model denotes,
+// in O(positions²) construction and O(input·positions) matching.
+
+// Automaton is a compiled content model.
+type Automaton struct {
+	labels   []string // label of each position (1-based externally, 0-based here)
+	first    []int
+	last     map[int]bool
+	follow   [][]int
+	nullable bool
+	any      bool // CMAny: accept everything
+	empty    bool // CMEmpty: accept only the empty sequence
+}
+
+// CompileModel builds the Glushkov automaton for m.
+func CompileModel(m ContentModel) *Automaton {
+	switch m.(type) {
+	case CMAny:
+		return &Automaton{any: true}
+	case CMEmpty:
+		return &Automaton{empty: true, nullable: true, last: map[int]bool{}}
+	}
+	c := &glushkov{}
+	info := c.build(m)
+	a := &Automaton{
+		labels:   c.labels,
+		first:    info.first,
+		last:     map[int]bool{},
+		follow:   make([][]int, len(c.labels)),
+		nullable: info.nullable,
+	}
+	for i := range a.follow {
+		a.follow[i] = c.follow[i]
+	}
+	for _, p := range info.last {
+		a.last[p] = true
+	}
+	return a
+}
+
+// Match reports whether the label sequence is accepted.
+func (a *Automaton) Match(seq []string) bool {
+	if a.any {
+		return true
+	}
+	if a.empty {
+		return len(seq) == 0
+	}
+	if len(seq) == 0 {
+		return a.nullable
+	}
+	// NFA simulation over position sets.
+	current := map[int]bool{}
+	for _, p := range a.first {
+		if a.labels[p] == seq[0] {
+			current[p] = true
+		}
+	}
+	for _, sym := range seq[1:] {
+		if len(current) == 0 {
+			return false
+		}
+		next := map[int]bool{}
+		for p := range current {
+			for _, q := range a.follow[p] {
+				if a.labels[q] == sym {
+					next[q] = true
+				}
+			}
+		}
+		current = next
+	}
+	for p := range current {
+		if a.last[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// glushkov carries construction state.
+type glushkov struct {
+	labels []string
+	follow [][]int
+}
+
+type nodeInfo struct {
+	nullable bool
+	first    []int
+	last     []int
+}
+
+func (g *glushkov) newPos(label string) int {
+	g.labels = append(g.labels, label)
+	g.follow = append(g.follow, nil)
+	return len(g.labels) - 1
+}
+
+func (g *glushkov) addFollow(from int, to []int) {
+	g.follow[from] = appendUnique(g.follow[from], to)
+}
+
+func appendUnique(dst []int, src []int) []int {
+	seen := map[int]bool{}
+	for _, x := range dst {
+		seen[x] = true
+	}
+	for _, x := range src {
+		if !seen[x] {
+			seen[x] = true
+			dst = append(dst, x)
+		}
+	}
+	return dst
+}
+
+func (g *glushkov) build(m ContentModel) nodeInfo {
+	switch v := m.(type) {
+	case CMName:
+		p := g.newPos(v.Label)
+		return nodeInfo{nullable: false, first: []int{p}, last: []int{p}}
+	case CMSeq:
+		if len(v.Items) == 0 {
+			return nodeInfo{nullable: true}
+		}
+		acc := g.build(v.Items[0])
+		for _, item := range v.Items[1:] {
+			next := g.build(item)
+			// follow(last(acc)) += first(next)
+			for _, p := range acc.last {
+				g.addFollow(p, next.first)
+			}
+			first := acc.first
+			if acc.nullable {
+				first = appendUnique(append([]int{}, acc.first...), next.first)
+			}
+			last := next.last
+			if next.nullable {
+				last = appendUnique(append([]int{}, next.last...), acc.last)
+			}
+			acc = nodeInfo{
+				nullable: acc.nullable && next.nullable,
+				first:    first,
+				last:     last,
+			}
+		}
+		return acc
+	case CMChoice:
+		out := nodeInfo{nullable: false}
+		for _, alt := range v.Alts {
+			in := g.build(alt)
+			out.nullable = out.nullable || in.nullable
+			out.first = appendUnique(out.first, in.first)
+			out.last = appendUnique(out.last, in.last)
+		}
+		return out
+	case CMStar:
+		in := g.build(v.X)
+		for _, p := range in.last {
+			g.addFollow(p, in.first)
+		}
+		return nodeInfo{nullable: true, first: in.first, last: in.last}
+	case CMPlus:
+		in := g.build(v.X)
+		for _, p := range in.last {
+			g.addFollow(p, in.first)
+		}
+		return nodeInfo{nullable: in.nullable, first: in.first, last: in.last}
+	case CMOpt:
+		in := g.build(v.X)
+		return nodeInfo{nullable: true, first: in.first, last: in.last}
+	case CMEmpty:
+		return nodeInfo{nullable: true}
+	case CMAny:
+		// ANY inside a composite model is not supported; treated as
+		// a never-matching position so misuse is detectable in tests.
+		p := g.newPos("#any")
+		return nodeInfo{nullable: false, first: []int{p}, last: []int{p}}
+	default:
+		return nodeInfo{nullable: true}
+	}
+}
