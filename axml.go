@@ -22,11 +22,21 @@
 //	plan, _, err := axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
 //	res, err = sys.Eval(client.ID, plan.Expr)
 //
+// Materialize a view near its consumers and repeated queries stop
+// shipping base data — Optimize rewrites subsumed queries to read the
+// view when that is cheaper:
+//
+//	_ = sys.DefineView("cheap",
+//	    `for $i in doc("catalog")/item where $i/price < 100 return $i`,
+//	    client.ID)
+//	plan, _, _ = axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
+//
 // The deeper layers remain importable for advanced use: internal/core
 // (algebra), internal/rewrite (rules), internal/opt (optimizer),
-// internal/xquery and internal/xpath (the query languages),
-// internal/netsim (the instrumented network), internal/axmldoc
-// (document-level service-call activation).
+// internal/view (materialized views), internal/xquery and
+// internal/xpath (the query languages), internal/netsim (the
+// instrumented network), internal/axmldoc (document-level service-call
+// activation).
 package axml
 
 import (
@@ -37,6 +47,7 @@ import (
 	"axml/internal/peer"
 	"axml/internal/rewrite"
 	"axml/internal/service"
+	"axml/internal/view"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 	"axml/internal/xtype"
@@ -64,11 +75,50 @@ type (
 	Network = netsim.Network
 	// Link is a directed network link profile.
 	Link = netsim.Link
-	// System is a set of peers, their network and generics catalog.
-	System = core.System
 	// Result is the outcome of evaluating an expression.
 	Result = core.Result
 )
+
+// System is a set of peers, their network and generics catalog
+// (core.System, embedded), extended with a materialized-view manager:
+// DefineView places query results at chosen peers and Optimize
+// automatically considers view-reading plans. Construct with
+// NewLocalSystem, NewSystem, or Wrap.
+type System struct {
+	*core.System
+	views *view.Manager
+}
+
+// DefineView materializes query src as view name at peer at and keeps
+// it fresh as the base documents change (see internal/view). Queries
+// optimized through Optimize may then be rewritten to read the view.
+func (s *System) DefineView(name, src string, at PeerID) error {
+	return s.views.Define(name, src, at)
+}
+
+// Views describes the defined views.
+func (s *System) Views() []ViewInfo { return s.views.Views() }
+
+// DropView removes a materialized view and its catalog registrations.
+func (s *System) DropView(name string) error { return s.views.Drop(name) }
+
+// RefreshViews synchronously brings every view up to date and returns
+// the number of result trees moved.
+func (s *System) RefreshViews() (int, error) { return s.views.RefreshAll() }
+
+// AutoRefreshViews subscribes views to base-document change
+// notifications so they stay fresh without explicit refreshes.
+func (s *System) AutoRefreshViews() { s.views.AutoRefresh() }
+
+// ViewManager exposes the underlying manager for advanced use
+// (replicated placements, the optimizer rule, drop/refresh policies).
+func (s *System) ViewManager() *view.Manager { return s.views }
+
+// Close stops view maintenance and all continuous subscriptions.
+func (s *System) Close() {
+	s.views.Close()
+	s.System.Close()
+}
 
 // Expression algebra aliases (paper §3.1).
 type (
@@ -106,6 +156,10 @@ type (
 	RewriteRule = rewrite.Rule
 	// DocReplica is a member of a generic-document class.
 	DocReplica = gendoc.DocReplica
+	// ViewDefinition declares a materialized view (internal/view).
+	ViewDefinition = view.Definition
+	// ViewInfo describes one materialized view's current state.
+	ViewInfo = view.Info
 )
 
 // AnyPeer marks generic document/service references (d@any, s@any).
@@ -113,11 +167,17 @@ const AnyPeer = core.AnyPeer
 
 // NewLocalSystem creates a system over a fresh simulated network with
 // the default LAN-like link profile.
-func NewLocalSystem() *System { return core.NewSystem(netsim.New()) }
+func NewLocalSystem() *System { return Wrap(core.NewSystem(netsim.New())) }
 
 // NewSystem creates a system over the given network (configure links
 // and topologies on it first or afterwards).
-func NewSystem(net *Network) *System { return core.NewSystem(net) }
+func NewSystem(net *Network) *System { return Wrap(core.NewSystem(net)) }
+
+// Wrap attaches the facade (view manager included) to an existing
+// core.System, for callers that construct the core layers directly.
+func Wrap(sys *core.System) *System {
+	return &System{System: sys, views: view.NewManager(sys)}
+}
 
 // NewNetwork creates an empty simulated network.
 func NewNetwork() *Network { return netsim.New() }
@@ -144,9 +204,12 @@ func MustParseQuery(src string) *XQuery { return xquery.MustParse(src) }
 func ParseSchema(src string) (*Schema, error) { return xtype.ParseSchema(src) }
 
 // Optimize searches for the cheapest equivalent plan of e evaluated at
-// peer at, under the paper's equivalence rules.
+// peer at, under the paper's equivalence rules plus the system's
+// materialized-view rewritings: a plan reading a nearby view competes
+// with base-data shipping on real link costs.
 func Optimize(sys *System, at PeerID, e Expr, opts OptOptions) (*Plan, int, error) {
-	return opt.Optimize(sys, at, e, opts)
+	opts.ExtraRules = append(opts.ExtraRules, sys.views.Rule())
+	return opt.Optimize(sys.System, at, e, opts)
 }
 
 // DefaultRules returns the full rule set (10)–(16).

@@ -126,13 +126,80 @@ func TestFacadeActivationViaAxmldoc(t *testing.T) {
 	if err := host.InstallDocument("view", page); err != nil {
 		t.Fatal(err)
 	}
-	act := axmldoc.New(sys, host)
+	act := axmldoc.New(sys.System, host)
 	if _, err := act.ActivateDocument("view"); err != nil {
 		t.Fatal(err)
 	}
 	out := axml.SerializeXML(page)
 	if !strings.Contains(out, "<e>one</e>") {
 		t.Errorf("activation result missing: %s", out)
+	}
+}
+
+func TestFacadeMaterializedViews(t *testing.T) {
+	sys := axml.NewLocalSystem()
+	defer sys.Close()
+	sys.MustAddPeer("client")
+	data := sys.MustAddPeer("data")
+	cat := axml.MustParseXML(`<catalog/>`)
+	for i := 0; i < 50; i++ {
+		cat.AppendChild(axml.MustParseXML(
+			`<item><name>thing</name><price>` + priceFor(i) + `</price></item>`))
+	}
+	if err := data.InstallDocument("catalog", cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineView("cheap",
+		`for $i in doc("catalog")/item where $i/price < 100 return $i`, "client"); err != nil {
+		t.Fatal(err)
+	}
+	infos := sys.Views()
+	if len(infos) != 1 || infos[0].Name != "cheap" {
+		t.Fatalf("Views() = %+v", infos)
+	}
+	q := axml.MustParseQuery(
+		`for $i in doc("catalog")/item where $i/price < 5 return $i/name`)
+	e := &axml.Query{Q: q, At: "client"}
+	plan, _, err := axml.Optimize(sys, "client", e, axml.OptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Expr.String(), "view:cheap") {
+		t.Errorf("facade Optimize ignored the view: %s", plan)
+	}
+	res, err := sys.Eval("client", plan.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := sys.Eval("client", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forest) != len(naive.Forest) {
+		t.Errorf("view plan answer differs: %d vs %d", len(res.Forest), len(naive.Forest))
+	}
+	// Maintenance: a base update must reach the view.
+	doc, _ := data.Document("catalog")
+	if err := data.AddChild(doc.Root.ID,
+		axml.MustParseXML(`<item><name>late</name><price>2</price></item>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RefreshViews(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sys.Eval("client", plan.Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Forest) != len(res.Forest)+1 {
+		t.Errorf("refreshed view should surface the new item: %d vs %d",
+			len(res2.Forest), len(res.Forest))
+	}
+	if err := sys.DropView("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Views()) != 0 {
+		t.Error("view survived DropView")
 	}
 }
 

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the experiment suite (one per table of
-// EXPERIMENTS.md, E1–E10) plus micro-benchmarks of the substrates.
+// EXPERIMENTS.md, E1–E11) plus micro-benchmarks of the substrates.
 // Each experiment benchmark evaluates the competing plans on fresh
 // systems and reports wire bytes per operation alongside wall time,
 // so the shape (who wins, by what factor) is visible in the -benchmem
@@ -235,8 +235,8 @@ func BenchmarkE7Continuous(b *testing.B) {
 func BenchmarkE8Optimizer(b *testing.B) {
 	// Measures the optimizer itself: plan search time over the default
 	// rule set for the Example 1 query.
-	sys := benchSystem("client", "data", "spare")
-	installBenchCatalog(sys, "data", 200)
+	sys := axml.Wrap(benchSystem("client", "data", "spare"))
+	installBenchCatalog(sys.System, "data", 200)
 	q := xquery.MustParse(
 		`for $i in doc("catalog")/item where $i/price < 30 return <hit>{$i/name}</hit>`)
 	e := &core.Query{Q: q, At: "client"}
@@ -278,6 +278,28 @@ func BenchmarkE10Activation(b *testing.B) {
 		if _, err := bench.E10Activation(4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func BenchmarkE11Views(b *testing.B) {
+	// Bytes shipped with a view at every client vs none; the E11 table
+	// reports the full sweep.
+	for _, mode := range []string{"no-view", "views"} {
+		b.Run(mode, func(b *testing.B) {
+			var bytes float64
+			for i := 0; i < b.N; i++ {
+				t, err := bench.E11Views(3, 100, 3, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := t.Rows[0]
+				if mode == "views" {
+					row = t.Rows[len(t.Rows)-1]
+				}
+				fmt.Sscanf(row[1], "%f", &bytes)
+			}
+			b.ReportMetric(bytes, "wirebytes/op")
+		})
 	}
 }
 

@@ -1,5 +1,6 @@
-// Command axmlbench runs the experiment suite (E1–E10) and prints the
-// tables recorded in EXPERIMENTS.md.
+// Command axmlbench runs the experiment suite (E1–E11) and prints the
+// tables recorded in EXPERIMENTS.md. E11 measures the materialized-
+// view subsystem (internal/view) on a subscription workload.
 //
 // Usage:
 //
@@ -82,6 +83,9 @@ func run(quick bool) ([]*bench.Table, error) {
 		return nil, err
 	}
 	if err := add(bench.E10Activation(4)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E11Views(3, 100, 3, 10)); err != nil {
 		return nil, err
 	}
 	return tables, nil

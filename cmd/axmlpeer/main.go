@@ -22,9 +22,10 @@ import (
 	"os"
 	"strings"
 
+	"axml/internal/core"
 	"axml/internal/netsim"
-	"axml/internal/peer"
 	"axml/internal/service"
+	"axml/internal/view"
 	"axml/internal/wire"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
@@ -43,7 +44,13 @@ func main() {
 	flag.Var(&services, "service", "name=file of a declarative service body (repeatable)")
 	flag.Parse()
 
-	p := peer.New(netsim.PeerID(*id))
+	// The peer lives inside a single-peer system so that materialized
+	// views (wire DEFVIEW, axmlq -view) have an evaluator and a
+	// generics catalog behind them.
+	sys := core.NewSystem(netsim.New())
+	p := sys.MustAddPeer(netsim.PeerID(*id))
+	views := view.NewManager(sys)
+	defer views.Close()
 	for _, spec := range docs {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -88,6 +95,6 @@ func main() {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 	fmt.Printf("peer %q listening on %s\n", *id, l.Addr())
-	srv := &wire.Server{Peer: p}
+	srv := &wire.Server{Peer: p, Views: views}
 	log.Fatal(srv.Serve(l))
 }

@@ -6,6 +6,13 @@
 //	axmlq -addr localhost:7012 -query 'for $i in doc("catalog")/item return $i/name'
 //	axmlq -addr localhost:7012 -call bargains
 //	axmlq -addr localhost:7012 -list
+//	axmlq -addr localhost:7012 \
+//	      -view 'cheap=for $i in doc("catalog")/item where $i/price < 100 return $i@store'
+//
+// -view materializes a view on the peer: name=query, optionally
+// suffixed @peer to assert the placement (it must be the served peer —
+// the wire endpoint is that peer's deployment face). Once defined,
+// -query requests the view subsumes are answered from it.
 package main
 
 import (
@@ -19,13 +26,20 @@ import (
 	"axml/internal/xmltree"
 )
 
+type viewFlags []string
+
+func (v *viewFlags) String() string     { return strings.Join(*v, ",") }
+func (v *viewFlags) Set(s string) error { *v = append(*v, s); return nil }
+
 func main() {
 	addr := flag.String("addr", "localhost:7012", "peer address")
 	query := flag.String("query", "", "query to evaluate")
 	call := flag.String("call", "", "service to call")
 	params := flag.String("params", "", "XML parameter forest for -call")
-	list := flag.Bool("list", false, "list remote documents and services")
+	list := flag.Bool("list", false, "list remote documents, services and views")
 	compact := flag.Bool("compact", false, "print results without indentation")
+	var views viewFlags
+	flag.Var(&views, "view", "name=query[@peer] view to materialize (repeatable)")
 	flag.Parse()
 
 	c, err := wire.Dial(*addr)
@@ -33,6 +47,22 @@ func main() {
 		log.Fatalf("axmlq: %v", err)
 	}
 	defer c.Close()
+
+	for _, spec := range views {
+		name, rest, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			log.Fatalf("axmlq: bad -view %q (want name=query[@peer])", spec)
+		}
+		src, placement := splitPlacement(rest)
+		target := name
+		if placement != "" {
+			target = name + "@" + placement
+		}
+		if err := c.DefineView(target, src); err != nil {
+			log.Fatalf("axmlq: defining view %q: %v", name, err)
+		}
+		fmt.Printf("defined view %q\n", name)
+	}
 
 	switch {
 	case *list:
@@ -42,6 +72,13 @@ func main() {
 		}
 		fmt.Println("documents:", strings.Join(docs, ", "))
 		fmt.Println("services: ", strings.Join(services, ", "))
+		vs, err := c.ListViews()
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		for _, v := range vs {
+			fmt.Println("view:     ", v)
+		}
 	case *query != "":
 		out, err := c.Query(*query)
 		if err != nil {
@@ -62,9 +99,27 @@ func main() {
 		}
 		printForest(out, *compact)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		if len(views) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
+}
+
+// splitPlacement separates a trailing "@peer" placement from a view
+// query. The heuristic respects the query language: an '@' after '/'
+// is an attribute step ($i/@id), so only a final "@word" not preceded
+// by '/' counts as a placement.
+func splitPlacement(s string) (query, placement string) {
+	i := strings.LastIndexByte(s, '@')
+	if i <= 0 || s[i-1] == '/' {
+		return s, ""
+	}
+	suffix := s[i+1:]
+	if suffix == "" || strings.ContainsAny(suffix, " \t/$<>=(){}[]\"'") {
+		return s, ""
+	}
+	return s[:i], suffix
 }
 
 func printForest(out []*xmltree.Node, compact bool) {

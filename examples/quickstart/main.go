@@ -57,7 +57,7 @@ func main() {
 	// Activate the call: parameters ship to the provider, the service
 	// body runs there, and the results land as siblings of the sc node
 	// (paper §2.2 steps 1–3).
-	act := axmldoc.New(sys, client)
+	act := axmldoc.New(sys.System, client)
 	n, err := act.ActivateDocument("newsletter")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module axml
+
+go 1.24

@@ -1,5 +1,5 @@
 // Package bench implements the experiment suite of EXPERIMENTS.md:
-// one function per experiment E1–E9, each returning a printable table.
+// one function per experiment E1–E11, each returning a printable table.
 // The EDBT'06 paper has no numeric evaluation section, so each
 // experiment operationalizes one of its claims (a rewrite rule's
 // benefit, Example 1, the software-distribution application); see

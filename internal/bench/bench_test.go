@@ -149,6 +149,28 @@ func TestE10Shape(t *testing.T) {
 	}
 }
 
+func TestE11Shape(t *testing.T) {
+	tab, err := E11Views(3, 150, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	noView, viewsAll := tab.Rows[0], tab.Rows[2]
+	if parseF(t, viewsAll[1]) >= parseF(t, noView[1]) {
+		t.Errorf("views at every client should ship fewer bytes: %s vs %s", viewsAll[1], noView[1])
+	}
+	if parseF(t, viewsAll[3]) >= parseF(t, noView[3]) {
+		t.Errorf("view-local queries should be faster: %sms vs %sms", viewsAll[3], noView[3])
+	}
+	for _, r := range tab.Rows[1:] {
+		if r[4] != noView[4] {
+			t.Errorf("configs disagree on results: %v vs %v", r, noView)
+		}
+	}
+}
+
 func TestTablePrint(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "test", Anchor: "none",

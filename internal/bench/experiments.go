@@ -13,6 +13,7 @@ import (
 	"axml/internal/peer"
 	"axml/internal/rewrite"
 	"axml/internal/service"
+	"axml/internal/view"
 	"axml/internal/workload"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
@@ -698,6 +699,114 @@ func E10Activation(calls int) (*Table, error) {
 	return t, nil
 }
 
+// E11Views measures the materialized-view subsystem on a subscription
+// workload: N clients re-issue a selective query as the base document
+// grows round by round. Without views every round ships (at least) the
+// matching data from the base peer to every client; with views the
+// matching items ship once per placement as incremental refresh
+// deltas, and client queries are rewritten to read the nearest view.
+// Configs sweep the number of view placements K (0 = no views).
+func E11Views(clients, items, rounds, perRound int) (*Table, error) {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Materialized views: view-accelerated subscription workload",
+		Anchor: "internal/view (ViP2P-style views)",
+		Header: []string{"config", "bytes", "msgs", "meanMs", "hits"},
+		Notes:  "K=N places a view at every client: queries run locally and only refresh deltas travel",
+	}
+	qsrc := `for $i in doc("catalog")/item where $i/price < 100 return <hit>{$i/name}</hit>`
+	vsrc := `for $i in doc("catalog")/item where $i/price < 100 return $i`
+
+	run := func(nViews int) (Measurement, error) {
+		peers := []netsim.PeerID{"data"}
+		for i := 0; i < clients; i++ {
+			peers = append(peers, netsim.PeerID(fmt.Sprintf("client%d", i)))
+		}
+		sys := uniformSystem(wanLink, peers...)
+		defer sys.Close()
+		installCatalog(sys, "data", workload.CatalogSpec{
+			Items: items, PriceMax: 1000, DescWords: 4, Seed: 31})
+		mgr := view.NewManager(sys)
+		defer mgr.Close()
+		// The workload re-optimizes every query; a tighter search keeps
+		// the experiment fast without changing who wins.
+		opts := opt.Options{MaxPlans: 128}
+		for v := 0; v < nViews && v < clients; v++ {
+			if err := mgr.Define("cheap", vsrc, peers[1+v]); err != nil {
+				return Measurement{}, err
+			}
+			opts.ExtraRules = []rewrite.Rule{mgr.Rule()}
+		}
+		q := xquery.MustParse(qsrc)
+		data, _ := sys.Peer("data")
+		catalog, _ := data.Document("catalog")
+		hits, queries, totalVT := 0, 0, 0.0
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < perRound; k++ {
+				n := r*perRound + k
+				if err := data.AddChild(catalog.Root.ID, xmltree.E("item",
+					xmltree.A("id", fmt.Sprintf("r%d", n)),
+					xmltree.E("name", xmltree.T(fmt.Sprintf("fresh-%d", n))),
+					xmltree.E("price", xmltree.T(fmt.Sprint(n*37%1000)))),
+				); err != nil {
+					return Measurement{}, err
+				}
+			}
+			if nViews > 0 {
+				if _, err := mgr.RefreshAll(); err != nil {
+					return Measurement{}, err
+				}
+			}
+			for _, c := range peers[1:] {
+				e := &core.Query{Q: q, At: c}
+				plan, _, err := opt.Optimize(sys, c, e, opts)
+				if err != nil {
+					return Measurement{}, err
+				}
+				res, err := sys.Eval(c, plan.Expr)
+				if err != nil {
+					return Measurement{}, err
+				}
+				hits += len(res.Forest)
+				totalVT += res.VT
+				queries++
+			}
+		}
+		st := sys.Net.Stats()
+		return Measurement{
+			Bytes:    st.Bytes,
+			Messages: st.Messages,
+			VT:       totalVT / float64(queries),
+			Results:  hits,
+		}, nil
+	}
+
+	configs := []struct {
+		name   string
+		nViews int
+	}{
+		{"no-view", 0},
+		{"views K=1", 1},
+		{fmt.Sprintf("views K=%d", clients), clients},
+	}
+	var baseline Measurement
+	for i, c := range configs {
+		m, err := run(c.nViews)
+		if err != nil {
+			return nil, fmt.Errorf("E11 %s: %w", c.name, err)
+		}
+		if i == 0 {
+			baseline = m
+		} else if m.Results != baseline.Results {
+			return nil, fmt.Errorf("E11 %s: result mismatch %d vs %d", c.name, m.Results, baseline.Results)
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name, fmtBytes(m.Bytes), fmt.Sprint(m.Messages), fmtMs(m.VT), fmt.Sprint(m.Results),
+		})
+	}
+	return t, nil
+}
+
 // All runs the full suite with the default parameters used by
 // cmd/axmlbench and EXPERIMENTS.md.
 func All() ([]*Table, error) {
@@ -737,6 +846,9 @@ func All() ([]*Table, error) {
 		return nil, err
 	}
 	if err := add(E10Activation(8)); err != nil {
+		return nil, err
+	}
+	if err := add(E11Views(4, 400, 5, 20)); err != nil {
 		return nil, err
 	}
 	return tables, nil

@@ -454,6 +454,16 @@ func payloadHome(e Expr) netsim.PeerID {
 	}
 }
 
+// ShipForest sends a forest from a peer to a node reference, adding
+// each tree as a child of the target and charging the transfer to the
+// network (definition (4)). Subscription streams use the internal form;
+// the exported entry point lets engines layered on top of the system —
+// view maintenance in internal/view — push deltas with the same
+// accounting.
+func (s *System) ShipForest(from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
+	return s.shipData(from, ref, forest, vt)
+}
+
 // shipData sends a forest to a node reference, adding each tree as a
 // child of the target (definition (4)). Multi-tree forests travel in
 // an x:batch carrier that is unwrapped on landing.

@@ -69,6 +69,30 @@ func (c *Catalog) RegisterDoc(class string, r DocReplica) {
 	c.docs[class] = append(c.docs[class], r)
 }
 
+// UnregisterDoc removes a replica from a document class (view
+// teardown). The surviving members go into a fresh slice: ResolveDoc
+// hands the old backing array to strategies outside the lock, so it
+// must never be mutated in place.
+func (c *Catalog) UnregisterDoc(class string, r DocReplica) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.docs[class]
+	kept := make([]DocReplica, 0, len(old))
+	removed := false
+	for _, have := range old {
+		if !removed && have == r {
+			removed = true
+			continue
+		}
+		kept = append(kept, have)
+	}
+	if len(kept) == 0 {
+		delete(c.docs, class)
+		return
+	}
+	c.docs[class] = kept
+}
+
 // RegisterService adds a provider to a service class.
 func (c *Catalog) RegisterService(class string, ref service.Ref) {
 	c.mu.Lock()

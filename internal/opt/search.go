@@ -15,6 +15,12 @@ type Options struct {
 	// Rules is the rewrite rule set (DefaultRules when nil). Ablation
 	// experiments pass subsets.
 	Rules []rewrite.Rule
+	// ExtraRules are appended to Rules: site-specific rewrites that
+	// depend on system state beyond the algebra, such as the
+	// materialized-view rule of internal/view. They participate in the
+	// same plan search, so "read view@local" competes with "ship from
+	// base@remote" under the one cost model.
+	ExtraRules []rewrite.Rule
 	// MaxDepth bounds the number of rule applications along one
 	// derivation (default 4).
 	MaxDepth int
@@ -27,6 +33,9 @@ type Options struct {
 func (o *Options) fill() {
 	if o.Rules == nil {
 		o.Rules = rewrite.DefaultRules()
+	}
+	if len(o.ExtraRules) > 0 {
+		o.Rules = append(append([]rewrite.Rule{}, o.Rules...), o.ExtraRules...)
 	}
 	if o.MaxDepth == 0 {
 		o.MaxDepth = 4

@@ -201,6 +201,54 @@ func (p *Peer) InsertAfter(ref xmltree.NodeID, tree *xmltree.Node) error {
 	return nil
 }
 
+// ReplaceChildren atomically replaces the children of the identified
+// element with the given forest. The old subtrees are de-indexed, the
+// new ones adopted (fresh IDs, indexed), and watchers of the owning
+// document are notified once. View maintenance uses it for full
+// re-materialization.
+func (p *Peer) ReplaceChildren(id xmltree.NodeID, forest []*xmltree.Node) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.index[id]
+	if !ok {
+		return fmt.Errorf("peer %s: no node n%d", p.ID, id)
+	}
+	if e.node.Kind != xmltree.ElementNode {
+		return fmt.Errorf("peer %s: node n%d cannot take children", p.ID, id)
+	}
+	for _, c := range e.node.Children {
+		c.Walk(func(n *xmltree.Node) bool {
+			delete(p.index, n.ID)
+			return true
+		})
+		c.Parent = nil
+	}
+	e.node.Children = nil
+	for _, tree := range forest {
+		p.adopt(tree, e.doc)
+		e.node.AppendChild(tree)
+	}
+	p.bumpLocked(e.doc)
+	return nil
+}
+
+// SnapshotEval runs fn under the peer's read lock with a resolver over
+// the live document store, excluding concurrent mutations for the
+// duration. fn must not call other locking methods of this peer (the
+// lock is not reentrant) and must not retain the resolver or any
+// resolved tree beyond the call.
+func (p *Peer) SnapshotEval(fn func(resolve xquery.DocResolver) error) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return fn(func(name string) (*xmltree.Node, error) {
+		d, ok := p.docs[name]
+		if !ok {
+			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+		}
+		return d.Root, nil
+	})
+}
+
 // adopt assigns IDs and indexes a subtree into the given document.
 func (p *Peer) adopt(tree *xmltree.Node, doc string) {
 	xmltree.AssignIDs(tree, &p.idgen)

@@ -1,0 +1,215 @@
+// View maintenance. Incremental views reuse xquery.DeltaFor: the base
+// peer evaluates the view query only over source nodes that appeared
+// since the last refresh (under its read lock, so concurrent updates
+// are excluded) and ships just the new results to each placement —
+// the ViP2P maintenance model. Every other shape falls back to full
+// re-materialization at the placement peer. AutoRefresh subscribes to
+// the base documents' change notifications so views follow updates
+// without polling; Refresh/RefreshAll are the synchronous entry points
+// tests and benchmarks drive deterministically.
+package view
+
+import (
+	"fmt"
+
+	"axml/internal/peer"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// Refresh brings every placement of the named view up to date with its
+// base documents and returns the number of result trees shipped
+// (incremental) or materialized (full refresh).
+func (m *Manager) Refresh(name string) (int, error) {
+	st, ok := m.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("view: no view %q", name)
+	}
+	return m.refreshState(st)
+}
+
+// RefreshAll refreshes every view (name order) and returns the total
+// trees moved.
+func (m *Manager) RefreshAll() (int, error) {
+	total := 0
+	for _, name := range m.names() {
+		n, err := m.Refresh(name)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (m *Manager) refreshState(st *state) (int, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	total := 0
+	for _, p := range st.placements {
+		n, err := m.refreshPlacement(st, p)
+		total += n
+		if err != nil {
+			st.lastErr = err
+			return total, fmt.Errorf("view %q: %w", st.def.Name, err)
+		}
+	}
+	st.lastErr = nil
+	return total, nil
+}
+
+// refreshPlacement updates one materialized copy. Callers hold st.mu.
+func (m *Manager) refreshPlacement(st *state, p *placement) (int, error) {
+	if p.inc != nil {
+		host, ok := m.sys.Peer(p.baseAt)
+		if !ok {
+			return 0, fmt.Errorf("base peer %q is gone", p.baseAt)
+		}
+		var delta []*xmltree.Node
+		err := host.SnapshotEval(func(resolve xquery.DocResolver) error {
+			out, err := p.inc.DeltaWith(&xquery.Env{Resolve: resolve})
+			delta = out
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		if len(delta) == 0 {
+			return 0, nil
+		}
+		ref := peer.NodeRef{Peer: p.at, Node: p.root}
+		if _, err := m.sys.ShipForest(p.baseAt, ref, delta, 0); err != nil {
+			// Undelivered sources must be re-emitted by the next
+			// refresh, or the view would silently lose these rows.
+			p.inc.Rollback()
+			return 0, err
+		}
+		return len(delta), nil
+	}
+
+	// Full re-materialization: re-run the query against the base host
+	// and swap the placement's content.
+	forest, err := m.evalFull(st, p.at)
+	if err != nil {
+		return 0, err
+	}
+	target, ok := m.sys.Peer(p.at)
+	if !ok {
+		return 0, fmt.Errorf("placement peer %q is gone", p.at)
+	}
+	if st.replica {
+		// The document root itself is the view; swap the whole tree.
+		root, err := viewRoot(st, forest)
+		if err != nil {
+			return 0, err
+		}
+		if err := target.RemoveDocument(st.def.DocName()); err != nil {
+			return 0, err
+		}
+		if err := target.InstallDocument(st.def.DocName(), root); err != nil {
+			return 0, err
+		}
+		p.root = root.ID
+		return len(root.Children), nil
+	}
+	if err := target.ReplaceChildren(p.root, forest); err != nil {
+		return 0, err
+	}
+	return len(forest), nil
+}
+
+// AutoRefresh subscribes every current and future placement to its
+// base documents' change notifications; each change triggers a
+// refresh of the affected view. Call Close to stop the watchers.
+func (m *Manager) AutoRefresh() {
+	m.mu.Lock()
+	if m.auto {
+		m.mu.Unlock()
+		return
+	}
+	m.auto = true
+	states := make([]*state, 0, len(m.views))
+	for _, st := range m.views {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	for _, st := range states {
+		st.mu.Lock()
+		for _, p := range st.placements {
+			m.watchPlacement(st, p)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// watchPlacement starts one watcher goroutine per base document of
+// the placement when auto-refresh is on (a no-op otherwise, so new
+// placements can call it unconditionally). Callers hold st.mu.
+func (m *Manager) watchPlacement(st *state, p *placement) {
+	m.mu.Lock()
+	done, closed, auto := m.done, m.closed, m.auto
+	m.mu.Unlock()
+	if !auto || closed || len(p.cancels) > 0 {
+		return
+	}
+	for _, base := range st.bases {
+		hostID := p.baseAt
+		if p.inc == nil {
+			// Full-refresh views read their bases wherever they live.
+			id, err := m.hostOf(base, p.at)
+			if err != nil {
+				continue
+			}
+			hostID = id
+		}
+		host, ok := m.sys.Peer(hostID)
+		if !ok {
+			continue
+		}
+		ch, cancel := host.Watch(base)
+		p.cancels = append(p.cancels, cancel)
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case _, ok := <-ch:
+					if !ok {
+						return
+					}
+					_, _ = m.refreshState(st)
+				}
+			}
+		}()
+	}
+}
+
+// Close stops all auto-refresh watchers and waits for in-flight
+// refreshes to finish. The materialized documents stay installed.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.done)
+	states := make([]*state, 0, len(m.views))
+	for _, st := range m.views {
+		states = append(states, st)
+	}
+	m.mu.Unlock()
+	for _, st := range states {
+		st.mu.Lock()
+		for _, p := range st.placements {
+			for _, cancel := range p.cancels {
+				cancel()
+			}
+			p.cancels = nil
+		}
+		st.mu.Unlock()
+	}
+	m.wg.Wait()
+}

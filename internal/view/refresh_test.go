@@ -1,0 +1,285 @@
+package view
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+func addItem(t testing.TB, sys *core.System, at netsim.PeerID, doc string, price int, name string) {
+	t.Helper()
+	p, _ := sys.Peer(at)
+	d, ok := p.Document(doc)
+	if !ok {
+		t.Fatalf("no document %q at %s", doc, at)
+	}
+	item := xmltree.E("item",
+		xmltree.E("name", xmltree.T(name)),
+		xmltree.E("price", xmltree.T(fmt.Sprint(price))))
+	if err := p.AddChild(d.Root.ID, item); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectedTrees evaluates the view query directly against the base
+// peer's store — the ground truth a fresh materialization would hold.
+func expectedTrees(t testing.TB, sys *core.System, at netsim.PeerID, src string) []*xmltree.Node {
+	t.Helper()
+	p, _ := sys.Peer(at)
+	out, err := p.RunQuery(xquery.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// sameMultiset compares two forests by canonical hash, order-blind.
+func sameMultiset(a, b []*xmltree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := map[xmltree.Digest]int{}
+	for _, n := range a {
+		counts[xmltree.Hash(n)]++
+	}
+	for _, n := range b {
+		counts[xmltree.Hash(n)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIncrementalRefreshStaysConsistent(t *testing.T) {
+	sys := testSystem(t, 80)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Views()[0].Mode != "incremental" {
+		t.Fatalf("expected incremental mode, got %s", m.Views()[0].Mode)
+	}
+
+	addItem(t, sys, "data", "catalog", 5, "matching-a")
+	addItem(t, sys, "data", "catalog", 999, "too-expensive")
+	addItem(t, sys, "data", "catalog", 120, "matching-b")
+
+	before := sys.Net.Stats().Bytes
+	shipped, err := m.Refresh("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped != 2 {
+		t.Errorf("refresh shipped %d trees, want 2", shipped)
+	}
+	deltaBytes := sys.Net.Stats().Bytes - before
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	if full := int64(catalog.Root.ByteSize()); deltaBytes >= full {
+		t.Errorf("incremental refresh moved %d bytes, full doc is %d", deltaBytes, full)
+	}
+
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("view diverged from its definition after incremental refresh")
+	}
+
+	// A second refresh with no base change ships nothing.
+	if n, err := m.Refresh("cheap"); err != nil || n != 0 {
+		t.Errorf("idle refresh shipped %d (err %v), want 0", n, err)
+	}
+}
+
+func TestFullRefreshFallback(t *testing.T) {
+	sys := testSystem(t, 40)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	// A let-first aggregation is not incrementalizable: the manager
+	// must fall back to full re-materialization.
+	src := `let $all := doc("catalog")/item return <summary n="{count($all)}"/>`
+	if err := m.Define("stats", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Views()[0].Mode != "recompute" {
+		t.Fatalf("expected recompute mode, got %s", m.Views()[0].Mode)
+	}
+	check := func() {
+		kids := viewTrees(t, sys, "client", "stats")
+		if len(kids) != 1 {
+			t.Fatalf("summary view has %d trees", len(kids))
+		}
+		want := expectedTrees(t, sys, "data", src)
+		if !sameMultiset(kids, want) {
+			t.Errorf("summary stale: have %s want %s",
+				xmltree.Serialize(kids[0]), xmltree.Serialize(want[0]))
+		}
+	}
+	check()
+	addItem(t, sys, "data", "catalog", 10, "later")
+	addItem(t, sys, "data", "catalog", 20, "even-later")
+	if _, err := m.Refresh("stats"); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+func TestReplicaViewFullRefresh(t *testing.T) {
+	sys := testSystem(t, 15)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	if err := m.Define("copy", `doc("catalog")`, "client"); err != nil {
+		t.Fatal(err)
+	}
+	addItem(t, sys, "data", "catalog", 42, "fresh")
+	if _, err := m.Refresh("copy"); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := sys.Peer("client")
+	data, _ := sys.Peer("data")
+	cp, _ := client.Document(DocPrefix + "copy")
+	orig, _ := data.Document("catalog")
+	if !xmltree.Equal(cp.Root, orig.Root) {
+		t.Error("replica view stale after full refresh")
+	}
+	// The reinstalled root must still resolve through d@any.
+	if _, err := sys.Eval("client", &core.Doc{Name: "catalog", At: core.AnyPeer}); err != nil {
+		t.Errorf("d@any after replica refresh: %v", err)
+	}
+}
+
+// TestAutoRefreshConcurrentUpdates races concurrent base-document
+// writers against watcher-driven view maintenance; run under -race.
+// After the writers finish and the manager quiesces, one final
+// synchronous refresh must leave the view exactly consistent.
+func TestAutoRefreshConcurrentUpdates(t *testing.T) {
+	sys := testSystem(t, 10)
+	defer sys.Close()
+	m := NewManager(sys)
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	m.AutoRefresh()
+
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				addItem(t, sys, "data", "catalog", (w*perWriter+i)%1000,
+					fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Close() // stop watchers, join in-flight refreshes
+
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("view inconsistent after concurrent updates")
+	}
+}
+
+func TestRefreshAllCoversEveryView(t *testing.T) {
+	sys := testSystem(t, 20)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	if err := m.Define("a", `for $i in doc("catalog")/item where $i/price < 500 return $i`, "client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define("b", `for $i in doc("catalog")/item where $i/price >= 500 return $i`, "client"); err != nil {
+		t.Fatal(err)
+	}
+	addItem(t, sys, "data", "catalog", 100, "cheap-one")
+	addItem(t, sys, "data", "catalog", 900, "dear-one")
+	n, err := m.RefreshAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("RefreshAll moved %d trees, want 2", n)
+	}
+}
+
+// TestFailedShipIsRetried regression-tests delta delivery: a refresh
+// whose ship fails (placement peer down) must re-emit the same rows
+// once the peer returns, not lose them.
+func TestFailedShipIsRetried(t *testing.T) {
+	sys := testSystem(t, 10)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	addItem(t, sys, "data", "catalog", 7, "fragile")
+	sys.Net.SetDown("client", true)
+	if _, err := m.Refresh("cheap"); err == nil {
+		t.Fatal("refresh to a down peer should fail")
+	}
+	sys.Net.SetDown("client", false)
+	n, err := m.Refresh("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("retry shipped %d trees, want the 1 lost in the failed refresh", n)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("view lost rows across the failed ship")
+	}
+}
+
+// TestFailedDefineLeavesNoGhost regression-tests definition rollback:
+// a Define whose materialization fails must not leave a view state
+// that rewrites queries onto a never-installed document.
+func TestFailedDefineLeavesNoGhost(t *testing.T) {
+	sys := testSystem(t, 5)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("nosuchdoc")/item return $i`
+	if err := m.Define("ghost", src, "client"); err == nil {
+		t.Fatal("defining over a missing base should fail")
+	}
+	if len(m.Views()) != 0 {
+		t.Fatalf("failed define left state: %+v", m.Views())
+	}
+	if _, _, ok := m.RewriteBest(xquery.MustParse(
+		`for $i in doc("nosuchdoc")/item where $i/p < 1 return $i`)); ok {
+		t.Error("ghost view still rewrites queries")
+	}
+	// Once the base exists, the same definition must succeed.
+	p, _ := sys.Peer("data")
+	if err := p.InstallDocument("nosuchdoc", xmltree.MustParse(`<d><item><p>0</p></item></d>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define("ghost", src, "client"); err != nil {
+		t.Errorf("re-define after installing the base: %v", err)
+	}
+}

@@ -9,11 +9,16 @@
 //	QUERY <xquery on one line>
 //	CALL <service> [<param-forest-xml>]
 //	INSTALL <docname> <xml>
+//	DEFVIEW <name>[@<peer>] <xquery on one line>
 //	LIST
 //
 // Replies: <x:forest>…</x:forest>, <x:ok/>, <x:info>…</x:info> or
 // <x:error>message</x:error>, always one line (the XML serializer
 // emits no newlines in compact mode).
+//
+// DEFVIEW materializes the query as a view on the served peer (the
+// optional @peer placement must name it); subsequent QUERYs that the
+// view subsumes are transparently rewritten to read it.
 package wire
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 
 	"axml/internal/peer"
+	"axml/internal/view"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 )
@@ -30,9 +36,12 @@ import (
 // maxLine bounds request/reply sizes (16 MiB).
 const maxLine = 16 << 20
 
-// Server serves one peer over a listener.
+// Server serves one peer over a listener. When Views is set (the peer
+// then belongs to a core.System), DEFVIEW is accepted and queries are
+// answered from matching views.
 type Server struct {
-	Peer *peer.Peer
+	Peer  *peer.Peer
+	Views *view.Manager
 }
 
 // Serve accepts connections until the listener is closed.
@@ -81,6 +90,8 @@ func (s *Server) dispatch(line string) string {
 		return s.doCall(rest)
 	case "INSTALL":
 		return s.doInstall(rest)
+	case "DEFVIEW":
+		return s.doDefView(rest)
 	case "LIST":
 		return s.doList()
 	default:
@@ -93,11 +104,40 @@ func (s *Server) doQuery(src string) string {
 	if err != nil {
 		return errReply(err)
 	}
+	if s.Views != nil {
+		// Served views are local by construction, so any match wins.
+		// Only the matched view is refreshed, and only when one
+		// matches — non-matching queries pay nothing.
+		if rw, name, ok := s.Views.RewriteBest(q); ok {
+			if _, err := s.Views.Refresh(name); err != nil {
+				return errReply(err)
+			}
+			q = rw
+		}
+	}
 	out, err := s.Peer.RunQuery(q)
 	if err != nil {
 		return errReply(err)
 	}
 	return forestReply(out)
+}
+
+func (s *Server) doDefView(rest string) string {
+	spec, src, ok := strings.Cut(rest, " ")
+	if !ok || spec == "" {
+		return errReply(fmt.Errorf("DEFVIEW requires a name and a query"))
+	}
+	if s.Views == nil {
+		return errReply(fmt.Errorf("this peer does not serve views"))
+	}
+	name, placement, placed := strings.Cut(spec, "@")
+	if placed && placement != string(s.Peer.ID) {
+		return errReply(fmt.Errorf("placement %q is not the served peer %q", placement, s.Peer.ID))
+	}
+	if err := s.Views.Define(name, src, s.Peer.ID); err != nil {
+		return errReply(err)
+	}
+	return "<x:ok/>"
 }
 
 func (s *Server) doCall(rest string) string {
@@ -155,6 +195,14 @@ func (s *Server) doList() string {
 	}
 	for _, svc := range s.Peer.ServiceNames() {
 		info.AppendChild(xmltree.E("service", xmltree.A("name", svc)))
+	}
+	if s.Views != nil {
+		for _, v := range s.Views.Views() {
+			info.AppendChild(xmltree.E("view",
+				xmltree.A("name", v.Name),
+				xmltree.A("mode", v.Mode),
+				xmltree.A("query", v.Query)))
+		}
 	}
 	return xmltree.Serialize(info)
 }
@@ -247,6 +295,14 @@ func (c *Client) Install(name string, doc *xmltree.Node) error {
 	return err
 }
 
+// DefineView materializes src as a view on the server. spec is the
+// view name, optionally suffixed "@peer" (which must name the served
+// peer).
+func (c *Client) DefineView(spec, src string) error {
+	_, err := c.roundTrip("DEFVIEW " + spec + " " + src)
+	return err
+}
+
 // List returns the server's document and service names.
 func (c *Client) List() (docs, services []string, err error) {
 	root, err := c.roundTrip("LIST")
@@ -263,6 +319,22 @@ func (c *Client) List() (docs, services []string, err error) {
 		}
 	}
 	return docs, services, nil
+}
+
+// ListViews returns the server's views as "name (mode): query" lines.
+func (c *Client) ListViews() ([]string, error) {
+	root, err := c.roundTrip("LIST")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ch := range root.ChildElementsByLabel("view") {
+		name, _ := ch.Attr("name")
+		mode, _ := ch.Attr("mode")
+		query, _ := ch.Attr("query")
+		out = append(out, fmt.Sprintf("%s (%s): %s", name, mode, query))
+	}
+	return out, nil
 }
 
 func detachChildren(root *xmltree.Node) []*xmltree.Node {

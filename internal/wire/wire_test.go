@@ -5,8 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"axml/internal/core"
+	"axml/internal/netsim"
 	"axml/internal/peer"
 	"axml/internal/service"
+	"axml/internal/view"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 )
@@ -138,5 +141,81 @@ func TestServerErrors(t *testing.T) {
 	// The connection survives errors.
 	if _, err := c.Query(`doc("catalog")/item/name`); err != nil {
 		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+// startViewServer is startServer with the peer inside a system, so
+// DEFVIEW works.
+func startViewServer(t *testing.T) (*Client, *peer.Peer, *view.Manager) {
+	t.Helper()
+	sys := core.NewSystem(netsim.New())
+	p := sys.MustAddPeer("store")
+	if err := p.InstallDocument("catalog", xmltree.MustParse(
+		`<catalog><item><name>chair</name><price>30</price></item>
+		 <item><name>desk</name><price>120</price></item></catalog>`)); err != nil {
+		t.Fatal(err)
+	}
+	views := view.NewManager(sys)
+	t.Cleanup(views.Close)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Peer: p, Views: views}
+	go srv.Serve(l) //nolint:errcheck // closed by test cleanup
+	t.Cleanup(func() { l.Close() })
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, p, views
+}
+
+func TestDefineViewOverWire(t *testing.T) {
+	c, p, _ := startViewServer(t)
+	if err := c.DefineView("cheap@store",
+		`for $i in doc("catalog")/item where $i/price < 100 return $i`); err != nil {
+		t.Fatalf("DefineView: %v", err)
+	}
+	if !p.HasDocument("view:cheap") {
+		t.Error("view document not materialized on the served peer")
+	}
+	// A subsumed query is answered from the view even as the base grows.
+	doc, _ := p.Document("catalog")
+	if err := p.AddChild(doc.Root.ID, xmltree.MustParse(
+		`<item><name>stool</name><price>10</price></item>`)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Query(`for $i in doc("catalog")/item where $i/price < 100 return $i/name`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(out) != 2 {
+		t.Errorf("view-backed query returned %d rows, want 2", len(out))
+	}
+	vs, err := c.ListViews()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !strings.Contains(vs[0], "cheap") {
+		t.Errorf("ListViews = %v", vs)
+	}
+}
+
+func TestDefineViewRejectsForeignPlacement(t *testing.T) {
+	c, _, _ := startViewServer(t)
+	err := c.DefineView("v@elsewhere", `for $i in doc("catalog")/item return $i`)
+	if err == nil || !strings.Contains(err.Error(), "placement") {
+		t.Errorf("foreign placement should be rejected, got %v", err)
+	}
+}
+
+func TestDefineViewWithoutManager(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.DefineView("v", `for $i in doc("catalog")/item return $i`); err == nil {
+		t.Error("DEFVIEW on a view-less server should fail")
 	}
 }

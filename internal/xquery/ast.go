@@ -124,6 +124,17 @@ type Path struct {
 	Docs []string // document names referenced via doc()
 }
 
+// DocPath constructs a path rooted at doc("name") with the given
+// location steps — the programmatic form of what the parser produces
+// for `doc("name")/step/...`. Query rewriters (view matching) use it to
+// re-root a query on a different document.
+func DocPath(name string, steps ...xpath.Step) *Path {
+	return &Path{
+		X:    &xpath.PathExpr{Filter: xpath.VarRef(docVarPrefix + name), Steps: steps},
+		Docs: []string{name},
+	}
+}
+
 func (p *Path) String() string { return renderPathWithDocs(p.X) }
 
 // Elem is an element constructor <Label attr...>content</Label>.

@@ -68,6 +68,10 @@ type DeltaFor struct {
 	source  *Path
 	rest    *FLWR // body with the leading for clause removed
 	visited map[*xmltree.Node]bool
+	// lastBatch records the source nodes consumed by the most recent
+	// Delta, so a caller whose delivery failed can Rollback and have
+	// them re-emitted next time.
+	lastBatch []*xmltree.Node
 }
 
 // NewDeltaFor creates the incremental evaluator. ok is false when the
@@ -112,8 +116,14 @@ func NewDeltaFor(q *Query, env *Env) (*DeltaFor, bool) {
 
 // Delta evaluates the query body for source nodes that appeared since
 // the previous call and returns the corresponding results.
-func (d *DeltaFor) Delta() ([]*xmltree.Node, error) {
-	ctx := &evalCtx{env: d.env, vars: map[string]xpath.Value{}}
+func (d *DeltaFor) Delta() ([]*xmltree.Node, error) { return d.DeltaWith(d.env) }
+
+// DeltaWith is Delta evaluated against env instead of the constructor's
+// environment. View maintenance uses it to run each delta under the
+// hosting peer's read lock: the caller passes a resolver that is only
+// valid for the duration of the locked section.
+func (d *DeltaFor) DeltaWith(env *Env) (out []*xmltree.Node, retErr error) {
+	ctx := &evalCtx{env: env, vars: map[string]xpath.Value{}}
 	val, err := evalToValue(d.source, ctx)
 	if err != nil {
 		return nil, err
@@ -122,12 +132,20 @@ func (d *DeltaFor) Delta() ([]*xmltree.Node, error) {
 	if !ok {
 		return nil, errf("for $%s: source is not a node sequence", d.forVar)
 	}
-	var out []*xmltree.Node
+	d.lastBatch = nil
+	// An evaluation error mid-batch must not consume the sources
+	// already marked, or their results would be lost forever.
+	defer func() {
+		if retErr != nil {
+			d.Rollback()
+		}
+	}()
 	for _, n := range ns {
 		if d.visited[n] {
 			continue
 		}
 		d.visited[n] = true
+		d.lastBatch = append(d.lastBatch, n)
 		tup := ctx.child()
 		tup.vars[d.forVar] = xpath.NodeSet{n}
 		if len(d.rest.Clauses) == 0 && d.rest.Order == nil {
@@ -154,4 +172,15 @@ func (d *DeltaFor) Delta() ([]*xmltree.Node, error) {
 		out = append(out, forest...)
 	}
 	return out, nil
+}
+
+// Rollback un-marks the source nodes consumed by the most recent
+// Delta/DeltaWith, so they are re-emitted on the next call. Callers
+// whose downstream delivery of the delta failed use it to avoid
+// losing those results.
+func (d *DeltaFor) Rollback() {
+	for _, n := range d.lastBatch {
+		delete(d.visited, n)
+	}
+	d.lastBatch = nil
 }
