@@ -1,6 +1,8 @@
-// Command axmlbench runs the experiment suite (E1–E11) and prints the
+// Command axmlbench runs the experiment suite (E1–E12) and prints the
 // tables recorded in EXPERIMENTS.md. E11 measures the materialized-
-// view subsystem (internal/view) on a subscription workload.
+// view subsystem (internal/view) on a subscription workload; E12
+// measures provenance-based view maintenance against full refresh on
+// a churn workload with deletions and in-place updates.
 //
 // Usage:
 //
@@ -86,6 +88,9 @@ func run(quick bool) ([]*bench.Table, error) {
 		return nil, err
 	}
 	if err := add(bench.E11Views(3, 100, 3, 10)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E12ChurnMaintenance(100, 3, 10)); err != nil {
 		return nil, err
 	}
 	return tables, nil

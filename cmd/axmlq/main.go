@@ -8,11 +8,19 @@
 //	axmlq -addr localhost:7012 -list
 //	axmlq -addr localhost:7012 \
 //	      -view 'cheap=for $i in doc("catalog")/item where $i/price < 100 return $i@store'
+//	axmlq -addr localhost:7012 -delete 'doc("catalog")/item[price > 900]'
+//	axmlq -addr localhost:7012 \
+//	      -replace 'doc("catalog")/item[name="x"]' -with '<item><name>x</name><price>5</price></item>'
 //
 // -view materializes a view on the peer: name=query, optionally
 // suffixed @peer to assert the placement (it must be the served peer —
 // the wire endpoint is that peer's deployment face). Once defined,
 // -query requests the view subsumes are answered from it.
+//
+// -delete removes every node the path query selects; -replace swaps
+// each selected node for the -with tree. Both drive the peer's typed
+// update stream, so materialized views over the touched documents
+// retract or re-derive exactly the affected rows.
 package main
 
 import (
@@ -37,6 +45,9 @@ func main() {
 	call := flag.String("call", "", "service to call")
 	params := flag.String("params", "", "XML parameter forest for -call")
 	list := flag.Bool("list", false, "list remote documents, services and views")
+	del := flag.String("delete", "", "path query whose matches to delete")
+	replace := flag.String("replace", "", "path query whose matches to replace (requires -with)")
+	with := flag.String("with", "", "replacement tree for -replace")
 	compact := flag.Bool("compact", false, "print results without indentation")
 	var views viewFlags
 	flag.Var(&views, "view", "name=query[@peer] view to materialize (repeatable)")
@@ -98,6 +109,25 @@ func main() {
 			log.Fatalf("axmlq: %v", err)
 		}
 		printForest(out, *compact)
+	case *del != "":
+		n, err := c.Delete(*del)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		fmt.Printf("deleted %d node(s)\n", n)
+	case *replace != "":
+		if *with == "" {
+			log.Fatal("axmlq: -replace requires -with")
+		}
+		tree, err := xmltree.Parse(*with)
+		if err != nil {
+			log.Fatalf("axmlq: bad -with: %v", err)
+		}
+		n, err := c.Replace(*replace, tree)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		fmt.Printf("replaced %d node(s)\n", n)
 	default:
 		if len(views) == 0 {
 			flag.Usage()

@@ -171,6 +171,24 @@ func TestE11Shape(t *testing.T) {
 	}
 }
 
+func TestE12Shape(t *testing.T) {
+	tab, err := E12ChurnMaintenance(150, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	full, inc := tab.Rows[0], tab.Rows[1]
+	if parseF(t, inc[1]) >= parseF(t, full[1]) {
+		t.Errorf("provenance maintenance should ship fewer bytes under churn: %s vs %s",
+			inc[1], full[1])
+	}
+	if inc[4] != full[4] {
+		t.Errorf("configs disagree on view rows: %v vs %v", inc, full)
+	}
+}
+
 func TestTablePrint(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "test", Anchor: "none",

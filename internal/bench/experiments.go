@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 	"time"
 
@@ -807,6 +808,153 @@ func E11Views(clients, items, rounds, perRound int) (*Table, error) {
 	return t, nil
 }
 
+// E12ChurnMaintenance measures view maintenance on a non-monotone
+// stream: each round inserts fresh items, deletes ~10% of the live
+// ones and updates ~10% in place, then refreshes a selection view
+// placed across the WAN. Delta provenance (xquery.DeltaEvents +
+// x:retract tombstones) ships only the affected rows; the baseline
+// re-materializes the full view every round (Manager.RefreshFull).
+// Both runs end with a convergence check against a direct evaluation
+// of the view query at the base.
+func E12ChurnMaintenance(items, rounds, perRound int) (*Table, error) {
+	t := &Table{
+		ID:     "E12",
+		Title:  "View maintenance under churn: delta provenance vs full refresh",
+		Anchor: "internal/view + xquery.DeltaEvents (node-id lineage)",
+		Header: []string{"config", "bytes", "msgs", "meanMs", "rows"},
+		Notes:  "per round: inserts + ~10% deletes + ~10% in-place updates; meanMs is wall-clock per refresh",
+	}
+	vsrc := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+
+	run := func(full bool) (Measurement, error) {
+		sys := uniformSystem(wanLink, "data", "client")
+		defer sys.Close()
+		installCatalog(sys, "data", workload.CatalogSpec{
+			Items: items, PriceMax: 1000, DescWords: 4, Seed: 31})
+		mgr := view.NewManager(sys)
+		defer mgr.Close()
+		if err := mgr.Define("cheap", vsrc, "client"); err != nil {
+			return Measurement{}, err
+		}
+		data, _ := sys.Peer("data")
+		catalog, _ := data.Document("catalog")
+		var live []xmltree.NodeID
+		for _, it := range catalog.Root.ChildElementsByLabel("item") {
+			live = append(live, it.ID)
+		}
+		newItem := func(n int) *xmltree.Node {
+			return xmltree.E("item",
+				xmltree.A("id", fmt.Sprintf("c%d", n)),
+				xmltree.E("name", xmltree.T(fmt.Sprintf("churn-%d", n))),
+				xmltree.E("price", xmltree.T(fmt.Sprint(n*37%1000))))
+		}
+		rng := rand.New(rand.NewSource(97))
+		base := sys.Net.Stats() // count maintenance traffic only
+		maintMs, refreshes, serial := 0.0, 0, items
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < perRound; k++ {
+				item := newItem(serial)
+				serial++
+				if err := data.AddChild(catalog.Root.ID, item); err != nil {
+					return Measurement{}, err
+				}
+				live = append(live, item.ID)
+			}
+			churn := len(live) / 10
+			for k := 0; k < churn && len(live) > 1; k++ {
+				i := rng.Intn(len(live))
+				if rng.Intn(2) == 0 {
+					if err := data.RemoveChildByID(catalog.Root.ID, live[i]); err != nil {
+						return Measurement{}, err
+					}
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				} else {
+					repl := newItem(serial)
+					serial++
+					if err := data.ReplaceChildByID(catalog.Root.ID, live[i], repl); err != nil {
+						return Measurement{}, err
+					}
+					live[i] = repl.ID
+				}
+			}
+			start := time.Now()
+			var err error
+			if full {
+				_, err = mgr.RefreshFull("cheap")
+			} else {
+				_, err = mgr.Refresh("cheap")
+			}
+			if err != nil {
+				return Measurement{}, err
+			}
+			maintMs += float64(time.Since(start).Microseconds()) / 1000
+			refreshes++
+		}
+		client, _ := sys.Peer("client")
+		vdoc, ok := client.Document(view.DocPrefix + "cheap")
+		if !ok {
+			return Measurement{}, fmt.Errorf("view document missing")
+		}
+		truth, err := data.RunQuery(xquery.MustParse(vsrc))
+		if err != nil {
+			return Measurement{}, err
+		}
+		if !sameForestMultiset(vdoc.Root.Children, truth) {
+			return Measurement{}, fmt.Errorf("view diverged from ground truth (%d rows vs %d)",
+				len(vdoc.Root.Children), len(truth))
+		}
+		st := sys.Net.Stats()
+		return Measurement{
+			Bytes:    st.Bytes - base.Bytes,
+			Messages: st.Messages - base.Messages,
+			VT:       maintMs / float64(refreshes),
+			Results:  len(vdoc.Root.Children),
+		}, nil
+	}
+
+	fullM, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("E12 full-refresh: %w", err)
+	}
+	incM, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("E12 incremental: %w", err)
+	}
+	if fullM.Results != incM.Results {
+		return nil, fmt.Errorf("E12: row mismatch %d vs %d", fullM.Results, incM.Results)
+	}
+	t.Rows = append(t.Rows,
+		[]string{"full-refresh", fmtBytes(fullM.Bytes), fmt.Sprint(fullM.Messages),
+			fmtMs(fullM.VT), fmt.Sprint(fullM.Results)},
+		[]string{"incremental", fmtBytes(incM.Bytes), fmt.Sprint(incM.Messages),
+			fmtMs(incM.VT), fmt.Sprint(incM.Results)},
+		[]string{"gain", factor(fullM.Bytes, incM.Bytes), factor(fullM.Messages, incM.Messages),
+			factorF(fullM.VT, incM.VT), ""})
+	return t, nil
+}
+
+// sameForestMultiset compares two forests by canonical hash, ignoring
+// order and node identity.
+func sameForestMultiset(a, b []*xmltree.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := map[xmltree.Digest]int{}
+	for _, n := range a {
+		counts[xmltree.Hash(n)]++
+	}
+	for _, n := range b {
+		counts[xmltree.Hash(n)]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // All runs the full suite with the default parameters used by
 // cmd/axmlbench and EXPERIMENTS.md.
 func All() ([]*Table, error) {
@@ -849,6 +997,9 @@ func All() ([]*Table, error) {
 		return nil, err
 	}
 	if err := add(E11Views(4, 400, 5, 20)); err != nil {
+		return nil, err
+	}
+	if err := add(E12ChurnMaintenance(400, 6, 20)); err != nil {
 		return nil, err
 	}
 	return tables, nil

@@ -78,9 +78,10 @@ func (s *System) subscribe(providerID netsim.PeerID, svc *service.Service,
 	return nil
 }
 
-// pump forwards document-change signals into the subscription's wake
-// channel (coalescing).
-func (sub *subscription) pump(ch <-chan struct{}) {
+// pump forwards document-change events into the subscription's wake
+// channel (coalescing; the event detail is not needed — the delta
+// function diffs against its own emitted state).
+func (sub *subscription) pump(ch <-chan peer.Change) {
 	for {
 		select {
 		case <-sub.done:

@@ -49,6 +49,49 @@ type Document struct {
 	Version int64
 }
 
+// ChangeKind discriminates typed document-change events.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert: a subtree was added (AddChild, InsertAfter).
+	ChangeInsert ChangeKind = iota + 1
+	// ChangeDelete: a subtree was removed (RemoveChildByID).
+	ChangeDelete
+	// ChangeReplace: a subtree was swapped in place (ReplaceChildByID,
+	// ReplaceChildren — for the bulk form Node is the parent).
+	ChangeReplace
+	// ChangeTouch: a version bump without structural detail (Touch).
+	ChangeTouch
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeDelete:
+		return "delete"
+	case ChangeReplace:
+		return "replace"
+	case ChangeTouch:
+		return "touch"
+	default:
+		return "change"
+	}
+}
+
+// Change is one typed document-change notification: what happened, to
+// which document, and the identifier of the affected subtree root (the
+// inserted/replacing tree for inserts and replaces, the removed tree
+// for deletes; zero for Touch). Watch channels coalesce under
+// backpressure — a received Change means "at least this happened since
+// you last looked", so consumers that need exactness (view maintenance)
+// diff against their own recorded state rather than replaying events.
+type Change struct {
+	Kind ChangeKind
+	Doc  string
+	Node xmltree.NodeID
+}
+
 type indexEntry struct {
 	node *xmltree.Node
 	doc  string
@@ -63,7 +106,7 @@ type Peer struct {
 	services map[string]*service.Service
 	idgen    xmltree.SeqIDGen
 	index    map[xmltree.NodeID]indexEntry
-	watchers map[string][]chan struct{}
+	watchers map[string][]chan Change
 }
 
 // New creates an empty peer.
@@ -73,7 +116,7 @@ func New(id netsim.PeerID) *Peer {
 		docs:     map[string]*Document{},
 		services: map[string]*service.Service{},
 		index:    map[xmltree.NodeID]indexEntry{},
-		watchers: map[string][]chan struct{}{},
+		watchers: map[string][]chan Change{},
 	}
 }
 
@@ -177,7 +220,7 @@ func (p *Peer) AddChild(parent xmltree.NodeID, tree *xmltree.Node) error {
 	}
 	p.adopt(tree, e.doc)
 	e.node.AppendChild(tree)
-	p.bumpLocked(e.doc)
+	p.bumpLocked(e.doc, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
 	return nil
 }
 
@@ -197,7 +240,68 @@ func (p *Peer) InsertAfter(ref xmltree.NodeID, tree *xmltree.Node) error {
 	if err := e.node.Parent.InsertAfter(e.node, tree); err != nil {
 		return err
 	}
-	p.bumpLocked(e.doc)
+	p.bumpLocked(e.doc, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
+	return nil
+}
+
+// RemoveChildByID detaches the identified node from its parent,
+// de-indexes the whole subtree and notifies watchers with a delete
+// event. When parent is nonzero the node must currently be a child of
+// that node (the safety check used when retraction tombstones land);
+// parent zero removes the node from wherever it hangs. Document roots
+// cannot be removed this way (use RemoveDocument).
+func (p *Peer) RemoveChildByID(parent, child xmltree.NodeID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.index[child]
+	if !ok {
+		return fmt.Errorf("peer %s: no node n%d", p.ID, child)
+	}
+	if e.node.Parent == nil {
+		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, child)
+	}
+	if parent != 0 && e.node.Parent.ID != parent {
+		return fmt.Errorf("peer %s: node n%d is not a child of n%d", p.ID, child, parent)
+	}
+	e.node.Parent.RemoveChild(e.node)
+	e.node.Walk(func(n *xmltree.Node) bool {
+		delete(p.index, n.ID)
+		return true
+	})
+	p.bumpLocked(e.doc, Change{Kind: ChangeDelete, Doc: e.doc, Node: child})
+	return nil
+}
+
+// ReplaceChildByID swaps the identified node for tree in place
+// (position preserved). The old subtree is de-indexed, the new one
+// adopted (fresh IDs, indexed), and watchers are notified with a
+// replace event carrying the new subtree root's identifier. The same
+// parent check as RemoveChildByID applies.
+func (p *Peer) ReplaceChildByID(parent, child xmltree.NodeID, tree *xmltree.Node) error {
+	if tree == nil {
+		return fmt.Errorf("peer %s: ReplaceChildByID(nil)", p.ID)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.index[child]
+	if !ok {
+		return fmt.Errorf("peer %s: no node n%d", p.ID, child)
+	}
+	if e.node.Parent == nil {
+		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, child)
+	}
+	if parent != 0 && e.node.Parent.ID != parent {
+		return fmt.Errorf("peer %s: node n%d is not a child of n%d", p.ID, child, parent)
+	}
+	p.adopt(tree, e.doc)
+	if !e.node.Parent.ReplaceChild(e.node, tree) {
+		return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, child)
+	}
+	e.node.Walk(func(n *xmltree.Node) bool {
+		delete(p.index, n.ID)
+		return true
+	})
+	p.bumpLocked(e.doc, Change{Kind: ChangeReplace, Doc: e.doc, Node: tree.ID})
 	return nil
 }
 
@@ -228,8 +332,52 @@ func (p *Peer) ReplaceChildren(id xmltree.NodeID, forest []*xmltree.Node) error 
 		p.adopt(tree, e.doc)
 		e.node.AppendChild(tree)
 	}
-	p.bumpLocked(e.doc)
+	p.bumpLocked(e.doc, Change{Kind: ChangeReplace, Doc: e.doc, Node: id})
 	return nil
+}
+
+// ChildIDs returns the identifiers of the node's current children, in
+// sibling order. View maintenance uses it to align freshly landed rows
+// with the provenance that produced them.
+func (p *Peer) ChildIDs(id xmltree.NodeID) ([]xmltree.NodeID, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.index[id]
+	if !ok {
+		return nil, fmt.Errorf("peer %s: no node n%d", p.ID, id)
+	}
+	out := make([]xmltree.NodeID, len(e.node.Children))
+	for i, c := range e.node.Children {
+		out[i] = c.ID
+	}
+	return out, nil
+}
+
+// SelectIDs evaluates a query whose body is a bare path under the read
+// lock and returns the identifiers of the matched live nodes. It is
+// the addressing step of the update verbs (wire DELETE/REPLACE): the
+// caller turns the IDs into RemoveChildByID/ReplaceChildByID calls.
+func (p *Peer) SelectIDs(q *xquery.Query) ([]xmltree.NodeID, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
+		d, ok := p.docs[name]
+		if !ok {
+			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+		}
+		return d.Root, nil
+	}}
+	ns, err := xquery.LiveNodes(q, env)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]xmltree.NodeID, 0, len(ns))
+	for _, n := range ns {
+		if n.ID != 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out, nil
 }
 
 // SnapshotEval runs fn under the peer's read lock with a resolver over
@@ -258,9 +406,9 @@ func (p *Peer) adopt(tree *xmltree.Node, doc string) {
 	})
 }
 
-// bumpLocked increments a document version and notifies watchers.
-// Callers hold p.mu.
-func (p *Peer) bumpLocked(doc string) {
+// bumpLocked increments a document version and notifies watchers with
+// the typed change event. Callers hold p.mu.
+func (p *Peer) bumpLocked(doc string, ev Change) {
 	d, ok := p.docs[doc]
 	if !ok {
 		return
@@ -268,7 +416,7 @@ func (p *Peer) bumpLocked(doc string) {
 	d.Version++
 	for _, ch := range p.watchers[doc] {
 		select {
-		case ch <- struct{}{}:
+		case ch <- ev:
 		default: // watcher already has a pending notification
 		}
 	}
@@ -279,13 +427,16 @@ func (p *Peer) bumpLocked(doc string) {
 func (p *Peer) Touch(doc string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.bumpLocked(doc)
+	p.bumpLocked(doc, Change{Kind: ChangeTouch, Doc: doc})
 }
 
-// Watch returns a channel receiving a (coalesced) signal whenever the
-// named document changes, and a cancel function.
-func (p *Peer) Watch(doc string) (<-chan struct{}, func()) {
-	ch := make(chan struct{}, 1)
+// Watch returns a channel receiving typed change events whenever the
+// named document changes, and a cancel function. Events coalesce: a
+// slow consumer keeps at most one pending event and loses the detail
+// of the ones dropped behind it, so a received Change is a trigger
+// plus a hint, never a complete replay of the mutation history.
+func (p *Peer) Watch(doc string) (<-chan Change, func()) {
+	ch := make(chan Change, 1)
 	p.mu.Lock()
 	p.watchers[doc] = append(p.watchers[doc], ch)
 	p.mu.Unlock()

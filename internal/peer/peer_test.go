@@ -275,3 +275,132 @@ func TestResolver(t *testing.T) {
 		t.Errorf("resolver miss: %v", err)
 	}
 }
+
+func TestRemoveChildByID(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(`<log><entry>one</entry><entry>two</entry></log>`)
+	if err := p.InstallDocument("log", root); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("log")
+	defer cancel()
+
+	victim := root.Children[0]
+	grandchild := victim.Children[0]
+	if err := p.RemoveChildByID(root.ID, victim.ID); err != nil {
+		t.Fatalf("RemoveChildByID: %v", err)
+	}
+	if len(root.Children) != 1 || root.Children[0].TextContent() != "two" {
+		t.Errorf("wrong child removed: %s", xmltree.Serialize(root))
+	}
+	if _, ok := p.NodeByID(victim.ID); ok {
+		t.Error("removed subtree root still indexed")
+	}
+	if _, ok := p.NodeByID(grandchild.ID); ok {
+		t.Error("removed subtree descendant still indexed")
+	}
+	select {
+	case ev := <-ch:
+		if ev.Kind != ChangeDelete || ev.Node != victim.ID || ev.Doc != "log" {
+			t.Errorf("event = %+v, want delete of n%d", ev, victim.ID)
+		}
+	default:
+		t.Error("no typed delete event")
+	}
+
+	// Errors: unknown node, wrong parent, document root.
+	if err := p.RemoveChildByID(0, 99999); err == nil {
+		t.Error("removing unknown node should error")
+	}
+	if err := p.RemoveChildByID(victim.ID, root.Children[0].ID); err == nil {
+		t.Error("wrong-parent check should fire")
+	}
+	if err := p.RemoveChildByID(0, root.ID); err == nil {
+		t.Error("removing a document root should error")
+	}
+}
+
+func TestReplaceChildByID(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(`<log><entry>one</entry><entry>two</entry></log>`)
+	if err := p.InstallDocument("log", root); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("log")
+	defer cancel()
+
+	old := root.Children[0]
+	repl := xmltree.E("entry", "rewritten")
+	if err := p.ReplaceChildByID(root.ID, old.ID, repl); err != nil {
+		t.Fatalf("ReplaceChildByID: %v", err)
+	}
+	if root.Children[0] != repl {
+		t.Error("replacement not in position 0")
+	}
+	if repl.ID == 0 {
+		t.Error("replacement not adopted")
+	}
+	if _, ok := p.NodeByID(old.ID); ok {
+		t.Error("replaced subtree still indexed")
+	}
+	if got, ok := p.NodeByID(repl.ID); !ok || got != repl {
+		t.Error("replacement not indexed")
+	}
+	select {
+	case ev := <-ch:
+		if ev.Kind != ChangeReplace || ev.Node != repl.ID {
+			t.Errorf("event = %+v, want replace with n%d", ev, repl.ID)
+		}
+	default:
+		t.Error("no typed replace event")
+	}
+}
+
+func TestTypedInsertEvent(t *testing.T) {
+	p := New("p1")
+	root := xmltree.E("d")
+	if err := p.InstallDocument("d", root); err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := p.Watch("d")
+	defer cancel()
+	tree := xmltree.E("a")
+	_ = p.AddChild(root.ID, tree)
+	select {
+	case ev := <-ch:
+		if ev.Kind != ChangeInsert || ev.Node != tree.ID {
+			t.Errorf("event = %+v, want insert of n%d", ev, tree.ID)
+		}
+	default:
+		t.Error("no insert event")
+	}
+	p.Touch("d")
+	select {
+	case ev := <-ch:
+		if ev.Kind != ChangeTouch {
+			t.Errorf("event = %+v, want touch", ev)
+		}
+	default:
+		t.Error("no touch event")
+	}
+}
+
+func TestSelectIDs(t *testing.T) {
+	p := New("p1")
+	root := xmltree.MustParse(
+		`<catalog><item><price>10</price></item><item><price>900</price></item></catalog>`)
+	if err := p.InstallDocument("catalog", root); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := p.SelectIDs(xquery.MustParse(`doc("catalog")/item[price > 100]`))
+	if err != nil {
+		t.Fatalf("SelectIDs: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != root.Children[1].ID {
+		t.Errorf("ids = %v, want the expensive item n%d", ids, root.Children[1].ID)
+	}
+	if _, err := p.SelectIDs(xquery.MustParse(
+		`for $i in doc("catalog")/item return $i`)); err == nil {
+		t.Error("non-path query should be rejected")
+	}
+}

@@ -1,25 +1,35 @@
-// View maintenance. Incremental views reuse xquery.DeltaFor: the base
-// peer evaluates the view query only over source nodes that appeared
-// since the last refresh (under its read lock, so concurrent updates
-// are excluded) and ships just the new results to each placement —
-// the ViP2P maintenance model. Every other shape falls back to full
-// re-materialization at the placement peer. AutoRefresh subscribes to
-// the base documents' change notifications so views follow updates
-// without polling; Refresh/RefreshAll are the synchronous entry points
-// tests and benchmarks drive deterministically.
+// View maintenance. Incremental views reuse xquery.DeltaFor's delta
+// provenance: the base peer evaluates the view query only over source
+// nodes that appeared or changed since the last refresh (under its
+// read lock, so concurrent updates are excluded) and ships just the
+// difference to each placement — additions as new result trees,
+// retractions as x:retract tombstones that remove exactly the view
+// rows the vanished source had produced (node-id lineage, see
+// placement.prov). This keeps views correct under deletions and
+// in-place updates, beyond the insert-only fragment of Positive AXML.
+// Every other query shape falls back to full re-materialization at the
+// placement peer. AutoRefresh subscribes to the base documents' typed
+// change notifications so views follow updates without polling;
+// Refresh/RefreshAll are the synchronous entry points tests and
+// benchmarks drive deterministically, and RefreshFull is the
+// force-full baseline (admin healing; experiment E12 measures it
+// against the provenance path on a churn workload).
 package view
 
 import (
+	"errors"
 	"fmt"
 
+	"axml/internal/core"
 	"axml/internal/peer"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 )
 
 // Refresh brings every placement of the named view up to date with its
-// base documents and returns the number of result trees shipped
-// (incremental) or materialized (full refresh).
+// base documents and returns the number of maintenance operations
+// applied (result trees shipped plus retractions landed, or trees
+// materialized on the full-refresh path).
 func (m *Manager) Refresh(name string) (int, error) {
 	st, ok := m.lookup(name)
 	if !ok {
@@ -29,62 +39,219 @@ func (m *Manager) Refresh(name string) (int, error) {
 }
 
 // RefreshAll refreshes every view (name order) and returns the total
-// trees moved.
+// operations applied.
 func (m *Manager) RefreshAll() (int, error) {
 	total := 0
+	var errs []error
 	for _, name := range m.names() {
 		n, err := m.Refresh(name)
 		total += n
 		if err != nil {
-			return total, err
+			errs = append(errs, err)
 		}
 	}
-	return total, nil
+	return total, errors.Join(errs...)
 }
 
+// RefreshFull re-materializes every placement of the named view from
+// scratch, bypassing incremental maintenance: the full current result
+// is shipped and the provenance state reset. It is the recovery path
+// when a placement is suspected of divergence, and the baseline
+// experiment E12 compares provenance-based maintenance against.
+func (m *Manager) RefreshFull(name string) (int, error) {
+	st, ok := m.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("view: no view %q", name)
+	}
+	return m.refreshStateWith(st, m.refreshPlacementFull)
+}
+
+// refreshState refreshes every placement of one view incrementally.
 func (m *Manager) refreshState(st *state) (int, error) {
+	return m.refreshStateWith(st, m.refreshPlacement)
+}
+
+// refreshStateWith runs one per-placement refresh function over every
+// placement of a view. A failing placement does not abort the loop —
+// the remaining placements are still refreshed and the failures are
+// joined, so one unreachable replica cannot leave its siblings stale
+// indefinitely.
+func (m *Manager) refreshStateWith(st *state, refresh func(*state, *placement) (int, error)) (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	total := 0
+	var errs []error
 	for _, p := range st.placements {
-		n, err := m.refreshPlacement(st, p)
+		n, err := refresh(st, p)
 		total += n
 		if err != nil {
-			st.lastErr = err
-			return total, fmt.Errorf("view %q: %w", st.def.Name, err)
+			errs = append(errs, fmt.Errorf("placement %s: %w", p.at, err))
 		}
 	}
-	st.lastErr = nil
+	err := errors.Join(errs...)
+	st.lastErr = err
+	if err != nil {
+		return total, fmt.Errorf("view %q: %w", st.def.Name, err)
+	}
 	return total, nil
 }
 
 // refreshPlacement updates one materialized copy. Callers hold st.mu.
 func (m *Manager) refreshPlacement(st *state, p *placement) (int, error) {
+	if p.inc == nil || p.dirty {
+		return m.refreshPlacementFull(st, p)
+	}
+	host, ok := m.sys.Peer(p.baseAt)
+	if !ok {
+		return 0, fmt.Errorf("base peer %q is gone", p.baseAt)
+	}
+	var ev *xquery.Events
+	err := host.SnapshotEval(func(resolve xquery.DocResolver) error {
+		out, err := p.inc.DeltaEventsWith(&xquery.Env{Resolve: resolve})
+		ev = out
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	if ev.Empty() {
+		return 0, nil
+	}
+	// Tombstones first, then additions: an in-place update retracts the
+	// stale rows before its re-derived rows land, and the fresh rows
+	// always end up as the trailing children of the view root (which is
+	// what lets recordProv align them with their derivations).
+	var forest []*xmltree.Node
+	retracted := 0
+	for _, k := range ev.Retractions {
+		for _, id := range p.prov[k] {
+			forest = append(forest, core.Retraction(id))
+			retracted++
+		}
+	}
+	added := ev.AddedTrees()
+	forest = append(forest, added...)
+	if len(forest) == 0 {
+		// Every event concerned sources whose rows never materialized
+		// (e.g. filtered out by the where clause); nothing to ship, but
+		// the provenance bookkeeping below must still run.
+		m.applyProv(p, ev)
+		return 0, nil
+	}
+	ref := peer.NodeRef{Peer: p.at, Node: p.root}
+	if _, err := m.sys.ShipForest(p.baseAt, ref, forest, 0); err != nil {
+		// Undelivered events must be re-emitted by the next refresh, or
+		// the view would silently lose these rows (or keep retracted
+		// ones forever).
+		p.inc.Rollback()
+		return 0, err
+	}
+	m.applyProv(p, ev)
+	if err := m.recordProv(p, ev.Additions); err != nil {
+		// The rows landed but their provenance is unknown: mark the
+		// placement so the next refresh rebuilds it from scratch
+		// rather than silently losing track of these rows.
+		p.dirty = true
+		return retracted + len(added), err
+	}
+	return retracted + len(added), nil
+}
+
+// applyProv drops the provenance entries of retracted sources.
+func (m *Manager) applyProv(p *placement, ev *xquery.Events) {
+	for _, k := range ev.Retractions {
+		delete(p.prov, k)
+	}
+}
+
+// recordProv maps freshly landed view rows back to the sources that
+// produced them. Additions are always appended at the tail of the view
+// root in derivation order (see refreshPlacement), so the trailing
+// children line up with the flattened additions. Callers hold st.mu,
+// which serializes all mutations of the view document.
+func (m *Manager) recordProv(p *placement, adds []xquery.Derivation) error {
+	total := 0
+	for _, a := range adds {
+		total += len(a.Results)
+	}
+	if total == 0 {
+		return nil
+	}
+	host, ok := m.sys.Peer(p.at)
+	if !ok {
+		return fmt.Errorf("placement peer %q is gone", p.at)
+	}
+	kids, err := host.ChildIDs(p.root)
+	if err != nil {
+		return fmt.Errorf("reading landed rows: %w", err)
+	}
+	if len(kids) < total {
+		return fmt.Errorf("landed %d rows, view holds %d", total, len(kids))
+	}
+	tail := kids[len(kids)-total:]
+	i := 0
+	for _, a := range adds {
+		if len(a.Results) == 0 {
+			continue
+		}
+		ids := make([]xmltree.NodeID, len(a.Results))
+		copy(ids, tail[i:i+len(a.Results)])
+		p.prov[a.Source] = ids
+		i += len(a.Results)
+	}
+	return nil
+}
+
+// refreshPlacementFull re-materializes one placement from scratch.
+// Incremental placements re-derive the full result at the base, clear
+// the stored rows, ship the complete content (so the refresh pays
+// full-materialization bytes, the honest baseline) and rebuild their
+// provenance; recompute placements re-run the query through the normal
+// evaluator. Callers hold st.mu.
+func (m *Manager) refreshPlacementFull(st *state, p *placement) (int, error) {
 	if p.inc != nil {
 		host, ok := m.sys.Peer(p.baseAt)
 		if !ok {
 			return 0, fmt.Errorf("base peer %q is gone", p.baseAt)
 		}
-		var delta []*xmltree.Node
+		target, ok := m.sys.Peer(p.at)
+		if !ok {
+			return 0, fmt.Errorf("placement peer %q is gone", p.at)
+		}
+		fresh, _ := xquery.NewDeltaFor(st.def.Query, nil)
+		var ev *xquery.Events
 		err := host.SnapshotEval(func(resolve xquery.DocResolver) error {
-			out, err := p.inc.DeltaWith(&xquery.Env{Resolve: resolve})
-			delta = out
+			out, err := fresh.DeltaEventsWith(&xquery.Env{Resolve: resolve})
+			ev = out
 			return err
 		})
 		if err != nil {
 			return 0, err
 		}
-		if len(delta) == 0 {
-			return 0, nil
-		}
-		ref := peer.NodeRef{Peer: p.at, Node: p.root}
-		if _, err := m.sys.ShipForest(p.baseAt, ref, delta, 0); err != nil {
-			// Undelivered sources must be re-emitted by the next
-			// refresh, or the view would silently lose these rows.
-			p.inc.Rollback()
+		if err := target.ReplaceChildren(p.root, nil); err != nil {
 			return 0, err
 		}
-		return len(delta), nil
+		p.inc, p.prov = fresh, map[xquery.Lineage][]xmltree.NodeID{}
+		trees := ev.AddedTrees()
+		if len(trees) > 0 {
+			ref := peer.NodeRef{Peer: p.at, Node: p.root}
+			if _, err := m.sys.ShipForest(p.baseAt, ref, trees, 0); err != nil {
+				// The view is empty and nothing landed; rolling the
+				// fresh provenance back to its blank state makes the
+				// next (incremental) refresh re-derive and re-ship the
+				// full content, so a transient failure here cannot
+				// leave an empty view behind a clean refresh.
+				fresh.Rollback()
+				p.dirty = false
+				return 0, err
+			}
+			if err := m.recordProv(p, ev.Additions); err != nil {
+				p.dirty = true
+				return len(trees), err
+			}
+		}
+		p.dirty = false
+		return len(trees), nil
 	}
 
 	// Full re-materialization: re-run the query against the base host
@@ -99,14 +266,29 @@ func (m *Manager) refreshPlacement(st *state, p *placement) (int, error) {
 	}
 	if st.replica {
 		// The document root itself is the view; swap the whole tree.
+		// The old root is kept until the new one is installed: a
+		// failure mid-swap reinstalls it, so the view document never
+		// disappears from the placement peer.
 		root, err := viewRoot(st, forest)
 		if err != nil {
 			return 0, err
 		}
-		if err := target.RemoveDocument(st.def.DocName()); err != nil {
-			return 0, err
+		docName := st.def.DocName()
+		old, hadOld := target.Document(docName)
+		if hadOld {
+			if err := target.RemoveDocument(docName); err != nil {
+				return 0, err
+			}
 		}
-		if err := target.InstallDocument(st.def.DocName(), root); err != nil {
+		if err := target.InstallDocument(docName, root); err != nil {
+			if hadOld {
+				if rbErr := target.InstallDocument(docName, old.Root); rbErr != nil {
+					return 0, errors.Join(err,
+						fmt.Errorf("reinstalling previous content: %w", rbErr))
+				}
+				// The old root kept its identifiers, so p.root is still
+				// valid; the view is stale but present.
+			}
 			return 0, err
 		}
 		p.root = root.ID
@@ -144,7 +326,11 @@ func (m *Manager) AutoRefresh() {
 
 // watchPlacement starts one watcher goroutine per base document of
 // the placement when auto-refresh is on (a no-op otherwise, so new
-// placements can call it unconditionally). Callers hold st.mu.
+// placements can call it unconditionally). A base that cannot be
+// watched — its host is gone or unlocatable — is recorded on the
+// view's state and surfaced through Views()/Info.LastError instead of
+// being skipped silently, so an auto-refresh that will never fire is
+// visible. Callers hold st.mu.
 func (m *Manager) watchPlacement(st *state, p *placement) {
 	m.mu.Lock()
 	done, closed, auto := m.done, m.closed, m.auto
@@ -158,12 +344,14 @@ func (m *Manager) watchPlacement(st *state, p *placement) {
 			// Full-refresh views read their bases wherever they live.
 			id, err := m.hostOf(base, p.at)
 			if err != nil {
+				st.lastErr = fmt.Errorf("auto-refresh for placement %s: %w", p.at, err)
 				continue
 			}
 			hostID = id
 		}
 		host, ok := m.sys.Peer(hostID)
 		if !ok {
+			st.lastErr = fmt.Errorf("auto-refresh for placement %s: base peer %q is gone", p.at, hostID)
 			continue
 		}
 		ch, cancel := host.Watch(base)

@@ -2,11 +2,14 @@ package view
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"axml/internal/core"
 	"axml/internal/netsim"
+	"axml/internal/peer"
+	"axml/internal/workload"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 )
@@ -281,5 +284,397 @@ func TestFailedDefineLeavesNoGhost(t *testing.T) {
 	}
 	if err := m.Define("ghost", src, "client"); err != nil {
 		t.Errorf("re-define after installing the base: %v", err)
+	}
+}
+
+// churnSystem is testSystem with an extra placement peer, for tests
+// that exercise several placements of one view.
+func churnSystem(t *testing.T, items int, peers ...netsim.PeerID) *core.System {
+	t.Helper()
+	net := netsim.New()
+	netsim.Uniform(net, peers, wan)
+	sys := core.NewSystem(net)
+	var data *peer.Peer
+	for _, id := range peers {
+		p := sys.MustAddPeer(id)
+		if id == "data" {
+			data = p
+		}
+	}
+	if data == nil {
+		t.Fatal("churnSystem needs a data peer")
+	}
+	if err := data.InstallDocument("catalog", workload.Catalog(workload.CatalogSpec{
+		Items: items, PriceMax: 1000, DescWords: 4, Seed: 7})); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// matchingItemID returns a base item the view predicate (price < 500)
+// selects, so deleting or updating it must be visible in the view.
+func matchingItemID(t *testing.T, sys *core.System) xmltree.NodeID {
+	t.Helper()
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	for _, it := range catalog.Root.ChildElementsByLabel("item") {
+		if p := it.FirstChildElement("price"); p != nil {
+			var v int
+			fmt.Sscanf(p.TextContent(), "%d", &v)
+			if v < 500 {
+				return it.ID
+			}
+		}
+	}
+	t.Fatal("no matching item in the catalog")
+	return 0
+}
+
+func TestDeletionRetractsAtEveryPlacement(t *testing.T) {
+	sys := churnSystem(t, 60, "client", "mirror", "data")
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define("cheap", src, "mirror"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	victim := matchingItemID(t, sys)
+	if err := data.RemoveChildByID(catalog.Root.ID, victim); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.Refresh("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deletion applied %d maintenance ops, want 1 retraction per placement", n)
+	}
+	want := expectedTrees(t, sys, "data", src)
+	for _, at := range []netsim.PeerID{"client", "mirror"} {
+		if !sameMultiset(viewTrees(t, sys, at, "cheap"), want) {
+			t.Errorf("placement at %s kept the deleted row", at)
+		}
+	}
+	// Idle refresh after the retraction ships nothing.
+	if n, err := m.Refresh("cheap"); err != nil || n != 0 {
+		t.Errorf("idle refresh = %d ops (err %v), want 0", n, err)
+	}
+}
+
+func TestInPlaceUpdateRederivesExactlyOnce(t *testing.T) {
+	sys := testSystem(t, 40)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	victim := matchingItemID(t, sys)
+	repl := xmltree.E("item",
+		xmltree.E("name", xmltree.T("updated-in-place")),
+		xmltree.E("price", xmltree.T("77")))
+	if err := data.ReplaceChildByID(catalog.Root.ID, victim, repl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, row := range viewTrees(t, sys, "client", "cheap") {
+		if n := row.FirstChildElement("name"); n != nil && n.TextContent() == "updated-in-place" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Errorf("updated row derived %d times, want exactly once", seen)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("view diverged after in-place update")
+	}
+}
+
+// TestChurnConvergence is the property test of the maintenance spine:
+// under a seeded random workload of inserts, deletions and in-place
+// updates, a view maintained through DeltaEvents must converge to
+// exactly the content a full re-materialization would produce.
+func TestChurnConvergence(t *testing.T) {
+	for _, seed := range []int64{3, 17, 51} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			sys := testSystem(t, 50)
+			defer sys.Close()
+			m := NewManager(sys)
+			defer m.Close()
+
+			src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+			if err := m.Define("cheap", src, "client"); err != nil {
+				t.Fatal(err)
+			}
+			data, _ := sys.Peer("data")
+			catalog, _ := data.Document("catalog")
+			var live []xmltree.NodeID
+			for _, it := range catalog.Root.ChildElementsByLabel("item") {
+				live = append(live, it.ID)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			item := func(n int) *xmltree.Node {
+				return xmltree.E("item",
+					xmltree.E("name", xmltree.T(fmt.Sprintf("churn-%d", n))),
+					xmltree.E("price", xmltree.T(fmt.Sprint(rng.Intn(1000)))))
+			}
+			for round, serial := 0, 0; round < 8; round++ {
+				for op := 0; op < 12; op++ {
+					switch k := rng.Intn(3); {
+					case k == 0 || len(live) < 2:
+						it := item(serial)
+						serial++
+						if err := data.AddChild(catalog.Root.ID, it); err != nil {
+							t.Fatal(err)
+						}
+						live = append(live, it.ID)
+					case k == 1:
+						i := rng.Intn(len(live))
+						if err := data.RemoveChildByID(catalog.Root.ID, live[i]); err != nil {
+							t.Fatal(err)
+						}
+						live[i] = live[len(live)-1]
+						live = live[:len(live)-1]
+					default:
+						i := rng.Intn(len(live))
+						it := item(serial)
+						serial++
+						if err := data.ReplaceChildByID(catalog.Root.ID, live[i], it); err != nil {
+							t.Fatal(err)
+						}
+						live[i] = it.ID
+					}
+				}
+				if _, err := m.Refresh("cheap"); err != nil {
+					t.Fatal(err)
+				}
+				if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+					t.Fatalf("round %d: view diverged from full re-materialization", round)
+				}
+			}
+		})
+	}
+}
+
+func TestRefreshContinuesPastFailingPlacement(t *testing.T) {
+	sys := churnSystem(t, 30, "client", "mirror", "data")
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define("cheap", src, "mirror"); err != nil {
+		t.Fatal(err)
+	}
+	addItem(t, sys, "data", "catalog", 9, "reaches-client")
+	sys.Net.SetDown("mirror", true)
+	_, err := m.Refresh("cheap")
+	if err == nil {
+		t.Fatal("refresh with a down placement should report the failure")
+	}
+	// The healthy placement was still refreshed — a failing sibling no
+	// longer starves it.
+	want := expectedTrees(t, sys, "data", src)
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), want) {
+		t.Error("healthy placement left stale by a failing sibling")
+	}
+	if lastErr := m.Views()[0].LastError; lastErr == "" {
+		t.Error("failure not surfaced in Info.LastError")
+	}
+	sys.Net.SetDown("mirror", false)
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "mirror", "cheap"), want) {
+		t.Error("recovered placement did not converge")
+	}
+	if lastErr := m.Views()[0].LastError; lastErr != "" {
+		t.Errorf("stale LastError after recovery: %s", lastErr)
+	}
+}
+
+func TestUnwatchableBaseSurfacesInInfo(t *testing.T) {
+	sys := testSystem(t, 10)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	// A recompute-mode view watches its base wherever it lives; once
+	// the base is gone, auto-refresh can never fire and must say so.
+	src := `let $all := doc("catalog")/item return <summary n="{count($all)}"/>`
+	if err := m.Define("stats", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := sys.Peer("data")
+	if err := data.RemoveDocument("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	m.AutoRefresh()
+	if lastErr := m.Views()[0].LastError; lastErr == "" {
+		t.Error("unwatchable base not surfaced via Views()")
+	}
+}
+
+func TestRefreshFullHeals(t *testing.T) {
+	sys := testSystem(t, 30)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the materialization behind the manager's back.
+	client, _ := sys.Peer("client")
+	vdoc, _ := client.Document(DocPrefix + "cheap")
+	if err := client.AddChild(vdoc.Root.ID, xmltree.E("bogus")); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental refresh sees no base change and keeps the corruption.
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	want := expectedTrees(t, sys, "data", src)
+	if sameMultiset(viewTrees(t, sys, "client", "cheap"), want) {
+		t.Fatal("corruption unexpectedly gone before RefreshFull")
+	}
+	if _, err := m.RefreshFull("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), want) {
+		t.Error("RefreshFull did not restore the view")
+	}
+	// And incremental maintenance keeps working after the heal.
+	addItem(t, sys, "data", "catalog", 3, "post-heal")
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("incremental refresh diverged after RefreshFull")
+	}
+}
+
+// TestAutoRefreshChurnRace mixes concurrent inserts, deletions and
+// in-place updates with watcher-driven maintenance; run under -race.
+// Each writer owns the items it created, so the ops never collide.
+func TestAutoRefreshChurnRace(t *testing.T) {
+	sys := testSystem(t, 10)
+	defer sys.Close()
+	m := NewManager(sys)
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	m.AutoRefresh()
+
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	rootID := catalog.Root.ID
+
+	const writers, perWriter = 4, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var mine []xmltree.NodeID
+			for i := 0; i < perWriter; i++ {
+				item := xmltree.E("item",
+					xmltree.E("name", xmltree.T(fmt.Sprintf("w%d-%d", w, i))),
+					xmltree.E("price", xmltree.T(fmt.Sprint((w*perWriter+i*13)%1000))))
+				if err := data.AddChild(rootID, item); err != nil {
+					t.Error(err)
+					return
+				}
+				mine = append(mine, item.ID)
+				switch {
+				case i%3 == 1 && len(mine) > 1:
+					if err := data.RemoveChildByID(rootID, mine[0]); err != nil {
+						t.Error(err)
+						return
+					}
+					mine = mine[1:]
+				case i%3 == 2:
+					repl := xmltree.E("item",
+						xmltree.E("name", xmltree.T(fmt.Sprintf("w%d-%d-v2", w, i))),
+						xmltree.E("price", xmltree.T(fmt.Sprint((w+i*7)%1000))))
+					if err := data.ReplaceChildByID(rootID, mine[len(mine)-1], repl); err != nil {
+						t.Error(err)
+						return
+					}
+					mine[len(mine)-1] = repl.ID
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.Close() // stop watchers, join in-flight refreshes
+
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("view inconsistent after concurrent churn")
+	}
+}
+
+// TestRefreshFullShipFailureRecovers regression-tests the forced-full
+// path: a transient ship failure during RefreshFull must not leave an
+// empty view behind subsequently "successful" refreshes — the next
+// refresh re-derives and re-ships the full content.
+func TestRefreshFullShipFailureRecovers(t *testing.T) {
+	sys := testSystem(t, 25)
+	defer sys.Close()
+	m := NewManager(sys)
+	defer m.Close()
+
+	src := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", src, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sys.Net.SetDown("client", true)
+	if _, err := m.RefreshFull("cheap"); err == nil {
+		t.Fatal("RefreshFull to a down placement should fail")
+	}
+	sys.Net.SetDown("client", false)
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	want := expectedTrees(t, sys, "data", src)
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), want) {
+		t.Error("view not restored after failed RefreshFull")
+	}
+	// Maintenance keeps working afterwards, including retractions.
+	data, _ := sys.Peer("data")
+	catalog, _ := data.Document("catalog")
+	if err := data.RemoveChildByID(catalog.Root.ID, matchingItemID(t, sys)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(viewTrees(t, sys, "client", "cheap"), expectedTrees(t, sys, "data", src)) {
+		t.Error("retraction broken after RefreshFull recovery")
 	}
 }

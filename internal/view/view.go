@@ -19,9 +19,10 @@
 //     rewrites a query to read from a view that subsumes it (same
 //     document, path-prefix match, weaker-or-equal predicates).
 //   - refresh.go: maintenance. Single-source selection views refresh
-//     incrementally through xquery.DeltaFor (the base peer evaluates
-//     the delta under its read lock and ships only new results); all
-//     other shapes fall back to full re-materialization.
+//     incrementally through xquery.DeltaFor's delta provenance (the
+//     base peer evaluates the delta under its read lock and ships new
+//     results plus retraction tombstones for deleted or updated
+//     sources); all other shapes fall back to full re-materialization.
 package view
 
 import (
@@ -68,11 +69,21 @@ type Info struct {
 
 // placement is one materialized copy of a view.
 type placement struct {
-	at      netsim.PeerID
-	root    xmltree.NodeID   // view root node at the placement peer
-	inc     *xquery.DeltaFor // incremental state; nil for recompute views
-	baseAt  netsim.PeerID    // peer whose copy of the base feeds this placement
-	cancels []func()         // watcher cancels (auto-refresh)
+	at     netsim.PeerID    // placement peer
+	root   xmltree.NodeID   // view root node at the placement peer
+	inc    *xquery.DeltaFor // incremental state; nil for recompute views
+	baseAt netsim.PeerID    // peer whose copy of the base feeds this placement
+	// prov is the delta provenance of incremental placements: for each
+	// source lineage at the base, the identifiers of the view-root
+	// children it produced at this placement. A retraction of a source
+	// removes exactly these children and nothing else.
+	prov map[xquery.Lineage][]xmltree.NodeID
+	// dirty marks a placement whose materialized rows and provenance
+	// are known to disagree (a ship landed but its provenance could
+	// not be recorded); the next refresh re-materializes it fully
+	// instead of trusting the incremental state.
+	dirty   bool
+	cancels []func() // watcher cancels (auto-refresh)
 }
 
 // state is the manager-side record of one view class.
@@ -209,10 +220,10 @@ func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
 		}
 		host, _ := m.sys.Peer(baseAt)
 		inc, _ := xquery.NewDeltaFor(st.def.Query, nil)
-		var initial []*xmltree.Node
+		var initial *xquery.Events
 		err = host.SnapshotEval(func(resolve xquery.DocResolver) error {
-			out, err := inc.DeltaWith(&xquery.Env{Resolve: resolve})
-			initial = out
+			ev, err := inc.DeltaEventsWith(&xquery.Env{Resolve: resolve})
+			initial = ev
 			return err
 		})
 		if err != nil {
@@ -222,11 +233,16 @@ func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
 		if err := target.InstallDocument(docName, root); err != nil {
 			return nil, fmt.Errorf("view %q: %w", st.def.Name, err)
 		}
-		p := &placement{at: at, root: root.ID, inc: inc, baseAt: baseAt}
-		if len(initial) > 0 {
+		p := &placement{at: at, root: root.ID, inc: inc, baseAt: baseAt,
+			prov: map[xquery.Lineage][]xmltree.NodeID{}}
+		if trees := initial.AddedTrees(); len(trees) > 0 {
 			ref := peer.NodeRef{Peer: at, Node: root.ID}
-			if _, err := m.sys.ShipForest(baseAt, ref, initial, 0); err != nil {
+			if _, err := m.sys.ShipForest(baseAt, ref, trees, 0); err != nil {
+				inc.Rollback()
 				return nil, fmt.Errorf("view %q: shipping initial state: %w", st.def.Name, err)
+			}
+			if err := m.recordProv(p, initial.Additions); err != nil {
+				return nil, fmt.Errorf("view %q: %w", st.def.Name, err)
 			}
 		}
 		return p, nil

@@ -9,22 +9,33 @@
 //	QUERY <xquery on one line>
 //	CALL <service> [<param-forest-xml>]
 //	INSTALL <docname> <xml>
+//	DELETE <path query>
+//	REPLACE <path query> WITH <xml>
 //	DEFVIEW <name>[@<peer>] <xquery on one line>
 //	LIST
 //
-// Replies: <x:forest>…</x:forest>, <x:ok/>, <x:info>…</x:info> or
+// Replies: <x:forest>…</x:forest>, <x:ok/> (update verbs report the
+// touched node count as <x:ok n="K"/>), <x:info>…</x:info> or
 // <x:error>message</x:error>, always one line (the XML serializer
 // emits no newlines in compact mode).
 //
 // DEFVIEW materializes the query as a view on the served peer (the
 // optional @peer placement must name it); subsequent QUERYs that the
 // view subsumes are transparently rewritten to read it.
+//
+// DELETE removes every node the path query selects (the query body
+// must be a bare path, e.g. doc("catalog")/item[price > 900]); REPLACE
+// swaps each selected node for a copy of the given tree — the literal
+// " WITH " separates query from payload. Both emit typed change
+// notifications, so views over the touched documents retract or
+// re-derive the affected rows on their next (or auto-) refresh.
 package wire
 
 import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 
 	"axml/internal/peer"
@@ -90,6 +101,10 @@ func (s *Server) dispatch(line string) string {
 		return s.doCall(rest)
 	case "INSTALL":
 		return s.doInstall(rest)
+	case "DELETE":
+		return s.doDelete(rest)
+	case "REPLACE":
+		return s.doReplace(rest)
 	case "DEFVIEW":
 		return s.doDefView(rest)
 	case "LIST":
@@ -186,6 +201,73 @@ func (s *Server) doInstall(rest string) string {
 		return errReply(err)
 	}
 	return "<x:ok/>"
+}
+
+// doDelete removes every node selected by a path query.
+func (s *Server) doDelete(src string) string {
+	if strings.TrimSpace(src) == "" {
+		return errReply(fmt.Errorf("DELETE requires a path query"))
+	}
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return errReply(err)
+	}
+	ids, err := s.Peer.SelectIDs(q)
+	if err != nil {
+		return errReply(err)
+	}
+	n := 0
+	for _, id := range ids {
+		// A path like //e can select both an ancestor and its
+		// descendant; removing the ancestor takes the descendant with
+		// it, so skip ids that are already gone.
+		if _, ok := s.Peer.NodeByID(id); !ok {
+			continue
+		}
+		if err := s.Peer.RemoveChildByID(0, id); err != nil {
+			return errReply(fmt.Errorf("after %d removal(s): %w", n, err))
+		}
+		n++
+	}
+	return okCount(n)
+}
+
+// doReplace swaps every node selected by a path query for a copy of
+// the payload tree. Query and payload are separated by " WITH ".
+func (s *Server) doReplace(rest string) string {
+	src, xml, ok := strings.Cut(rest, " WITH ")
+	if !ok || strings.TrimSpace(src) == "" || strings.TrimSpace(xml) == "" {
+		return errReply(fmt.Errorf("REPLACE requires '<path query> WITH <xml>'"))
+	}
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return errReply(err)
+	}
+	tree, err := xmltree.Parse(strings.TrimSpace(xml))
+	if err != nil {
+		return errReply(err)
+	}
+	ids, err := s.Peer.SelectIDs(q)
+	if err != nil {
+		return errReply(err)
+	}
+	n := 0
+	for _, id := range ids {
+		// Replacing an ancestor discards its selected descendants;
+		// skip ids that vanished with an earlier replacement.
+		if _, ok := s.Peer.NodeByID(id); !ok {
+			continue
+		}
+		if err := s.Peer.ReplaceChildByID(0, id, xmltree.DeepCopy(tree)); err != nil {
+			return errReply(fmt.Errorf("after %d replacement(s): %w", n, err))
+		}
+		n++
+	}
+	return okCount(n)
+}
+
+func okCount(n int) string {
+	return xmltree.Serialize(xmltree.E("x:ok", xmltree.A("n", fmt.Sprint(n))))
 }
 
 func (s *Server) doList() string {
@@ -293,6 +375,38 @@ func (c *Client) Call(service string, params ...*xmltree.Node) ([]*xmltree.Node,
 func (c *Client) Install(name string, doc *xmltree.Node) error {
 	_, err := c.roundTrip("INSTALL " + name + " " + xmltree.Serialize(doc))
 	return err
+}
+
+// Delete removes every node the path query selects on the server and
+// returns how many were removed.
+func (c *Client) Delete(query string) (int, error) {
+	root, err := c.roundTrip("DELETE " + query)
+	if err != nil {
+		return 0, err
+	}
+	return countOf(root)
+}
+
+// Replace swaps every node the path query selects for a copy of the
+// given tree and returns how many were replaced.
+func (c *Client) Replace(query string, tree *xmltree.Node) (int, error) {
+	root, err := c.roundTrip("REPLACE " + query + " WITH " + xmltree.Serialize(tree))
+	if err != nil {
+		return 0, err
+	}
+	return countOf(root)
+}
+
+func countOf(root *xmltree.Node) (int, error) {
+	s, ok := root.Attr("n")
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("wire: bad count %q", s)
+	}
+	return n, nil
 }
 
 // DefineView materializes src as a view on the server. spec is the

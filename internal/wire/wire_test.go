@@ -219,3 +219,93 @@ func TestDefineViewWithoutManager(t *testing.T) {
 		t.Error("DEFVIEW on a view-less server should fail")
 	}
 }
+
+func TestDeleteAndReplaceOverWire(t *testing.T) {
+	c, p := startServer(t)
+	if n, err := c.Delete(`doc("catalog")/item[price > 100]`); err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v; want 1 removal", n, err)
+	}
+	out, err := c.Query(`doc("catalog")/item/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].TextContent() != "chair" {
+		t.Errorf("after delete: %v", out)
+	}
+	n, err := c.Replace(`doc("catalog")/item[name="chair"]`,
+		xmltree.MustParse(`<item><name>throne</name><price>9000</price></item>`))
+	if err != nil || n != 1 {
+		t.Fatalf("Replace = %d, %v; want 1 replacement", n, err)
+	}
+	out, err = c.Query(`doc("catalog")/item/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].TextContent() != "throne" {
+		t.Errorf("after replace: %v", out)
+	}
+	if doc, _ := p.Document("catalog"); doc.Version < 3 {
+		t.Errorf("updates did not bump the document version: %d", doc.Version)
+	}
+	// Errors: missing payload, non-path query.
+	if _, err := c.Delete(`for $i in doc("catalog")/item return $i`); err == nil {
+		t.Error("DELETE with a non-path query should fail")
+	}
+	if _, err := c.roundTrip(`REPLACE doc("catalog")/item`); err == nil {
+		t.Error("REPLACE without WITH should fail")
+	}
+}
+
+// TestUpdateVerbsMaintainViews drives the whole spine end-to-end: an
+// update arriving over the wire retracts exactly the affected rows of
+// a view defined over the same wire.
+func TestUpdateVerbsMaintainViews(t *testing.T) {
+	c, p, views := startViewServer(t)
+	if err := c.DefineView("cheap",
+		`for $i in doc("catalog")/item where $i/price < 100 return $i`); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Delete(`doc("catalog")/item[name="chair"]`); err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	if _, err := views.Refresh("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	vdoc, _ := p.Document("view:cheap")
+	if len(vdoc.Root.Children) != 0 {
+		t.Errorf("deleted base row still in view: %s", xmltree.Serialize(vdoc.Root))
+	}
+	if n, err := c.Replace(`doc("catalog")/item[name="desk"]`,
+		xmltree.MustParse(`<item><name>desk</name><price>15</price></item>`)); err != nil || n != 1 {
+		t.Fatalf("Replace = %d, %v", n, err)
+	}
+	// The served QUERY path refreshes the matched view before answering.
+	out, err := c.Query(`for $i in doc("catalog")/item where $i/price < 100 return $i/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].TextContent() != "desk" {
+		t.Errorf("view-backed query after replace: %v", out)
+	}
+}
+
+func TestDeleteNestedMatches(t *testing.T) {
+	// //e selects an ancestor and its descendant; removing the
+	// ancestor must not make the request fail on the vanished child.
+	c, p := startServer(t)
+	if err := p.InstallDocument("d", xmltree.MustParse(
+		`<d><e><e>inner</e></e><e>flat</e></d>`)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Delete(`doc("d")//e`)
+	if err != nil {
+		t.Fatalf("Delete over nested matches: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("removed %d nodes, want 2 (ancestor takes its descendant)", n)
+	}
+	doc, _ := p.Document("d")
+	if len(doc.Root.Children) != 0 {
+		t.Errorf("document not emptied: %s", xmltree.Serialize(doc.Root))
+	}
+}

@@ -155,6 +155,38 @@ func evalToForest(e Expr, ctx *evalCtx) ([]*xmltree.Node, error) {
 
 // materialize converts an XPath value to a forest: node-sets are
 // deep-copied, scalars become text nodes.
+// LiveNodes evaluates a query whose body is a bare path and returns
+// the matched nodes themselves — not copies — so callers holding the
+// appropriate locks can address them by identifier for in-place
+// updates (peer.SelectIDs, the wire DELETE/REPLACE verbs). Attribute
+// pseudo-nodes are filtered out: they are synthesized by the attribute
+// axis and have no stable identity.
+func LiveNodes(q *Query, env *Env) ([]*xmltree.Node, error) {
+	if len(q.Params) != 0 {
+		return nil, errf("LiveNodes: parameterized query")
+	}
+	p, ok := q.Body.(*Path)
+	if !ok {
+		return nil, errf("LiveNodes: query body is not a path")
+	}
+	ctx := &evalCtx{env: env, vars: map[string]xpath.Value{}}
+	val, err := evalToValue(p, ctx)
+	if err != nil {
+		return nil, err
+	}
+	ns, ok := val.(xpath.NodeSet)
+	if !ok {
+		return nil, errf("LiveNodes: path did not yield a node sequence")
+	}
+	out := make([]*xmltree.Node, 0, len(ns))
+	for _, n := range ns {
+		if n.Kind != xmltree.AttrNode {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
 func materialize(v xpath.Value) []*xmltree.Node {
 	switch x := v.(type) {
 	case xpath.NodeSet:

@@ -1,6 +1,8 @@
 package xquery
 
 import (
+	"maps"
+
 	"axml/internal/xmltree"
 	"axml/internal/xpath"
 )
@@ -11,30 +13,91 @@ import (
 //
 //   - Recompute: re-evaluate the whole query on every input change and
 //     diff against the already-emitted multiset (the baseline).
-//   - DeltaFor: for single-for queries, evaluate the body only for
-//     source nodes not seen before (incremental evaluation; sound for
-//     the monotone, insertion-only streams of Positive AXML).
+//   - DeltaFor: for single-for queries, track delta provenance per
+//     source node (node-id lineage) and evaluate the body only for
+//     sources that appeared or changed since the last call.
 //
-// Experiment E7 compares the two.
+// Positive AXML makes incremental evaluation sound only for monotone,
+// insertion-only streams; both evaluators go beyond that fragment by
+// also emitting *retractions* — withdrawals of previously emitted
+// results — when a source node is deleted or updated in place
+// (DeltaEvents), so view maintenance stays correct under general
+// updates. Experiment E7 compares the strategies on insert-only
+// streams; E12 measures provenance-based maintenance under churn.
+
+// Lineage identifies one source node for delta provenance. Nodes of
+// installed documents are identified by their peer-stable NodeID;
+// detached trees (ID 0, as in unit tests) fall back to pointer
+// identity. Lineage values are comparable and used as map keys.
+type Lineage struct {
+	ID  xmltree.NodeID
+	ptr *xmltree.Node
+}
+
+// LineageOf returns the provenance key of a source node.
+func LineageOf(n *xmltree.Node) Lineage {
+	if n.ID != 0 {
+		return Lineage{ID: n.ID}
+	}
+	return Lineage{ptr: n}
+}
+
+// Derivation couples one source node's lineage with the result trees
+// its body evaluation produced.
+type Derivation struct {
+	Source  Lineage
+	Results []*xmltree.Node
+}
+
+// Events is the output of a retraction-aware delta step: Retractions
+// name sources whose previously emitted results must be withdrawn
+// (deleted or updated-in-place sources); Additions carry newly derived
+// results, keyed by the source that produced them. An in-place update
+// appears as a retraction and an addition of the same lineage — apply
+// retractions first.
+type Events struct {
+	Additions   []Derivation
+	Retractions []Lineage
+}
+
+// Empty reports whether the delta step produced no work.
+func (e *Events) Empty() bool { return len(e.Additions) == 0 && len(e.Retractions) == 0 }
+
+// AddedTrees flattens the addition results in derivation order.
+func (e *Events) AddedTrees() []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, d := range e.Additions {
+		out = append(out, d.Results...)
+	}
+	return out
+}
 
 // Recompute is the diff-based continuous evaluator.
 type Recompute struct {
-	q    *Query
-	env  *Env
-	args [][]*xmltree.Node
-	seen map[xmltree.Digest]int
+	q       *Query
+	env     *Env
+	args    [][]*xmltree.Node
+	seen    map[xmltree.Digest]int
+	samples map[xmltree.Digest]*xmltree.Node
 }
 
 // NewRecompute creates a continuous evaluator over fixed arguments.
 // The underlying documents (reached through env's resolver) may change
 // between Delta calls.
 func NewRecompute(q *Query, env *Env, args ...[]*xmltree.Node) *Recompute {
-	return &Recompute{q: q, env: env, args: args, seen: map[xmltree.Digest]int{}}
+	return &Recompute{
+		q: q, env: env, args: args,
+		seen:    map[xmltree.Digest]int{},
+		samples: map[xmltree.Digest]*xmltree.Node{},
+	}
 }
 
 // Delta re-evaluates the query and returns only results not emitted
 // before (multiset semantics: if a result tree now occurs more often
-// than previously emitted, the extra occurrences are returned).
+// than previously emitted, the extra occurrences are returned). The
+// emitted multiset never shrinks — Delta is the monotone,
+// insertion-only interface. Use DeltaEvents for the retraction-aware
+// diff; the two share state and should not be mixed on one evaluator.
 func (r *Recompute) Delta() ([]*xmltree.Node, error) {
 	full, err := r.q.Eval(r.env, r.args...)
 	if err != nil {
@@ -57,21 +120,74 @@ func (r *Recompute) Delta() ([]*xmltree.Node, error) {
 	return out, nil
 }
 
+// ResultEvents is the retraction-aware diff of a Recompute step:
+// result trees that newly appeared, and representatives of result
+// trees whose multiplicity dropped (one entry per lost occurrence).
+type ResultEvents struct {
+	Additions   []*xmltree.Node
+	Retractions []*xmltree.Node
+}
+
+// DeltaEvents re-evaluates the query and diffs the result multiset in
+// both directions: occurrences beyond the emitted count are additions,
+// occurrences below it are retractions. This is the recompute-side
+// counterpart of DeltaFor.DeltaEvents for query shapes that do not
+// incrementalize.
+func (r *Recompute) DeltaEvents() (*ResultEvents, error) {
+	full, err := r.q.Eval(r.env, r.args...)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[xmltree.Digest]int{}
+	ev := &ResultEvents{}
+	for _, n := range full {
+		d := xmltree.Hash(n)
+		counts[d]++
+		if counts[d] > r.seen[d] {
+			ev.Additions = append(ev.Additions, n)
+		}
+		r.samples[d] = n
+	}
+	for d, prev := range r.seen {
+		for c := counts[d]; c < prev; c++ {
+			ev.Retractions = append(ev.Retractions, r.samples[d])
+		}
+		if counts[d] == 0 {
+			delete(r.samples, d)
+		}
+	}
+	r.seen = counts
+	return ev, nil
+}
+
+// derivation is the per-source provenance record: the canonical digest
+// of the source subtree when its results were derived (so in-place
+// updates are detected), and how many result trees it produced.
+type derivation struct {
+	digest  xmltree.Digest
+	results int
+}
+
 // DeltaFor is the incremental evaluator for single-for queries: it
-// tracks which source nodes have been processed and evaluates the
-// where/return only for new ones. It requires the query body to be a
-// FLWR whose first clause is the only for clause, ranging over a path
+// tracks delta provenance — which source nodes have been processed,
+// identified by node-id lineage — and evaluates the where/return only
+// for new or changed ones. It requires the query body to be a FLWR
+// whose first clause is the only for clause, ranging over a path
 // (additional let clauses are allowed; additional for clauses are not).
 type DeltaFor struct {
-	env     *Env
-	forVar  string
-	source  *Path
-	rest    *FLWR // body with the leading for clause removed
-	visited map[*xmltree.Node]bool
-	// lastBatch records the source nodes consumed by the most recent
-	// Delta, so a caller whose delivery failed can Rollback and have
-	// them re-emitted next time.
-	lastBatch []*xmltree.Node
+	env    *Env
+	forVar string
+	source *Path
+	rest   *FLWR // body with the leading for clause removed
+	// derived maps each processed source node to its provenance record.
+	// Unlike the visited-set of the Positive-AXML fragment, entries are
+	// withdrawn when their source disappears, so deletions retract
+	// exactly the results they produced.
+	derived map[Lineage]derivation
+	// prev snapshots derived at the start of the most recent delta
+	// call, so a caller whose delivery failed can Rollback and have
+	// the same events re-emitted next time.
+	prev map[Lineage]derivation
 }
 
 // NewDeltaFor creates the incremental evaluator. ok is false when the
@@ -110,19 +226,40 @@ func NewDeltaFor(q *Query, env *Env) (*DeltaFor, bool) {
 		forVar:  first.Var,
 		source:  src,
 		rest:    rest,
-		visited: map[*xmltree.Node]bool{},
+		derived: map[Lineage]derivation{},
 	}, true
 }
 
-// Delta evaluates the query body for source nodes that appeared since
-// the previous call and returns the corresponding results.
+// Delta evaluates the query body for source nodes that appeared or
+// changed since the previous call and returns the corresponding
+// results. Retractions computed along the way are dropped — this is
+// the insertion-only interface; callers that must stay correct under
+// deletions use DeltaEvents.
 func (d *DeltaFor) Delta() ([]*xmltree.Node, error) { return d.DeltaWith(d.env) }
 
 // DeltaWith is Delta evaluated against env instead of the constructor's
 // environment. View maintenance uses it to run each delta under the
 // hosting peer's read lock: the caller passes a resolver that is only
 // valid for the duration of the locked section.
-func (d *DeltaFor) DeltaWith(env *Env) (out []*xmltree.Node, retErr error) {
+func (d *DeltaFor) DeltaWith(env *Env) ([]*xmltree.Node, error) {
+	ev, err := d.DeltaEventsWith(env)
+	if err != nil {
+		return nil, err
+	}
+	return ev.AddedTrees(), nil
+}
+
+// DeltaEvents is the retraction-aware delta step against the
+// constructor's environment. See DeltaEventsWith.
+func (d *DeltaFor) DeltaEvents() (*Events, error) { return d.DeltaEventsWith(d.env) }
+
+// DeltaEventsWith evaluates one provenance-tracked delta step against
+// env: the source path is re-evaluated and diffed against the recorded
+// lineage. Sources seen for the first time derive additions; sources
+// whose subtree digest changed retract their previous results and
+// re-derive (exactly once); sources that disappeared retract theirs.
+// The body is never evaluated for unchanged sources.
+func (d *DeltaFor) DeltaEventsWith(env *Env) (ev *Events, retErr error) {
 	ctx := &evalCtx{env: env, vars: map[string]xpath.Value{}}
 	val, err := evalToValue(d.source, ctx)
 	if err != nil {
@@ -132,55 +269,77 @@ func (d *DeltaFor) DeltaWith(env *Env) (out []*xmltree.Node, retErr error) {
 	if !ok {
 		return nil, errf("for $%s: source is not a node sequence", d.forVar)
 	}
-	d.lastBatch = nil
+	d.prev = maps.Clone(d.derived)
 	// An evaluation error mid-batch must not consume the sources
-	// already marked, or their results would be lost forever.
+	// already recorded, or their results would be lost forever.
 	defer func() {
 		if retErr != nil {
 			d.Rollback()
 		}
 	}()
+	ev = &Events{}
+	current := make(map[Lineage]bool, len(ns))
 	for _, n := range ns {
-		if d.visited[n] {
+		k := LineageOf(n)
+		if current[k] {
+			continue // a path should not bind the same node twice
+		}
+		current[k] = true
+		dg := xmltree.Hash(n)
+		rec, seen := d.derived[k]
+		if seen && rec.digest == dg {
 			continue
 		}
-		d.visited[n] = true
-		d.lastBatch = append(d.lastBatch, n)
-		tup := ctx.child()
-		tup.vars[d.forVar] = xpath.NodeSet{n}
-		if len(d.rest.Clauses) == 0 && d.rest.Order == nil {
-			if d.rest.Where != nil {
-				v, err := evalToValue(d.rest.Where, tup)
-				if err != nil {
-					return nil, err
-				}
-				if !v.Bool() {
-					continue
-				}
-			}
-			forest, err := evalToForest(d.rest.Return, tup)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, forest...)
-			continue
+		if seen && rec.results > 0 {
+			// In-place update: withdraw the stale results before
+			// re-deriving, so the source contributes exactly once.
+			ev.Retractions = append(ev.Retractions, k)
 		}
-		forest, err := evalFLWR(d.rest, tup)
+		results, err := d.derive(ctx, n)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, forest...)
+		ev.Additions = append(ev.Additions, Derivation{Source: k, Results: results})
+		d.derived[k] = derivation{digest: dg, results: len(results)}
 	}
-	return out, nil
+	for k, rec := range d.derived {
+		if current[k] {
+			continue
+		}
+		if rec.results > 0 {
+			ev.Retractions = append(ev.Retractions, k)
+		}
+		delete(d.derived, k)
+	}
+	return ev, nil
 }
 
-// Rollback un-marks the source nodes consumed by the most recent
-// Delta/DeltaWith, so they are re-emitted on the next call. Callers
-// whose downstream delivery of the delta failed use it to avoid
-// losing those results.
-func (d *DeltaFor) Rollback() {
-	for _, n := range d.lastBatch {
-		delete(d.visited, n)
+// derive evaluates the residual body with the for-variable bound to n.
+func (d *DeltaFor) derive(ctx *evalCtx, n *xmltree.Node) ([]*xmltree.Node, error) {
+	tup := ctx.child()
+	tup.vars[d.forVar] = xpath.NodeSet{n}
+	if len(d.rest.Clauses) == 0 && d.rest.Order == nil {
+		if d.rest.Where != nil {
+			v, err := evalToValue(d.rest.Where, tup)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				return nil, nil
+			}
+		}
+		return evalToForest(d.rest.Return, tup)
 	}
-	d.lastBatch = nil
+	return evalFLWR(d.rest, tup)
+}
+
+// Rollback restores the provenance state to what it was before the
+// most recent Delta/DeltaWith/DeltaEvents call, so the same events are
+// re-emitted on the next call. Callers whose downstream delivery of
+// the delta failed use it to avoid losing those results.
+func (d *DeltaFor) Rollback() {
+	if d.prev != nil {
+		d.derived = d.prev
+		d.prev = nil
+	}
 }
