@@ -8,32 +8,61 @@
 //
 // # Quick start
 //
+// Clients talk to a system through a Session — one context-aware call
+// that parses, optimizes (view-aware) and evaluates, streaming the
+// results:
+//
 //	sys := axml.NewLocalSystem()
 //	client := sys.MustAddPeer("client")
 //	data := sys.MustAddPeer("data")
 //	_ = data.InstallDocument("catalog", axml.MustParseXML(`<catalog>…</catalog>`))
 //
-//	q := axml.MustParseQuery(`for $i in doc("catalog")/item
-//	                          where $i/price < 100 return $i/name`)
-//	res, err := sys.Eval(client.ID, &axml.Query{Q: q, At: client.ID})
+//	sess := sys.MustSession("client")
+//	rows, err := sess.Query(ctx, `for $i in doc("catalog")/item
+//	                              where $i/price < 100 return $i/name`)
+//	for rows.Next() {
+//	    fmt.Println(axml.SerializeXML(rows.Node()))
+//	}
+//	err = rows.Err()
 //
-// Optimize before evaluating to let the paper's rules rewrite the plan:
+// The same interface speaks to a remote peer (cmd/axmlpeer) over TCP —
+// axml.Dial(addr) returns a Session whose rows stream off the wire and
+// whose errors carry the same kinds (ErrCanceled, ErrNoSuchDoc,
+// ErrPeerDown, …) as local evaluation.
 //
-//	plan, _, err := axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
-//	res, err = sys.Eval(client.ID, plan.Expr)
+// Plans are cached per session, keyed by the normalized query shape;
+// repeated queries — and Prepare'd statements — skip the optimizer
+// search. Deadlines propagate: a canceled context stops delegated work
+// and remote ships mid-plan and surfaces as ErrCanceled.
+//
+//	stmt, _ := sess.Prepare(ctx, src)          // optimize once
+//	rows, _ = stmt.Query(ctx)                  // cache hit
+//	rows, _ = sess.Query(ctx, src, axml.WithTimeout(2*time.Second))
 //
 // Materialize a view near its consumers and repeated queries stop
-// shipping base data — Optimize rewrites subsumed queries to read the
-// view when that is cheaper:
+// shipping base data — the pipeline rewrites subsumed queries to read
+// the view when that is cheaper, and DefineView invalidates cached
+// plans so they re-plan against the new catalog:
 //
 //	_ = sys.DefineView("cheap",
 //	    `for $i in doc("catalog")/item where $i/price < 100 return $i`,
 //	    client.ID)
-//	plan, _, _ = axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
+//	rows, _ = sess.Query(ctx, src)             // re-planned, reads the view
+//
+// # Expression-level API
+//
+// The algebra remains available for hand-built plans and the bench
+// harness: sys.Eval(at, expr) evaluates an expression directly
+// (EvalContext under a context), and Optimize runs the plan search
+// once without session caching. New code should prefer Session.
+//
+//	res, err := sys.Eval(client.ID, &axml.Query{Q: q, At: client.ID})
+//	plan, _, err := axml.Optimize(sys, client.ID, expr, axml.OptOptions{})
 //
 // The deeper layers remain importable for advanced use: internal/core
 // (algebra), internal/rewrite (rules), internal/opt (optimizer),
-// internal/view (materialized views), internal/xquery and
+// internal/view (materialized views), internal/session (the session
+// pipeline), internal/wire (the TCP protocol), internal/xquery and
 // internal/xpath (the query languages), internal/netsim (the
 // instrumented network), internal/axmldoc (document-level service-call
 // activation).

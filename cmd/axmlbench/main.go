@@ -1,8 +1,10 @@
-// Command axmlbench runs the experiment suite (E1–E12) and prints the
+// Command axmlbench runs the experiment suite (E1–E13) and prints the
 // tables recorded in EXPERIMENTS.md. E11 measures the materialized-
 // view subsystem (internal/view) on a subscription workload; E12
 // measures provenance-based view maintenance against full refresh on
-// a churn workload with deletions and in-place updates.
+// a churn workload with deletions and in-place updates; E13 measures
+// the session API's plan cache on a repeated-query workload
+// (optimize-once vs optimize-per-query).
 //
 // Usage:
 //
@@ -91,6 +93,9 @@ func run(quick bool) ([]*bench.Table, error) {
 		return nil, err
 	}
 	if err := add(bench.E12ChurnMaintenance(100, 3, 10)); err != nil {
+		return nil, err
+	}
+	if err := add(bench.E13SessionPlanCache(100, 4, 8)); err != nil {
 		return nil, err
 	}
 	return tables, nil

@@ -3,6 +3,11 @@
 // protocol (see internal/wire). This is the deployment face of the
 // framework — cmd/axmlq is the matching client.
 //
+// Queries are answered through the unified session pipeline
+// (internal/session): view-aware optimization with a shared plan cache
+// keyed by normalized query shape, streamed QUERYX replies, PREPARE
+// for repeated statements, and typed error codes on every failure.
+//
 // Usage:
 //
 //	axmlpeer -addr :7012 -id store \

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	axmlq -addr localhost:7012 -query 'for $i in doc("catalog")/item return $i/name'
+//	axmlq -addr localhost:7012 -query '…' -prepare 100     # one prepared statement, 100 runs
+//	axmlq -addr localhost:7012 -timeout 2s -query '…'
 //	axmlq -addr localhost:7012 -call bargains
 //	axmlq -addr localhost:7012 -list
 //	axmlq -addr localhost:7012 \
@@ -11,6 +13,13 @@
 //	axmlq -addr localhost:7012 -delete 'doc("catalog")/item[price > 900]'
 //	axmlq -addr localhost:7012 \
 //	      -replace 'doc("catalog")/item[name="x"]' -with '<item><name>x</name><price>5</price></item>'
+//
+// Queries run through the unified session API: results stream row by
+// row (the QUERYX wire form), -timeout bounds the whole exchange via a
+// context deadline, and -prepare N repeats the query N times through
+// one prepared statement — the server optimizes once and answers the
+// repeats from its plan cache, which the printed per-run timing makes
+// visible.
 //
 // -view materializes a view on the peer: name=query, optionally
 // suffixed @peer to assert the placement (it must be the served peer —
@@ -24,11 +33,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"axml/internal/wire"
 	"axml/internal/xmltree"
@@ -42,6 +53,8 @@ func (v *viewFlags) Set(s string) error { *v = append(*v, s); return nil }
 func main() {
 	addr := flag.String("addr", "localhost:7012", "peer address")
 	query := flag.String("query", "", "query to evaluate")
+	prepare := flag.Int("prepare", 0, "repeat -query N times through one prepared statement")
+	timeout := flag.Duration("timeout", 0, "deadline for the whole request (0 = none)")
 	call := flag.String("call", "", "service to call")
 	params := flag.String("params", "", "XML parameter forest for -call")
 	list := flag.Bool("list", false, "list remote documents, services and views")
@@ -52,6 +65,13 @@ func main() {
 	var views viewFlags
 	flag.Var(&views, "view", "name=query[@peer] view to materialize (repeatable)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	c, err := wire.Dial(*addr)
 	if err != nil {
@@ -69,7 +89,7 @@ func main() {
 		if placement != "" {
 			target = name + "@" + placement
 		}
-		if err := c.DefineView(target, src); err != nil {
+		if err := c.DefineView(ctx, target, src); err != nil {
 			log.Fatalf("axmlq: defining view %q: %v", name, err)
 		}
 		fmt.Printf("defined view %q\n", name)
@@ -77,25 +97,35 @@ func main() {
 
 	switch {
 	case *list:
-		docs, services, err := c.List()
+		docs, services, err := c.List(ctx)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
 		fmt.Println("documents:", strings.Join(docs, ", "))
 		fmt.Println("services: ", strings.Join(services, ", "))
-		vs, err := c.ListViews()
+		vs, err := c.ListViews(ctx)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
 		for _, v := range vs {
 			fmt.Println("view:     ", v)
 		}
+	case *query != "" && *prepare > 0:
+		runPrepared(ctx, c, *query, *prepare, *compact)
 	case *query != "":
-		out, err := c.Query(*query)
+		rows, err := c.Query(ctx, *query)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
-		printForest(out, *compact)
+		n := 0
+		for rows.Next() {
+			printNode(rows.Node(), *compact)
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatalf("axmlq: after %d row(s): %v", n, err)
+		}
+		_ = rows.Close()
 	case *call != "":
 		var trees []*xmltree.Node
 		if *params != "" {
@@ -104,13 +134,13 @@ func main() {
 				log.Fatalf("axmlq: bad -params: %v", err)
 			}
 		}
-		out, err := c.Call(*call, trees...)
+		out, err := c.Call(ctx, *call, trees...)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
 		printForest(out, *compact)
 	case *del != "":
-		n, err := c.Delete(*del)
+		n, err := c.Exec(ctx, "delete "+*del)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
@@ -119,11 +149,10 @@ func main() {
 		if *with == "" {
 			log.Fatal("axmlq: -replace requires -with")
 		}
-		tree, err := xmltree.Parse(*with)
-		if err != nil {
+		if _, err := xmltree.Parse(*with); err != nil {
 			log.Fatalf("axmlq: bad -with: %v", err)
 		}
-		n, err := c.Replace(*replace, tree)
+		n, err := c.Exec(ctx, "replace "+*replace+" with "+*with)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
@@ -135,6 +164,45 @@ func main() {
 		}
 	}
 }
+
+// runPrepared drives one prepared statement repeatedly: the server
+// plans once, the repeats hit its plan cache. The last run's rows are
+// printed; per-run latency shows the planning amortization.
+func runPrepared(ctx context.Context, c *wire.Client, query string, n int, compact bool) {
+	stmt, err := c.Prepare(ctx, query)
+	if err != nil {
+		log.Fatalf("axmlq: prepare: %v", err)
+	}
+	defer stmt.Close()
+	var first, rest time.Duration
+	var lastForest []*xmltree.Node
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		rows, err := stmt.Query(ctx)
+		if err != nil {
+			log.Fatalf("axmlq: run %d: %v", i+1, err)
+		}
+		forest, err := rows.Collect()
+		if err != nil {
+			log.Fatalf("axmlq: run %d: %v", i+1, err)
+		}
+		d := time.Since(start)
+		if i == 0 {
+			first = d
+		} else {
+			rest += d
+		}
+		lastForest = forest
+	}
+	printForest(lastForest, compact)
+	fmt.Printf("prepared statement: %d run(s), first %.2fms", n, ms(first))
+	if n > 1 {
+		fmt.Printf(", rest avg %.2fms", ms(rest)/float64(n-1))
+	}
+	fmt.Println()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // splitPlacement separates a trailing "@peer" placement from a view
 // query. The heuristic respects the query language: an '@' after '/'
@@ -154,10 +222,14 @@ func splitPlacement(s string) (query, placement string) {
 
 func printForest(out []*xmltree.Node, compact bool) {
 	for _, n := range out {
-		if compact {
-			fmt.Println(xmltree.Serialize(n))
-		} else {
-			fmt.Print(xmltree.SerializeIndent(n))
-		}
+		printNode(n, compact)
+	}
+}
+
+func printNode(n *xmltree.Node, compact bool) {
+	if compact {
+		fmt.Println(xmltree.Serialize(n))
+	} else {
+		fmt.Print(xmltree.SerializeIndent(n))
 	}
 }

@@ -1,11 +1,13 @@
-// Quickstart: two peers, a declarative service, and an AXML document
-// whose embedded service call is activated in place — the minimal
-// end-to-end tour of the framework (paper §2).
+// Quickstart: two peers, a declarative service, an AXML document whose
+// embedded service call is activated in place, and the unified session
+// API for asking the system questions — the minimal end-to-end tour of
+// the framework (paper §2).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,6 +68,26 @@ func main() {
 
 	doc, _ := client.Document("newsletter")
 	fmt.Println(axml.SerializeXMLIndent(doc.Root))
+
+	// Ad-hoc questions go through a session: one call that parses,
+	// optimizes (shipping only the matching items across the network)
+	// and evaluates, streaming the results.
+	sess := sys.MustSession(client.ID)
+	defer sess.Close()
+	rows, err := sess.Query(context.Background(), `
+		for $i in doc("catalog")/item
+		where $i/price < 100
+		return $i/name`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cheap items via session query:")
+	for n, err := range rows.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  -", n.TextContent())
+	}
 
 	st := sys.Net.Stats()
 	fmt.Printf("network: %d messages, %d bytes moved\n", st.Messages, st.Bytes)

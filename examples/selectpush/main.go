@@ -1,20 +1,29 @@
 // Selectpush reproduces Example 1 of the paper ("pushing selections")
-// end to end: a selective query over a remote catalog evaluated (a)
-// naively — the whole document ships to the client (definition (7)) —
-// and (b) after the (11)+(10) rewrite chosen by the cost-based
-// optimizer — only matching items ship. The example prints the two
-// plans and their measured traffic.
+// end to end through the unified session API: a selective query over a
+// remote catalog evaluated (a) naively — the whole document ships to
+// the client (definition (7)) — and (b) through the session's default
+// pipeline, where the cost-based optimizer derives the (11)+(10)
+// rewrite and only matching items ship. The example prints the
+// measured traffic of both, then repeats the optimized query to show
+// the session's plan cache skipping the second optimizer search.
 //
 //	go run ./examples/selectpush
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	axml "axml"
 	"axml/internal/workload"
 )
+
+const query = `
+	for $i in doc("catalog")/item
+	where $i/price < 10
+	return <hit>{$i/name}</hit>`
 
 func main() {
 	build := func() *axml.System {
@@ -31,49 +40,63 @@ func main() {
 		}
 		return sys
 	}
+	ctx := context.Background()
 
-	q := axml.MustParseQuery(`
-		for $i in doc("catalog")/item
-		where $i/price < 10
-		return <hit>{$i/name}</hit>`)
-
-	// (a) Naive plan: evaluate at the client; doc("catalog") is
-	// fetched whole.
+	// (a) Naive plan: evaluate as written; doc("catalog") is fetched whole.
 	naiveSys := build()
-	naive := &axml.Query{Q: q, At: "client"}
-	nRes, err := naiveSys.Eval("client", naive)
+	naiveSess := naiveSys.MustSession("client")
+	nRows, err := naiveSess.Query(ctx, query, axml.WithNoOptimize())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nForest, err := nRows.Collect()
 	if err != nil {
 		log.Fatal(err)
 	}
 	nStats := naiveSys.Net.Stats()
 
-	// (b) Let the optimizer rewrite. It should derive Example 1's
-	// decomposition: σ runs at the data peer, the residual at the client.
+	// (b) The session's default pipeline optimizes: it derives Example
+	// 1's decomposition — σ runs at the data peer, the residual at the
+	// client.
 	optSys := build()
-	plan, explored, err := axml.Optimize(optSys, "client", naive, axml.OptOptions{})
+	optSess, err := optSys.LocalSession("client")
 	if err != nil {
 		log.Fatal(err)
 	}
-	oRes, err := optSys.Eval("client", plan.Expr)
+	start := time.Now()
+	oRows, err := optSess.Query(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
+	oForest, err := oRows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	firstMs := float64(time.Since(start)) / float64(time.Millisecond)
 	oStats := optSys.Net.Stats()
 
-	fmt.Println("Example 1 — pushing selections")
+	fmt.Println("Example 1 — pushing selections (session API)")
 	fmt.Println()
-	fmt.Printf("naive plan:      %s\n", naive.String())
-	fmt.Printf("  results=%d  bytes=%d  messages=%d  time=%.1fms\n",
-		len(nRes.Forest), nStats.Bytes, nStats.Messages, nRes.VT)
-	fmt.Println()
-	fmt.Printf("optimized plan:  %s\n", plan.Expr.String())
-	fmt.Printf("  derivation: %v (explored %d plans)\n", plan.Derivation, explored)
-	fmt.Printf("  results=%d  bytes=%d  messages=%d  time=%.1fms\n",
-		len(oRes.Forest), oStats.Bytes, oStats.Messages, oRes.VT)
-	fmt.Println()
+	fmt.Printf("naive   (WithNoOptimize): results=%d  bytes=%d  messages=%d\n",
+		len(nForest), nStats.Bytes, nStats.Messages)
+	fmt.Printf("session (optimized):      results=%d  bytes=%d  messages=%d\n",
+		len(oForest), oStats.Bytes, oStats.Messages)
 	fmt.Printf("traffic reduction: %.1fx\n", float64(nStats.Bytes)/float64(oStats.Bytes))
 
-	if len(nRes.Forest) != len(oRes.Forest) {
-		log.Fatalf("plans disagree: %d vs %d results", len(nRes.Forest), len(oRes.Forest))
+	// Repeat the query: the plan cache answers without a new search.
+	start = time.Now()
+	if rows, err := optSess.Query(ctx, query); err != nil {
+		log.Fatal(err)
+	} else if _, err := rows.Collect(); err != nil {
+		log.Fatal(err)
+	}
+	repeatMs := float64(time.Since(start)) / float64(time.Millisecond)
+	st := optSess.Stats()
+	fmt.Println()
+	fmt.Printf("plan cache: %d miss, %d hit (first run %.2fms, repeat %.2fms)\n",
+		st.Misses, st.Hits, firstMs, repeatMs)
+
+	if len(nForest) != len(oForest) {
+		log.Fatalf("plans disagree: %d vs %d results", len(nForest), len(oForest))
 	}
 }

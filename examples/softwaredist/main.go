@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,24 +53,31 @@ func main() {
 	}
 
 	// The client resolves the *generic* document packages@any with a
-	// nearest-replica pickDoc and asks for pending security updates.
+	// nearest-replica pickDoc and asks for pending security updates —
+	// through a session, the single declarative entrypoint: placement,
+	// optimization and replica choice all happen behind Query.
 	sys.Generics.SetStrategy(gendoc.Nearest{Net: net})
 	sys.SetTracing(true)
-	q := axml.MustParseQuery(`
+	sess := sys.MustSession(client.ID)
+	defer sess.Close()
+	rows, err := sess.Query(context.Background(), `
 		for $p in doc("packages")/package
 		where $p/@severity = "security"
 		return <update name="{$p/@name}" version="{$p/@version}"/>`)
-	res, err := sys.Eval(client.ID, &axml.Query{Q: q, At: client.ID})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("security updates pending: %d\n", len(res.Forest))
+	updates, err := rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("security updates pending: %d\n", len(updates))
 	for _, line := range sys.Trace() {
 		fmt.Println("  trace:", line)
 	}
-	for i, u := range res.Forest {
+	for i, u := range updates {
 		if i == 3 {
-			fmt.Printf("  … and %d more\n", len(res.Forest)-3)
+			fmt.Printf("  … and %d more\n", len(updates)-3)
 			break
 		}
 		fmt.Println("  " + axml.SerializeXML(u))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -76,6 +77,20 @@ func main() {
 
 	fmt.Println("after market update (one new deal streamed in):")
 	fmt.Println(axml.SerializeXMLIndent(inbox.Root))
+
+	// The accumulated stream is a document like any other: query it
+	// through a session at the monitor.
+	sess := sys.MustSession(monitor.ID)
+	defer sess.Close()
+	rows, err := sess.Query(context.Background(), `doc("inbox")/deal`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deals, err := rows.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session query over the inbox: %d deal(s)\n", len(deals))
 
 	st := sys.Net.Stats()
 	fmt.Printf("network: %d messages, %d bytes\n", st.Messages, st.Bytes)

@@ -189,6 +189,34 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+func TestE13Shape(t *testing.T) {
+	tab, err := E13SessionPlanCache(150, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	perQuery, cached, prepared := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	// The baseline optimizes all 40 calls; the cached modes run the
+	// search once per distinct shape (4).
+	if perQuery[2] != "40" {
+		t.Errorf("optimize-per-query should plan every call: optRuns = %s", perQuery[2])
+	}
+	for _, r := range [][]string{cached, prepared} {
+		if r[2] != "4" {
+			t.Errorf("%s should plan once per shape: optRuns = %s", r[0], r[2])
+		}
+		if r[6] != perQuery[6] {
+			t.Errorf("%s disagrees on results: %s vs %s", r[0], r[6], perQuery[6])
+		}
+		// The latency win is asserted via the deterministic counters
+		// (36 optimizer searches skipped), not wall-clock, which is
+		// scheduler-dependent on loaded CI runners; axmlbench reports
+		// the measured times.
+	}
+}
+
 func TestTablePrint(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "test", Anchor: "none",

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"axml/internal/peer"
 	"axml/internal/rewrite"
 	"axml/internal/service"
+	"axml/internal/session"
 	"axml/internal/view"
 	"axml/internal/workload"
 	"axml/internal/xmltree"
@@ -934,6 +936,113 @@ func E12ChurnMaintenance(items, rounds, perRound int) (*Table, error) {
 	return t, nil
 }
 
+// E13SessionPlanCache measures the unified session API's plan cache on
+// a repeated-query workload: a client session re-issues `distinct`
+// query shapes `repeats` times each (round-robin) against a remote
+// catalog. optimize-per-query runs the full plan search on every call
+// (WithNoPlanCache — the old ParseQuery→Optimize→Eval flow); plan-cache
+// is the session default (first sight of a shape optimizes, repeats
+// reuse the cached plan); prepared pins each shape in a Stmt. All
+// modes evaluate the same optimized plans, so result counts and wire
+// traffic agree — the delta is pure planning work, reported as
+// wall-clock per query alongside the cache hit rate.
+func E13SessionPlanCache(items, distinct, repeats int) (*Table, error) {
+	t := &Table{
+		ID:     "E13",
+		Title:  "Session plan cache: repeated queries, optimize once",
+		Anchor: "internal/session (unified session API)",
+		Header: []string{"mode", "queries", "optRuns", "hitRate", "totalMs", "msPerQuery", "rows"},
+		Notes:  "same plans execute in every mode; the delta is optimizer searches skipped via the plan cache",
+	}
+	shapes := make([]string, distinct)
+	for i := range shapes {
+		shapes[i] = fmt.Sprintf(
+			`for $i in doc("catalog")/item where $i/price < %d return <hit>{$i/name}</hit>`,
+			50+i*40)
+	}
+
+	run := func(mode string) (Measurement, float64, session.Stats, error) {
+		sys := uniformSystem(wanLink, "client", "data")
+		defer sys.Close()
+		installCatalog(sys, "data", workload.CatalogSpec{
+			Items: items, PriceMax: 1000, DescWords: 4, Seed: 13})
+		views := view.NewManager(sys)
+		defer views.Close()
+		sess, err := session.NewLocal(sys, views, "client")
+		if err != nil {
+			return Measurement{}, 0, session.Stats{}, err
+		}
+		var stmts []*session.Stmt
+		ctx := context.Background()
+		if mode == "prepared" {
+			for _, src := range shapes {
+				stmt, err := sess.Prepare(ctx, src)
+				if err != nil {
+					return Measurement{}, 0, session.Stats{}, err
+				}
+				stmts = append(stmts, stmt)
+			}
+		}
+		rows := 0
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			for i, src := range shapes {
+				var out *session.Rows
+				var err error
+				switch mode {
+				case "optimize-per-query":
+					out, err = sess.Query(ctx, src, session.WithNoPlanCache())
+				case "prepared":
+					out, err = stmts[i].Query(ctx)
+				default: // plan-cache
+					out, err = sess.Query(ctx, src)
+				}
+				if err != nil {
+					return Measurement{}, 0, session.Stats{}, err
+				}
+				forest, err := out.Collect()
+				if err != nil {
+					return Measurement{}, 0, session.Stats{}, err
+				}
+				rows += len(forest)
+			}
+		}
+		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		st := sys.Net.Stats()
+		return Measurement{Bytes: st.Bytes, Messages: st.Messages, Results: rows},
+			elapsed, sess.Stats(), nil
+	}
+
+	queries := distinct * repeats
+	modes := []string{"optimize-per-query", "plan-cache", "prepared"}
+	var baseline Measurement
+	var baseMs float64
+	for i, mode := range modes {
+		m, elapsed, stats, err := run(mode)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s: %w", mode, err)
+		}
+		if i == 0 {
+			baseline, baseMs = m, elapsed
+		} else if m.Results != baseline.Results {
+			return nil, fmt.Errorf("E13 %s: result mismatch %d vs %d", mode, m.Results, baseline.Results)
+		}
+		t.Rows = append(t.Rows, []string{
+			mode, fmt.Sprint(queries),
+			fmt.Sprint(stats.Misses),
+			fmt.Sprintf("%.0f%%", stats.HitRate()*100),
+			fmtMs(elapsed), fmtMs(elapsed / float64(queries)),
+			fmt.Sprint(m.Results),
+		})
+		if i == len(modes)-1 {
+			t.Rows = append(t.Rows, []string{
+				"gain (vs per-query)", "", "", "", factorF(baseMs, elapsed), "", "",
+			})
+		}
+	}
+	return t, nil
+}
+
 // sameForestMultiset compares two forests by canonical hash, ignoring
 // order and node identity.
 func sameForestMultiset(a, b []*xmltree.Node) bool {
@@ -1000,6 +1109,9 @@ func All() ([]*Table, error) {
 		return nil, err
 	}
 	if err := add(E12ChurnMaintenance(400, 6, 20)); err != nil {
+		return nil, err
+	}
+	if err := add(E13SessionPlanCache(400, 8, 25)); err != nil {
 		return nil, err
 	}
 	return tables, nil

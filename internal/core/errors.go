@@ -1,0 +1,60 @@
+// Typed evaluation errors. The paper's framework hides *where* a plan
+// runs; these sentinels make sure callers can still branch on *why* it
+// failed without caring whether the failing step was local or three
+// delegation hops away. Every layer above core (sessions, the wire
+// protocol) preserves them: errors.Is gives the same answer against a
+// local system and against a remote peer speaking the wire protocol.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"axml/internal/netsim"
+	"axml/internal/peer"
+)
+
+var (
+	// ErrCanceled wraps every failure caused by an expired or canceled
+	// context: the evaluation stopped before completing its remaining
+	// (possibly remote) work.
+	ErrCanceled = errors.New("evaluation canceled")
+
+	// ErrNoSuchDoc marks references to documents no peer hosts. It is
+	// the peer-level sentinel re-exported, so a local store miss and a
+	// remote resolution failure compare equal under errors.Is.
+	ErrNoSuchDoc = peer.ErrNoSuchDoc
+
+	// ErrNoSuchService marks calls to services the provider does not
+	// define.
+	ErrNoSuchService = errors.New("no such service")
+
+	// ErrPeerDown marks transfers to peers marked unreachable
+	// (netsim.SetDown, or a dead TCP endpoint on the wire backend).
+	ErrPeerDown = netsim.ErrPeerDown
+)
+
+// ctxErr converts a context failure into an ErrCanceled-wrapped error,
+// or nil when the context is still live.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	return nil
+}
+
+// wrapCanceled attributes an error to cancellation when the context
+// expired: nested failures (a netsim call aborted mid-transfer, a
+// handler that saw the deadline) all surface as ErrCanceled. The
+// original error stays on the chain, so finer classifications —
+// netsim.ErrAckLost in particular — remain visible to errors.Is.
+func wrapCanceled(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil && !errors.Is(err, ErrCanceled) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

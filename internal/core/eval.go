@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -15,48 +16,68 @@ import (
 // applying definitions (1)–(9). It returns the result forest produced
 // at the evaluation site, the virtual completion time, and records
 // every cross-peer transfer in the system's network statistics.
+//
+// Eval never gives up mid-plan; use EvalContext to bound an
+// evaluation by a deadline or cancellation.
 func (s *System) Eval(at netsim.PeerID, e Expr) (*Result, error) {
-	return s.eval(at, e, 0)
+	return s.eval(context.Background(), at, e, 0)
+}
+
+// EvalContext is Eval under a context: the context is checked before
+// every local step and threaded through every cross-peer transfer, so
+// an expired deadline stops the plan where it stands — including work
+// already delegated to remote peers — and surfaces as ErrCanceled. No
+// further remote ships are started once the context is done.
+func (s *System) EvalContext(ctx context.Context, at netsim.PeerID, e Expr) (*Result, error) {
+	return s.eval(ctx, at, e, 0)
 }
 
 // EvalFrom is Eval starting at virtual time startVT; schedulers use it
 // to chain dependent evaluations (e.g. dissemination trees where a
 // child transfer may only start once the parent's copy has arrived).
 func (s *System) EvalFrom(at netsim.PeerID, e Expr, startVT float64) (*Result, error) {
-	return s.eval(at, e, startVT)
+	return s.eval(context.Background(), at, e, startVT)
+}
+
+// EvalFromContext is EvalFrom under a context.
+func (s *System) EvalFromContext(ctx context.Context, at netsim.PeerID, e Expr, startVT float64) (*Result, error) {
+	return s.eval(ctx, at, e, startVT)
 }
 
 // eval is the recursive evaluator; vt is the virtual time at which the
 // evaluation starts at peer at.
-func (s *System) eval(at netsim.PeerID, e Expr, vt float64) (*Result, error) {
+func (s *System) eval(ctx context.Context, at netsim.PeerID, e Expr, vt float64) (*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	p, ok := s.Peer(at)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown peer %q", at)
 	}
 	switch v := e.(type) {
 	case *Tree:
-		return s.evalTree(p, v, vt)
+		return s.evalTree(ctx, p, v, vt)
 	case *Doc:
-		return s.evalDoc(p, v, vt)
+		return s.evalDoc(ctx, p, v, vt)
 	case *Query:
-		return s.evalQuery(p, v, vt)
+		return s.evalQuery(ctx, p, v, vt)
 	case *QueryVal:
 		if v.At != at {
 			// A query value elsewhere must be fetched (charged).
-			return s.delegate(at, v.At, v, vt)
+			return s.delegate(ctx, at, v.At, v, vt)
 		}
 		return &Result{VT: vt}, nil
 	case *Send:
-		return s.evalSend(p, v, vt)
+		return s.evalSend(ctx, p, v, vt)
 	case *Relay:
-		return s.evalRelay(p, v, vt)
+		return s.evalRelay(ctx, p, v, vt)
 	case *ServiceCall:
-		return s.evalServiceCall(p, v, vt)
+		return s.evalServiceCall(ctx, p, v, vt)
 	case *EvalAt:
 		if v.At == at {
-			return s.eval(at, v.E, vt)
+			return s.eval(ctx, at, v.E, vt)
 		}
-		return s.delegate(at, v.At, v.E, vt)
+		return s.delegate(ctx, at, v.At, v.E, vt)
 	default:
 		return nil, fmt.Errorf("core: unknown expression type %T", e)
 	}
@@ -66,14 +87,17 @@ func (s *System) eval(at netsim.PeerID, e Expr, vt float64) (*Result, error) {
 // returns the shipped-back result (definition (5) generalized; rules
 // (14), (15)). The expression serialization and the reply forest are
 // both charged to the network.
-func (s *System) delegate(from, remote netsim.PeerID, e Expr, vt float64) (*Result, error) {
+func (s *System) delegate(ctx context.Context, from, remote netsim.PeerID, e Expr, vt float64) (*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	s.tracef("delegate %s→%s: %s", from, remote, e.String())
 	body := SerializeExpr(e)
-	reply, kind, doneVT, err := s.Net.Call(netsim.Message{
+	reply, kind, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
 		From: from, To: remote, Kind: "eval", Body: body, VT: vt,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(ctx, err)
 	}
 	if kind != "result" {
 		return nil, fmt.Errorf("core: unexpected reply kind %q", kind)
@@ -87,13 +111,13 @@ func (s *System) delegate(from, remote netsim.PeerID, e Expr, vt float64) (*Resu
 
 // evalTree implements definitions (1), (5) and the sc-activation part
 // of (6) for trees containing embedded service calls.
-func (s *System) evalTree(p *peer.Peer, t *Tree, vt float64) (*Result, error) {
+func (s *System) evalTree(ctx context.Context, p *peer.Peer, t *Tree, vt float64) (*Result, error) {
 	if t.At != p.ID {
 		// Definition (5): ask the owner to evaluate and ship the result.
-		return s.delegate(p.ID, t.At, t, vt)
+		return s.delegate(ctx, p.ID, t.At, t, vt)
 	}
 	// Definition (1): copy the tree, activating embedded service calls.
-	out, maxVT, err := s.expandTree(p, t.Node, vt)
+	out, maxVT, err := s.expandTree(ctx, p, t.Node, vt)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +128,7 @@ func (s *System) evalTree(p *peer.Peer, t *Tree, vt float64) (*Result, error) {
 // results of activating it (results with explicit forward lists
 // contribute nothing locally). It returns the resulting forest: a
 // plain node yields one tree; an sc root yields its call results.
-func (s *System) expandTree(p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltree.Node, float64, error) {
+func (s *System) expandTree(ctx context.Context, p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltree.Node, float64, error) {
 	if n.Kind == xmltree.ElementNode && n.Label == "x:raw" {
 		// Opaque carrier: data in transit is copied verbatim — embedded
 		// service calls are NOT activated (activation is an explicit
@@ -116,7 +140,7 @@ func (s *System) expandTree(p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltr
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: bad sc element: %w", err)
 		}
-		res, err := s.eval(p.ID, call, vt)
+		res, err := s.eval(ctx, p.ID, call, vt)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -129,7 +153,7 @@ func (s *System) expandTree(p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltr
 	copyN.Attrs = append(copyN.Attrs, n.Attrs...)
 	maxVT := vt
 	for _, c := range n.Children {
-		sub, subVT, err := s.expandTree(p, c, vt)
+		sub, subVT, err := s.expandTree(ctx, p, c, vt)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -145,21 +169,21 @@ func (s *System) expandTree(p *peer.Peer, n *xmltree.Node, vt float64) ([]*xmltr
 
 // evalDoc implements document expressions: d@p yields the document's
 // tree (remotely via definition (5)); d@any applies definition (9).
-func (s *System) evalDoc(p *peer.Peer, d *Doc, vt float64) (*Result, error) {
+func (s *System) evalDoc(ctx context.Context, p *peer.Peer, d *Doc, vt float64) (*Result, error) {
 	if d.At == AnyPeer {
 		replica, err := s.Generics.ResolveDoc(p.ID, d.Name)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrNoSuchDoc, err)
 		}
 		s.tracef("pickDoc %s@any → %s (at %s)", d.Name, replica.Doc, replica.At)
-		return s.evalDoc(p, &Doc{Name: replica.Doc, At: replica.At}, vt)
+		return s.evalDoc(ctx, p, &Doc{Name: replica.Doc, At: replica.At}, vt)
 	}
 	if d.At != p.ID {
-		return s.delegate(p.ID, d.At, d, vt)
+		return s.delegate(ctx, p.ID, d.At, d, vt)
 	}
 	doc, ok := p.Document(d.Name)
 	if !ok {
-		return nil, fmt.Errorf("core: peer %s: no document %q", p.ID, d.Name)
+		return nil, fmt.Errorf("core: peer %s: %w: %q", p.ID, ErrNoSuchDoc, d.Name)
 	}
 	return &Result{Forest: []*xmltree.Node{xmltree.DeepCopy(doc.Root)}, VT: vt}, nil
 }
@@ -167,7 +191,7 @@ func (s *System) evalDoc(p *peer.Peer, d *Doc, vt float64) (*Result, error) {
 // evalQuery implements definitions (2) and (7): evaluate the argument
 // expressions, ship them (and the query, if defined elsewhere) to the
 // evaluation site, then apply the query.
-func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) {
+func (s *System) evalQuery(ctx context.Context, p *peer.Peer, q *Query, vt float64) (*Result, error) {
 	queryVT := vt
 	if q.At != p.ID && q.At != "" {
 		// Definition (7): the query itself must be shipped from its
@@ -175,12 +199,12 @@ func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) 
 		// the reply carries the query text, charging its transfer.
 		fetchBody := xmltree.E("x:fetchq")
 		fetchBody.AppendChild(xmltree.E("x:text", xmltree.T(q.Q.String())))
-		_, _, fetchVT, err := s.Net.Call(netsim.Message{
+		_, _, fetchVT, err := s.Net.CallCtx(ctx, netsim.Message{
 			From: p.ID, To: q.At, Kind: "fetchq",
 			Body: []byte(xmltree.Serialize(fetchBody)), VT: vt,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: fetching query from %s: %w", q.At, err)
+			return nil, wrapCanceled(ctx, fmt.Errorf("core: fetching query from %s: %w", q.At, err))
 		}
 		queryVT = fetchVT
 	}
@@ -206,7 +230,7 @@ func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) 
 			}
 		}
 		if res == nil {
-			r, err := s.eval(p.ID, a, queryVT)
+			r, err := s.eval(ctx, p.ID, a, queryVT)
 			if err != nil {
 				return nil, err
 			}
@@ -246,9 +270,9 @@ func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) 
 		} else if hosts := s.peersHosting(name, p.ID); len(hosts) > 0 {
 			fetchExpr = &Doc{Name: name, At: hosts[0]}
 		} else {
-			return nil, fmt.Errorf("core: no peer hosts document %q", name)
+			return nil, fmt.Errorf("core: no peer hosts document: %w: %q", ErrNoSuchDoc, name)
 		}
-		res, err := s.eval(p.ID, fetchExpr, maxVT)
+		res, err := s.eval(ctx, p.ID, fetchExpr, maxVT)
 		if err != nil {
 			return nil, err
 		}
@@ -278,7 +302,7 @@ func (s *System) evalQuery(p *peer.Peer, q *Query, vt float64) (*Result, error) 
 }
 
 // evalSend implements definitions (3), (4) and (8).
-func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) {
+func (s *System) evalSend(ctx context.Context, p *peer.Peer, snd *Send, vt float64) (*Result, error) {
 	// Enforce the paper's well-formedness rule: the sender must own
 	// the payload (sendp2→p1(x@p0) undefined for p2 ≠ p0).
 	if home := payloadHome(snd.Payload); home != "" && home != p.ID && home != AnyPeer {
@@ -296,12 +320,12 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 			name = fmt.Sprintf("sent-q-%s", p.ID)
 		}
 		body := xmltree.E("x:deploy", xmltree.A("name", name), xmltree.T(qv.Q.String()))
-		_, _, doneVT, err := s.Net.Call(netsim.Message{
+		_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
 			From: p.ID, To: dp.P, Kind: "deploy",
 			Body: []byte(xmltree.Serialize(body)), VT: vt,
 		})
 		if err != nil {
-			return nil, err
+			return nil, wrapCanceled(ctx, err)
 		}
 		s.tracef("deployed query as %s@%s", name, dp.P)
 		return &Result{VT: doneVT, Deployed: &ServiceRef{Provider: dp.P, Name: name}}, nil
@@ -309,7 +333,7 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 
 	// Evaluate the payload locally first (definitions (3)/(4) operate
 	// on the payload's value).
-	res, err := s.eval(p.ID, snd.Payload, vt)
+	res, err := s.eval(ctx, p.ID, snd.Payload, vt)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +346,7 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 		}
 		anchor := remote.FreshAnchor("x:landing")
 		ref := peer.NodeRef{Peer: d.P, Node: anchor.ID}
-		doneVT, err := s.shipData(p.ID, ref, res.Forest, res.VT)
+		doneVT, err := s.shipData(ctx, p.ID, ref, res.Forest, res.VT)
 		if err != nil {
 			return nil, err
 		}
@@ -330,7 +354,7 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 	case DestNodes:
 		maxVT := res.VT
 		for _, ref := range d.Refs {
-			doneVT, err := s.shipData(p.ID, ref, res.Forest, res.VT)
+			doneVT, err := s.shipData(ctx, p.ID, ref, res.Forest, res.VT)
 			if err != nil {
 				return nil, err
 			}
@@ -362,7 +386,7 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 		// destination (the payload is local there, so the install is
 		// the local branch above). The x:raw carrier prevents embedded
 		// service calls from activating in transit.
-		_, _, doneVT, err := s.Net.Call(netsim.Message{
+		_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
 			From: p.ID, To: d.At, Kind: "eval",
 			Body: SerializeExpr(&Send{
 				Dest:    DestDoc{Name: d.Name, At: d.At},
@@ -370,7 +394,7 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 			}), VT: res.VT,
 		})
 		if err != nil {
-			return nil, err
+			return nil, wrapCanceled(ctx, err)
 		}
 		return &Result{VT: doneVT}, nil
 	default:
@@ -380,11 +404,11 @@ func (s *System) evalSend(p *peer.Peer, snd *Send, vt float64) (*Result, error) 
 
 // evalRelay implements rule (12)'s relayed route: the payload value
 // travels home → via₁ → … → viaₙ → dest, each hop charged separately.
-func (s *System) evalRelay(p *peer.Peer, r *Relay, vt float64) (*Result, error) {
+func (s *System) evalRelay(ctx context.Context, p *peer.Peer, r *Relay, vt float64) (*Result, error) {
 	if home := payloadHome(r.Payload); home != "" && home != p.ID && home != AnyPeer {
 		return nil, fmt.Errorf("core: relay at %s of payload located at %s is undefined (§3.2)", p.ID, home)
 	}
-	res, err := s.eval(p.ID, r.Payload, vt)
+	res, err := s.eval(ctx, p.ID, r.Payload, vt)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +423,7 @@ func (s *System) evalRelay(p *peer.Peer, r *Relay, vt float64) (*Result, error) 
 			return nil, fmt.Errorf("core: unknown relay peer %q", hop)
 		}
 		anchor := hp.FreshAnchor("x:hop")
-		hvt, err := s.shipData(currentPeer, peer.NodeRef{Peer: hop, Node: anchor.ID}, data, currentVT)
+		hvt, err := s.shipData(ctx, currentPeer, peer.NodeRef{Peer: hop, Node: anchor.ID}, data, currentVT)
 		if err != nil {
 			return nil, err
 		}
@@ -416,7 +440,7 @@ func (s *System) evalRelay(p *peer.Peer, r *Relay, vt float64) (*Result, error) 
 		}
 		anchor := remote.FreshAnchor("x:landing")
 		ref := peer.NodeRef{Peer: d.P, Node: anchor.ID}
-		doneVT, err := s.shipData(currentPeer, ref, data, currentVT)
+		doneVT, err := s.shipData(ctx, currentPeer, ref, data, currentVT)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +448,7 @@ func (s *System) evalRelay(p *peer.Peer, r *Relay, vt float64) (*Result, error) 
 	case DestNodes:
 		maxVT := currentVT
 		for _, ref := range d.Refs {
-			doneVT, err := s.shipData(currentPeer, ref, data, currentVT)
+			doneVT, err := s.shipData(ctx, currentPeer, ref, data, currentVT)
 			if err != nil {
 				return nil, err
 			}
@@ -460,15 +484,19 @@ func payloadHome(e Expr) netsim.PeerID {
 // network (definition (4)). Subscription streams use the internal form;
 // the exported entry point lets engines layered on top of the system —
 // view maintenance in internal/view — push deltas with the same
-// accounting.
-func (s *System) ShipForest(from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
-	return s.shipData(from, ref, forest, vt)
+// accounting and the same cancellation behavior: a done context stops
+// the ship before it is sent.
+func (s *System) ShipForest(ctx context.Context, from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
+	return s.shipData(ctx, from, ref, forest, vt)
 }
 
 // shipData sends a forest to a node reference, adding each tree as a
 // child of the target (definition (4)). Multi-tree forests travel in
 // an x:batch carrier that is unwrapped on landing.
-func (s *System) shipData(from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
+func (s *System) shipData(ctx context.Context, from netsim.PeerID, ref peer.NodeRef, forest []*xmltree.Node, vt float64) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
 	if ref.Peer == from {
 		// Local landing: no network charge.
 		target, ok := s.Peer(from)
@@ -483,7 +511,7 @@ func (s *System) shipData(from netsim.PeerID, ref peer.NodeRef, forest []*xmltre
 	}
 	// Use a Call so the delivery is synchronous and errors surface;
 	// the reply is an empty ack whose size is the envelope overhead.
-	_, _, doneVT, err := s.Net.Call(netsim.Message{
+	_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
 		From: from, To: ref.Peer, Kind: "eval",
 		Body: SerializeExpr(&Send{
 			Dest:    DestNodes{Refs: []peer.NodeRef{ref}},
@@ -491,7 +519,7 @@ func (s *System) shipData(from netsim.PeerID, ref peer.NodeRef, forest []*xmltre
 		}), VT: vt,
 	})
 	if err != nil {
-		return 0, err
+		return 0, wrapCanceled(ctx, err)
 	}
 	return doneVT, nil
 }
@@ -599,13 +627,13 @@ func unwrapRaw(n *xmltree.Node) []*xmltree.Node {
 //
 //	eval@p0(sc(p1, s1, parList, fwList)) =
 //	  send_{p1→fwList}( q1( send_{p0→p1}( eval@p0(parList) ) ) )
-func (s *System) evalServiceCall(p *peer.Peer, call *ServiceCall, vt float64) (*Result, error) {
+func (s *System) evalServiceCall(ctx context.Context, p *peer.Peer, call *ServiceCall, vt float64) (*Result, error) {
 	provider := call.Provider
 	svcName := call.Service
 	if provider == AnyPeer {
 		ref, err := s.Generics.ResolveService(p.ID, call.Service)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrNoSuchService, err)
 		}
 		s.tracef("pickService %s@any → %s", call.Service, ref)
 		provider, svcName = ref.Provider, ref.Name
@@ -615,7 +643,7 @@ func (s *System) evalServiceCall(p *peer.Peer, call *ServiceCall, vt float64) (*
 	maxVT := vt + s.Cost.ActivateMs*s.computeFactor(p.ID)
 	params := make([][]*xmltree.Node, len(call.Params))
 	for i, pe := range call.Params {
-		res, err := s.eval(p.ID, pe, vt)
+		res, err := s.eval(ctx, p.ID, pe, vt)
 		if err != nil {
 			return nil, err
 		}
@@ -642,12 +670,12 @@ func (s *System) evalServiceCall(p *peer.Peer, call *ServiceCall, vt float64) (*
 	for _, ref := range call.Forward {
 		body.AppendChild(xmltree.E("x:forw", xmltree.A("ref", ref.String())))
 	}
-	reply, kind, doneVT, err := s.Net.Call(netsim.Message{
+	reply, kind, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
 		From: p.ID, To: provider, Kind: "call",
 		Body: []byte(xmltree.Serialize(body)), VT: maxVT,
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(ctx, err)
 	}
 	if kind != "result" {
 		return nil, fmt.Errorf("core: unexpected reply kind %q", kind)

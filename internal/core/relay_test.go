@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -214,7 +215,7 @@ func TestShippedDataDoesNotActivateSC(t *testing.T) {
 	inbox, _ := dst.Document("inbox")
 	intensional := xmltree.MustParse(`<doc><sc provider="hub" service="nope"/></doc>`)
 	// Ship via the engine's data path (shipData → x:raw carrier).
-	if _, err := sys.shipData("src", peer.NodeRef{Peer: "dst", Node: inbox.Root.ID},
+	if _, err := sys.shipData(context.Background(), "src", peer.NodeRef{Peer: "dst", Node: inbox.Root.ID},
 		[]*xmltree.Node{intensional}, 0); err != nil {
 		t.Fatalf("shipData: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"axml/internal/netsim"
@@ -113,7 +114,7 @@ func (sub *subscription) run() {
 				// Stream pushes are one-way; VT restarts per push (the
 				// makespan of continuous phases is measured by bytes
 				// and message counts, see DESIGN.md).
-				_, _ = sub.sys.shipData(sub.provider.ID, ref, out, 0)
+				_, _ = sub.sys.shipData(context.Background(), sub.provider.ID, ref, out, 0)
 			}
 		}
 	}
@@ -147,7 +148,7 @@ func (s *System) PumpSubscriptions() (int, error) {
 			continue
 		}
 		for _, ref := range sub.targets {
-			if _, err := sub.sys.shipData(sub.provider.ID, ref, out, 0); err != nil {
+			if _, err := sub.sys.shipData(context.Background(), sub.provider.ID, ref, out, 0); err != nil {
 				return total, err
 			}
 			total += len(out)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -185,19 +186,26 @@ type peerHandler struct {
 }
 
 func (h *peerHandler) HandleCall(msg netsim.Message, arriveVT float64) ([]byte, string, float64, error) {
+	return h.HandleCallCtx(context.Background(), msg, arriveVT)
+}
+
+// HandleCallCtx implements netsim.CtxHandler: the caller's context
+// reaches the nested evaluation, so deadlines propagate across
+// delegation chains instead of stopping at the first hop.
+func (h *peerHandler) HandleCallCtx(ctx context.Context, msg netsim.Message, arriveVT float64) ([]byte, string, float64, error) {
 	switch msg.Kind {
 	case "eval":
 		expr, err := ParseExprBytes(msg.Body)
 		if err != nil {
 			return nil, "", 0, err
 		}
-		res, err := h.sys.eval(h.peer.ID, expr, arriveVT)
+		res, err := h.sys.eval(ctx, h.peer.ID, expr, arriveVT)
 		if err != nil {
 			return nil, "", 0, err
 		}
 		return serializeForest(res.Forest), "result", res.VT, nil
 	case "call":
-		return h.handleServiceCall(msg, arriveVT)
+		return h.handleServiceCall(ctx, msg, arriveVT)
 	case "deploy":
 		return h.handleDeploy(msg, arriveVT)
 	case "fetchq":
@@ -231,7 +239,7 @@ func (h *peerHandler) HandleAsync(msg netsim.Message, arriveVT float64) {
 // Forward-list delivery is done by the caller side of the protocol in
 // eval.go so that shipping costs are attributed to the provider→target
 // links.
-func (h *peerHandler) handleServiceCall(msg netsim.Message, arriveVT float64) ([]byte, string, float64, error) {
+func (h *peerHandler) handleServiceCall(ctx context.Context, msg netsim.Message, arriveVT float64) ([]byte, string, float64, error) {
 	root, err := xmltree.Parse(string(msg.Body))
 	if err != nil {
 		return nil, "", 0, fmt.Errorf("core: bad call body: %w", err)
@@ -239,7 +247,7 @@ func (h *peerHandler) handleServiceCall(msg netsim.Message, arriveVT float64) ([
 	name, _ := root.Attr("service")
 	svc, ok := h.peer.Service(name)
 	if !ok {
-		return nil, "", 0, fmt.Errorf("core: peer %s: no service %q", h.peer.ID, name)
+		return nil, "", 0, fmt.Errorf("core: peer %s: %w: %q", h.peer.ID, ErrNoSuchService, name)
 	}
 	var args [][]*xmltree.Node
 	for _, p := range root.ChildElementsByLabel("x:param") {
@@ -287,7 +295,7 @@ func (h *peerHandler) handleServiceCall(msg netsim.Message, arriveVT float64) ([
 	}
 	if len(forwards) > 0 {
 		for _, ref := range forwards {
-			if _, err := h.sys.shipData(h.peer.ID, ref, out, doneVT); err != nil {
+			if _, err := h.sys.shipData(ctx, h.peer.ID, ref, out, doneVT); err != nil {
 				return nil, "", 0, err
 			}
 		}
@@ -329,7 +337,7 @@ func (h *peerHandler) handleFetchQuery(msg netsim.Message, arriveVT float64) ([]
 	name, _ := root.Attr("name")
 	svc, ok := h.peer.Service(name)
 	if !ok {
-		return nil, "", 0, fmt.Errorf("core: peer %s: no service %q", h.peer.ID, name)
+		return nil, "", 0, fmt.Errorf("core: peer %s: %w: %q", h.peer.ID, ErrNoSuchService, name)
 	}
 	if !svc.Declarative() {
 		return nil, "", 0, fmt.Errorf("core: peer %s: service %q is not declarative", h.peer.ID, name)

@@ -19,9 +19,11 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // PeerID identifies a peer p ∈ P (paper §2).
@@ -52,6 +54,15 @@ type Handler interface {
 	// with the virtual time at which the reply was ready (≥ arriveVT;
 	// it includes local compute and any nested remote work).
 	HandleCall(msg Message, arriveVT float64) (body []byte, kind string, doneVT float64, err error)
+}
+
+// CtxHandler is optionally implemented by handlers that can propagate
+// a caller's context into their processing (nested remote calls,
+// long evaluations). CallCtx prefers it over HandleCall, which is how
+// a deadline set by a client session reaches work three delegation
+// hops away.
+type CtxHandler interface {
+	HandleCallCtx(ctx context.Context, msg Message, arriveVT float64) (body []byte, kind string, doneVT float64, err error)
 }
 
 // Link describes a directed network link.
@@ -85,6 +96,7 @@ type Network struct {
 	links    map[linkKey]Link
 	down     map[PeerID]bool
 	deflink  Link
+	realtime float64 // wall-clock ms slept per virtual ms (0 = instant)
 	stats    Stats
 	wg       sync.WaitGroup
 }
@@ -96,6 +108,38 @@ func New() *Network {
 		links:    map[linkKey]Link{},
 		down:     map[PeerID]bool{},
 		deflink:  DefaultLink,
+	}
+}
+
+// SetRealtime makes transfers consume wall-clock time: every virtual
+// millisecond of link transfer sleeps scale real milliseconds inside
+// Call/CallCtx. Zero (the default) keeps the network instantaneous.
+// The knob exists so cancellation can be exercised mid-transfer: with
+// a slow simulated link and a real deadline, a context expires while
+// the bytes are "on the wire" and the call aborts before delivery.
+func (n *Network) SetRealtime(scale float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.realtime = scale
+}
+
+// realWait sleeps the real-time equivalent of durMs virtual
+// milliseconds (when realtime mode is on), aborting early if the
+// context expires. It returns the context's error on abort.
+func (n *Network) realWait(ctx context.Context, durMs float64) error {
+	n.mu.Lock()
+	scale := n.realtime
+	n.mu.Unlock()
+	if scale <= 0 || durMs <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(time.Duration(durMs * scale * float64(time.Millisecond)))
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -163,6 +207,12 @@ var ErrUnknownPeer = errors.New("netsim: unknown peer")
 // ErrPeerDown is returned for sends to peers marked down.
 var ErrPeerDown = errors.New("netsim: peer down")
 
+// ErrAckLost marks a call whose request was delivered and handled but
+// whose reply leg aborted: the handler's side effects at the remote
+// peer stand, only the acknowledgment was lost. Callers that mutate
+// remote state must treat this as "maybe applied", not "not applied".
+var ErrAckLost = errors.New("netsim: reply lost after delivery")
+
 func (n *Network) lookup(msg *Message) (Handler, Link, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -217,16 +267,43 @@ func (n *Network) Send(msg Message) error {
 // Call delivers a request and blocks for the reply. The returned VT is
 // the virtual time at which the reply arrived back at the caller.
 func (n *Network) Call(msg Message) (body []byte, kind string, vt float64, err error) {
+	return n.CallCtx(context.Background(), msg)
+}
+
+// CallCtx is Call under a context: the request is not sent when the
+// context has already expired, the transfer legs abort mid-flight in
+// realtime mode, and handlers implementing CtxHandler see the context
+// so nested remote work stops too. An aborted leg is not accounted —
+// the bytes never (fully) crossed the wire. Note the asymmetry of a
+// reply-leg abort: the handler has already run, so its side effects
+// at the remote peer stand (a lost ack, as on a real network); callers
+// whose requests mutate remote state must treat such an error as
+// ambiguous, not as proof the request never applied.
+func (n *Network) CallCtx(ctx context.Context, msg Message) (body []byte, kind string, vt float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", 0, fmt.Errorf("netsim: call %s→%s not sent: %w", msg.From, msg.To, err)
+	}
 	h, link, err := n.lookup(&msg)
 	if err != nil {
 		return nil, "", 0, err
 	}
 	arrive := msg.VT
 	if !n.isLocal(&msg) {
-		arrive += link.transferMs(msg.Size())
+		dur := link.transferMs(msg.Size())
+		if err := n.realWait(ctx, dur); err != nil {
+			return nil, "", 0, fmt.Errorf("netsim: call %s→%s aborted in transit: %w", msg.From, msg.To, err)
+		}
+		arrive += dur
 		n.account(&msg, arrive)
 	}
-	rbody, rkind, doneVT, err := h.HandleCall(msg, arrive)
+	var rbody []byte
+	var rkind string
+	var doneVT float64
+	if ch, ok := h.(CtxHandler); ok {
+		rbody, rkind, doneVT, err = ch.HandleCallCtx(ctx, msg, arrive)
+	} else {
+		rbody, rkind, doneVT, err = h.HandleCall(msg, arrive)
+	}
 	if err != nil {
 		return nil, "", 0, err
 	}
@@ -237,7 +314,12 @@ func (n *Network) Call(msg Message) (body []byte, kind string, vt float64, err e
 		if lerr != nil {
 			return nil, "", 0, lerr
 		}
-		respVT = doneVT + backLink.transferMs(resp.Size())
+		dur := backLink.transferMs(resp.Size())
+		if err := n.realWait(ctx, dur); err != nil {
+			return nil, "", 0, fmt.Errorf("netsim: reply %s→%s aborted in transit: %w: %w",
+				resp.From, resp.To, ErrAckLost, err)
+		}
+		respVT = doneVT + dur
 		n.account(&resp, respVT)
 	}
 	return rbody, rkind, respVT, nil

@@ -1,10 +1,12 @@
 package netsim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // echoHandler records async messages and answers calls with a fixed
@@ -299,4 +301,57 @@ func TestLinkTransfer(t *testing.T) {
 	if got := inf.transferMs(1 << 30); got != 5 {
 		t.Errorf("infinite bandwidth transferMs = %v, want 5", got)
 	}
+}
+
+// TestCallCtxLegClassification: a context that expires during the
+// request leg aborts with a plain cancellation (the handler never
+// ran); one that expires during the reply leg reports ErrAckLost — the
+// handler's side effects stand.
+func TestCallCtxLegClassification(t *testing.T) {
+	n := New()
+	var handled atomic.Int64
+	if err := n.Register("a", &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", &countingHandler{hits: &handled}); err != nil {
+		t.Fatal(err)
+	}
+	n.SetRealtime(1)
+
+	// Request leg slow (a→b), reply instant: abort before delivery.
+	n.SetLink("a", "b", Link{LatencyMs: 5000})
+	n.SetLink("b", "a", Link{LatencyMs: 0})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, _, _, err := n.CallCtx(ctx, Message{From: "a", To: "b", Kind: "x"})
+	if err == nil || errors.Is(err, ErrAckLost) {
+		t.Fatalf("request-leg abort misclassified: %v", err)
+	}
+	if handled.Load() != 0 {
+		t.Fatal("handler ran despite request-leg abort")
+	}
+	if st := n.Stats(); st.Messages != 0 {
+		t.Errorf("aborted request accounted: %+v", st)
+	}
+
+	// Request instant, reply slow: the handler runs, the ack is lost.
+	n.SetLink("a", "b", Link{LatencyMs: 0})
+	n.SetLink("b", "a", Link{LatencyMs: 5000})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	_, _, _, err = n.CallCtx(ctx2, Message{From: "a", To: "b", Kind: "x"})
+	if !errors.Is(err, ErrAckLost) {
+		t.Fatalf("reply-leg abort not classified as ErrAckLost: %v", err)
+	}
+	if handled.Load() != 1 {
+		t.Error("handler did not run before the reply-leg abort")
+	}
+}
+
+type countingHandler struct{ hits *atomic.Int64 }
+
+func (h *countingHandler) HandleAsync(Message, float64) {}
+func (h *countingHandler) HandleCall(Message, float64) ([]byte, string, float64, error) {
+	h.hits.Add(1)
+	return []byte("ok"), "reply", 0, nil
 }

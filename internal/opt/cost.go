@@ -273,7 +273,7 @@ func (es *Estimator) remoteDocInfo(name string, exclude netsim.PeerID) (float64,
 			return float64(d.Root.ByteSize()), id, nil
 		}
 	}
-	return 0, "", fmt.Errorf("opt: no peer hosts document %q", name)
+	return 0, "", fmt.Errorf("opt: no peer hosts document: %w: %q", core.ErrNoSuchDoc, name)
 }
 
 func (es *Estimator) estSend(at netsim.PeerID, s *core.Send) (Estimate, error) {

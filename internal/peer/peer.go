@@ -8,6 +8,7 @@
 package peer
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -18,6 +19,11 @@ import (
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
 )
+
+// ErrNoSuchDoc is wrapped by every "document not found" failure of a
+// peer's store, so callers at any layer (core evaluation, sessions,
+// wire clients) can branch on the failure kind with errors.Is.
+var ErrNoSuchDoc = errors.New("no such document")
 
 // NodeRef is a global node reference n@p (paper §2.3).
 type NodeRef struct {
@@ -150,7 +156,7 @@ func (p *Peer) RemoveDocument(name string) error {
 	defer p.mu.Unlock()
 	doc, ok := p.docs[name]
 	if !ok {
-		return fmt.Errorf("peer %s: no document %q", p.ID, name)
+		return fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 	}
 	doc.Root.Walk(func(n *xmltree.Node) bool {
 		delete(p.index, n.ID)
@@ -363,7 +369,7 @@ func (p *Peer) SelectIDs(q *xquery.Query) ([]xmltree.NodeID, error) {
 	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
 		d, ok := p.docs[name]
 		if !ok {
-			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 		}
 		return d.Root, nil
 	}}
@@ -391,7 +397,7 @@ func (p *Peer) SnapshotEval(fn func(resolve xquery.DocResolver) error) error {
 	return fn(func(name string) (*xmltree.Node, error) {
 		d, ok := p.docs[name]
 		if !ok {
-			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 		}
 		return d.Root, nil
 	})
@@ -496,7 +502,7 @@ func (p *Peer) Resolver() xquery.DocResolver {
 	return func(name string) (*xmltree.Node, error) {
 		d, ok := p.Document(name)
 		if !ok {
-			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 		}
 		return d.Root, nil
 	}
@@ -510,7 +516,7 @@ func (p *Peer) RunQuery(q *xquery.Query, args ...[]*xmltree.Node) ([]*xmltree.No
 	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
 		d, ok := p.docs[name]
 		if !ok {
-			return nil, fmt.Errorf("peer %s: no document %q", p.ID, name)
+			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 		}
 		return d.Root, nil
 	}}

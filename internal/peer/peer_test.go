@@ -1,7 +1,7 @@
 package peer
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"axml/internal/service"
@@ -271,7 +271,7 @@ func TestResolver(t *testing.T) {
 	if _, err := res("d"); err != nil {
 		t.Errorf("resolver: %v", err)
 	}
-	if _, err := res("nope"); err == nil || !strings.Contains(err.Error(), "no document") {
+	if _, err := res("nope"); err == nil || !errors.Is(err, ErrNoSuchDoc) {
 		t.Errorf("resolver miss: %v", err)
 	}
 }

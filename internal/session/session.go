@@ -1,0 +1,467 @@
+// Package session is the unified client-facing query pipeline of the
+// framework: one handle — obtained from a local system (axml.Session)
+// or from a wire connection (wire.Dial) — that parses, optimizes
+// (view-aware), caches plans and evaluates, with context propagation
+// all the way into remote work.
+//
+// The paper's client model (§2.1) is a single declarative entrypoint
+// that hides placement, optimization and transport; DXQ and ViP2P make
+// the same point for their network interfaces. Before this package the
+// repo exposed the plumbing instead: callers hand-chained ParseQuery →
+// Optimize → Eval locally, and spoke a second, incompatible API over
+// the wire. Session collapses both into
+//
+//	sess, _ := sys.Session("client")        // or axml.Dial(addr)
+//	rows, err := sess.Query(ctx, `for $i in doc("catalog")/item …`)
+//	for rows.Next() { use(rows.Node()) }
+//
+// Plans are cached per session, keyed by the normalized query shape
+// (view.QueryKey — conjunct order and formatting don't fragment the
+// cache) and invalidated by view-catalog generation: a DefineView or
+// DropView bumps view.Manager.Generation and every older plan
+// re-optimizes on next use, so a cached plan can never read a dropped
+// view or miss a new one. Prepare pins this pipeline on one statement
+// for repeated execution: the optimizer search runs once, not per
+// call.
+//
+// Failures carry kind, not just text: ErrCanceled, ErrNoSuchDoc,
+// ErrNoSuchService, ErrPeerDown compare identically (errors.Is) for
+// local and remote sessions — the wire protocol transports the error
+// code, not just the message.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/opt"
+	"axml/internal/peer"
+	"axml/internal/rewrite"
+	"axml/internal/view"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// Typed failure kinds, shared by every backend. ErrCanceled &co are
+// re-exported from core so that a session layered over a local system
+// and one layered over a wire connection agree under errors.Is.
+var (
+	ErrCanceled      = core.ErrCanceled
+	ErrNoSuchDoc     = core.ErrNoSuchDoc
+	ErrNoSuchService = core.ErrNoSuchService
+	ErrPeerDown      = core.ErrPeerDown
+
+	// ErrBadQuery wraps parse and analysis failures of the submitted
+	// source text.
+	ErrBadQuery = errors.New("bad query")
+
+	// ErrClosed is returned by operations on a closed session.
+	ErrClosed = errors.New("session closed")
+)
+
+// Session is the unified query interface over an AXML deployment. A
+// local session evaluates against an in-process system; a wire session
+// (wire.Dial) against a remote peer — same methods, same option set,
+// same error kinds, same streaming Rows.
+type Session interface {
+	// Query runs one query and streams its result forest.
+	Query(ctx context.Context, src string, opts ...Option) (*Rows, error)
+	// Exec runs a statement for its effect — `delete <path>`,
+	// `replace <path> with <xml>`, or a query whose results are
+	// discarded — and reports how many nodes (or result trees) it
+	// touched.
+	Exec(ctx context.Context, src string, opts ...Option) (int, error)
+	// Prepare validates src once and returns a statement handle whose
+	// repeated Query calls skip the per-call planning work.
+	Prepare(ctx context.Context, src string) (*Stmt, error)
+	// Close releases the session. In-flight calls may fail with
+	// ErrClosed or ErrCanceled.
+	Close() error
+}
+
+// Config collects the per-call options. Backends ignore knobs that do
+// not apply to them (a wire client cannot disable the remote server's
+// optimizer cache, but it forwards the intent).
+type Config struct {
+	// NoOptimize evaluates the naive definition-(1)–(9) plan without
+	// the rewrite search (and without consulting the plan cache).
+	NoOptimize bool
+	// NoPlanCache forces a fresh optimizer run even for known shapes.
+	// The plan is still stored; benchmarks use this as the
+	// optimize-every-time baseline.
+	NoPlanCache bool
+	// ConsistentView refreshes every materialized view the chosen plan
+	// reads before evaluating, so the answer reflects the current base
+	// data rather than the last refresh.
+	ConsistentView bool
+	// Timeout, when positive, derives a child context with that
+	// deadline around the call.
+	Timeout time.Duration
+	// MaxPlans caps the optimizer search (0 = the optimizer default).
+	MaxPlans int
+}
+
+// Option is a functional option of Session.Query/Exec and Stmt.Query.
+type Option func(*Config)
+
+// WithNoOptimize evaluates the query as written: no rewrite search, no
+// view rewriting, no plan cache.
+func WithNoOptimize() Option { return func(c *Config) { c.NoOptimize = true } }
+
+// WithNoPlanCache re-runs the optimizer even when a cached plan
+// exists.
+func WithNoPlanCache() Option { return func(c *Config) { c.NoPlanCache = true } }
+
+// WithConsistentView refreshes the views the plan reads before
+// answering from them.
+func WithConsistentView() Option { return func(c *Config) { c.ConsistentView = true } }
+
+// WithTimeout bounds the call by a deadline relative to its start.
+func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = d } }
+
+// WithMaxPlans caps the optimizer's plan search for this call.
+func WithMaxPlans(n int) Option { return func(c *Config) { c.MaxPlans = n } }
+
+// BuildConfig folds options into a Config. Backends (wire) use it to
+// interpret the shared option vocabulary.
+func BuildConfig(opts []Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Stats counts plan-cache activity of a local session.
+type Stats struct {
+	// Hits: calls answered by a cached plan (no optimizer search).
+	Hits uint64
+	// Misses: calls that ran the optimizer (first sight of a shape, or
+	// WithNoPlanCache).
+	Misses uint64
+	// Invalidations: cached plans discarded because the view catalog
+	// changed underneath them.
+	Invalidations uint64
+}
+
+// HitRate returns the fraction of planned calls served from cache.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cachedPlan is one plan-cache entry: the optimized expression and the
+// view-catalog generation it was derived under.
+type cachedPlan struct {
+	expr core.Expr
+	gen  uint64
+}
+
+// Local is the Session implementation over an in-process core.System:
+// the one query pipeline the facade, the wire server and the bench
+// experiments all share.
+type Local struct {
+	sys   *core.System
+	views *view.Manager
+	at    netsim.PeerID
+
+	mu     sync.Mutex
+	plans  map[string]*cachedPlan
+	stats  Stats
+	closed bool
+}
+
+// NewLocal opens a session evaluating at peer `at` of the given
+// system. The view manager supplies view-aware optimization and the
+// cache-invalidation generation; it may not be nil (pass a fresh
+// manager for view-less systems).
+func NewLocal(sys *core.System, views *view.Manager, at netsim.PeerID) (*Local, error) {
+	if views == nil {
+		return nil, fmt.Errorf("session: nil view manager")
+	}
+	if _, ok := sys.Peer(at); !ok {
+		return nil, fmt.Errorf("session: unknown peer %q", at)
+	}
+	return &Local{sys: sys, views: views, at: at, plans: map[string]*cachedPlan{}}, nil
+}
+
+// At returns the peer this session evaluates at.
+func (s *Local) At() netsim.PeerID { return s.at }
+
+// Stats returns a snapshot of the plan-cache counters.
+func (s *Local) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close marks the session closed and drops its cached plans.
+func (s *Local) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.plans = map[string]*cachedPlan{}
+	return nil
+}
+
+func (s *Local) alive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Query implements Session: parse → plan (cached) → evaluate →
+// stream.
+func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Checked before planning: an expired context must not pay for
+		// (or pollute the counters of) an optimizer search.
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	cfg := BuildConfig(opts)
+	q, err := parseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	expr, err := s.plan(q, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	forest, err := s.run(ctx, expr, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromForest(forest), nil
+}
+
+// Exec implements Session. Update statements are location-transparent
+// like Query: the target nodes are modified at whichever peer hosts
+// the referenced document (the session's own peer preferred).
+// Anything else evaluates through the query pipeline with the results
+// discarded.
+func (s *Local) Exec(ctx context.Context, src string, opts ...Option) (int, error) {
+	if err := s.alive(); err != nil {
+		return 0, err
+	}
+	cfg := BuildConfig(opts)
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	if upd, ok, err := ParseUpdate(src); ok {
+		if err != nil {
+			return 0, err
+		}
+		p, err := s.updateHost(upd)
+		if err != nil {
+			return 0, err
+		}
+		return ApplyUpdate(p, upd)
+	}
+	rows, err := s.Query(ctx, src, opts...)
+	if err != nil {
+		return 0, err
+	}
+	forest, err := rows.Collect()
+	if err != nil {
+		return 0, err
+	}
+	return len(forest), nil
+}
+
+// updateHost resolves the peer an update statement applies at: the
+// session's peer when it hosts the referenced document, else the first
+// hosting peer in deterministic order.
+func (s *Local) updateHost(upd *Update) (*peer.Peer, error) {
+	docs := upd.Query.DocRefs()
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("%w: update selects no document", ErrBadQuery)
+	}
+	if p, ok := s.sys.Peer(s.at); ok && p.HasDocument(docs[0]) {
+		return p, nil
+	}
+	ids := s.sys.Peers()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if p, ok := s.sys.Peer(id); ok && p.HasDocument(docs[0]) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("session: %w: %q", ErrNoSuchDoc, docs[0])
+}
+
+// Prepare implements Session: the statement is parsed and optimized
+// now; each subsequent Stmt.Query reuses the cached plan (re-planning
+// only if the view catalog changed in between).
+func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
+	if err := s.alive(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
+	}
+	q, err := parseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	// Plan eagerly so the first Query pays nothing extra and syntax or
+	// planning errors surface at Prepare time, where they belong.
+	warm := Config{}
+	if _, err := s.plan(q, &warm); err != nil {
+		return nil, err
+	}
+	run := func(ctx context.Context, opts ...Option) (*Rows, error) {
+		if err := s.alive(); err != nil {
+			return nil, err
+		}
+		cfg := BuildConfig(opts)
+		expr, err := s.plan(q, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		forest, err := s.run(ctx, expr, &cfg)
+		if err != nil {
+			return nil, err
+		}
+		return FromForest(forest), nil
+	}
+	return NewStmt(src, run, nil), nil
+}
+
+// plan resolves the expression to evaluate: the naive plan when the
+// optimizer is off, else a cached or freshly optimized plan keyed by
+// the normalized query shape and the view-catalog generation.
+func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
+	naive := &core.Query{Q: q, At: s.at}
+	if cfg.NoOptimize {
+		return naive, nil
+	}
+	key := view.QueryKey(q)
+	gen := s.views.Generation()
+
+	s.mu.Lock()
+	if cp, ok := s.plans[key]; ok {
+		if cp.gen != gen {
+			delete(s.plans, key)
+			s.stats.Invalidations++
+		} else if !cfg.NoPlanCache {
+			s.stats.Hits++
+			expr := cp.expr
+			s.mu.Unlock()
+			return expr, nil
+		}
+	}
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	o := opt.Options{
+		MaxPlans:   cfg.MaxPlans,
+		ExtraRules: []rewrite.Rule{s.views.Rule()},
+	}
+	plan, _, err := opt.Optimize(s.sys, s.at, naive, o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.plans[key] = &cachedPlan{expr: plan.Expr, gen: gen}
+	s.mu.Unlock()
+	return plan.Expr, nil
+}
+
+// run evaluates a planned expression under the call's context rules.
+func (s *Local) run(ctx context.Context, e core.Expr, cfg *Config) ([]*xmltree.Node, error) {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	if cfg.ConsistentView {
+		for _, name := range planViews(e) {
+			if _, err := s.views.RefreshContext(ctx, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := s.sys.EvalContext(ctx, s.at, e)
+	if err != nil {
+		return nil, err
+	}
+	return res.Forest, nil
+}
+
+// parseQuery wraps parse failures in ErrBadQuery.
+func parseQuery(src string) (*xquery.Query, error) {
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadQuery, err)
+	}
+	return q, nil
+}
+
+// planViews collects the names of the materialized views a plan reads,
+// by walking its expression tree and the document references of its
+// embedded queries.
+func planViews(e core.Expr) []string {
+	seen := map[string]bool{}
+	var names []string
+	note := func(doc string) {
+		if !strings.HasPrefix(doc, view.DocPrefix) {
+			return
+		}
+		name := strings.TrimPrefix(doc, view.DocPrefix)
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	var walk func(core.Expr)
+	walk = func(e core.Expr) {
+		switch v := e.(type) {
+		case *core.Doc:
+			note(v.Name)
+		case *core.Query:
+			for _, doc := range v.Q.DocRefs() {
+				note(doc)
+			}
+			for _, a := range v.Args {
+				walk(a)
+			}
+		case *core.QueryVal:
+			for _, doc := range v.Q.DocRefs() {
+				note(doc)
+			}
+		case *core.EvalAt:
+			walk(v.E)
+		case *core.Send:
+			walk(v.Payload)
+		case *core.Relay:
+			walk(v.Payload)
+		case *core.ServiceCall:
+			for _, p := range v.Params {
+				walk(p)
+			}
+		}
+	}
+	walk(e)
+	return names
+}

@@ -21,9 +21,46 @@
 package view
 
 import (
+	"sort"
+
 	"axml/internal/xpath"
 	"axml/internal/xquery"
 )
+
+// QueryKey returns the normalized shape key of a query, the cache key
+// of the session plan cache. It builds on the same conjunct analysis
+// the view matcher uses: a FLWR query's where clause is split into its
+// top-level conjuncts (splitAnd) and re-joined in sorted order, so
+// queries that differ only in conjunct order — `where $a and $b` vs
+// `where $b and $a` — share one cached plan. Everything else falls
+// back to the canonical re-rendered source (String round-trips through
+// the parser, so whitespace and formatting differences also collapse).
+func QueryKey(q *xquery.Query) string {
+	body, ok := q.Body.(*xquery.FLWR)
+	if !ok || body.Where == nil {
+		return q.String()
+	}
+	wp, ok := body.Where.(*xquery.Path)
+	if !ok || len(wp.Docs) != 0 {
+		return q.String()
+	}
+	conjuncts := splitAnd(wp.X)
+	if len(conjuncts) < 2 {
+		return q.String()
+	}
+	sorted := make([]xpath.Expr, len(conjuncts))
+	copy(sorted, conjuncts)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].String() < sorted[j].String()
+	})
+	norm := &xquery.Query{Params: q.Params, Body: &xquery.FLWR{
+		Clauses: body.Clauses,
+		Where:   &xquery.Path{X: joinAnd(sorted)},
+		Order:   body.Order,
+		Return:  body.Return,
+	}}
+	return norm.String()
+}
 
 // shape is the normalized matchable form of a view definition.
 type shape struct {

@@ -166,3 +166,32 @@ func TestImpliesMatrix(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryKeyNormalization(t *testing.T) {
+	key := func(src string) string {
+		return QueryKey(xquery.MustParse(src))
+	}
+	// Formatting and whitespace collapse (String round-trip).
+	a := key("for $i in doc(\"d\")/item\n  where $i/p < 10 and $i/q > 2\n  return $i/name")
+	b := key(`for $i in doc("d")/item where $i/p < 10 and $i/q > 2 return $i/name`)
+	if a != b {
+		t.Errorf("formatting fragments the key:\n%s\n%s", a, b)
+	}
+	// Conjunct order collapses.
+	c := key(`for $i in doc("d")/item where $i/q > 2 and $i/p < 10 return $i/name`)
+	if a != c {
+		t.Errorf("conjunct order fragments the key:\n%s\n%s", a, c)
+	}
+	// Different predicates stay distinct.
+	d := key(`for $i in doc("d")/item where $i/p < 11 and $i/q > 2 return $i/name`)
+	if a == d {
+		t.Error("distinct predicates share a key")
+	}
+	// Non-FLWR queries key on their canonical source.
+	if key(`doc("d")/item`) != key(` doc("d")/item `) {
+		t.Error("path query keys differ on whitespace")
+	}
+	if key(`doc("d")/item`) == key(`doc("d")/other`) {
+		t.Error("distinct paths share a key")
+	}
+}

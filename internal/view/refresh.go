@@ -17,10 +17,12 @@
 package view
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"axml/internal/core"
+	"axml/internal/netsim"
 	"axml/internal/peer"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
@@ -31,20 +33,33 @@ import (
 // applied (result trees shipped plus retractions landed, or trees
 // materialized on the full-refresh path).
 func (m *Manager) Refresh(name string) (int, error) {
+	return m.RefreshContext(context.Background(), name)
+}
+
+// RefreshContext is Refresh under a context: a done context stops the
+// maintenance ships mid-refresh (the placement stays consistent — an
+// aborted ship rolls the delta state back, so the next refresh
+// re-derives what never landed).
+func (m *Manager) RefreshContext(ctx context.Context, name string) (int, error) {
 	st, ok := m.lookup(name)
 	if !ok {
 		return 0, fmt.Errorf("view: no view %q", name)
 	}
-	return m.refreshState(st)
+	return m.refreshState(ctx, st)
 }
 
 // RefreshAll refreshes every view (name order) and returns the total
 // operations applied.
 func (m *Manager) RefreshAll() (int, error) {
+	return m.RefreshAllContext(context.Background())
+}
+
+// RefreshAllContext is RefreshAll under a context.
+func (m *Manager) RefreshAllContext(ctx context.Context) (int, error) {
 	total := 0
 	var errs []error
 	for _, name := range m.names() {
-		n, err := m.Refresh(name)
+		n, err := m.RefreshContext(ctx, name)
 		total += n
 		if err != nil {
 			errs = append(errs, err)
@@ -63,12 +78,12 @@ func (m *Manager) RefreshFull(name string) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("view: no view %q", name)
 	}
-	return m.refreshStateWith(st, m.refreshPlacementFull)
+	return m.refreshStateWith(context.Background(), st, m.refreshPlacementFull)
 }
 
 // refreshState refreshes every placement of one view incrementally.
-func (m *Manager) refreshState(st *state) (int, error) {
-	return m.refreshStateWith(st, m.refreshPlacement)
+func (m *Manager) refreshState(ctx context.Context, st *state) (int, error) {
+	return m.refreshStateWith(ctx, st, m.refreshPlacement)
 }
 
 // refreshStateWith runs one per-placement refresh function over every
@@ -76,13 +91,14 @@ func (m *Manager) refreshState(st *state) (int, error) {
 // the remaining placements are still refreshed and the failures are
 // joined, so one unreachable replica cannot leave its siblings stale
 // indefinitely.
-func (m *Manager) refreshStateWith(st *state, refresh func(*state, *placement) (int, error)) (int, error) {
+func (m *Manager) refreshStateWith(ctx context.Context, st *state,
+	refresh func(context.Context, *state, *placement) (int, error)) (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	total := 0
 	var errs []error
 	for _, p := range st.placements {
-		n, err := refresh(st, p)
+		n, err := refresh(ctx, st, p)
 		total += n
 		if err != nil {
 			errs = append(errs, fmt.Errorf("placement %s: %w", p.at, err))
@@ -97,9 +113,9 @@ func (m *Manager) refreshStateWith(st *state, refresh func(*state, *placement) (
 }
 
 // refreshPlacement updates one materialized copy. Callers hold st.mu.
-func (m *Manager) refreshPlacement(st *state, p *placement) (int, error) {
+func (m *Manager) refreshPlacement(ctx context.Context, st *state, p *placement) (int, error) {
 	if p.inc == nil || p.dirty {
-		return m.refreshPlacementFull(st, p)
+		return m.refreshPlacementFull(ctx, st, p)
 	}
 	host, ok := m.sys.Peer(p.baseAt)
 	if !ok {
@@ -139,11 +155,17 @@ func (m *Manager) refreshPlacement(st *state, p *placement) (int, error) {
 		return 0, nil
 	}
 	ref := peer.NodeRef{Peer: p.at, Node: p.root}
-	if _, err := m.sys.ShipForest(p.baseAt, ref, forest, 0); err != nil {
+	if _, err := m.sys.ShipForest(ctx, p.baseAt, ref, forest, 0); err != nil {
 		// Undelivered events must be re-emitted by the next refresh, or
 		// the view would silently lose these rows (or keep retracted
-		// ones forever).
+		// ones forever). When only the acknowledgment was lost the rows
+		// DID land (netsim.ErrAckLost — a canceled reply leg): re-
+		// shipping the delta would duplicate them, so the placement is
+		// marked dirty and the next refresh rebuilds it from scratch.
 		p.inc.Rollback()
+		if errors.Is(err, netsim.ErrAckLost) {
+			p.dirty = true
+		}
 		return 0, err
 	}
 	m.applyProv(p, ev)
@@ -208,7 +230,7 @@ func (m *Manager) recordProv(p *placement, adds []xquery.Derivation) error {
 // full-materialization bytes, the honest baseline) and rebuild their
 // provenance; recompute placements re-run the query through the normal
 // evaluator. Callers hold st.mu.
-func (m *Manager) refreshPlacementFull(st *state, p *placement) (int, error) {
+func (m *Manager) refreshPlacementFull(ctx context.Context, st *state, p *placement) (int, error) {
 	if p.inc != nil {
 		host, ok := m.sys.Peer(p.baseAt)
 		if !ok {
@@ -235,14 +257,16 @@ func (m *Manager) refreshPlacementFull(st *state, p *placement) (int, error) {
 		trees := ev.AddedTrees()
 		if len(trees) > 0 {
 			ref := peer.NodeRef{Peer: p.at, Node: p.root}
-			if _, err := m.sys.ShipForest(p.baseAt, ref, trees, 0); err != nil {
+			if _, err := m.sys.ShipForest(ctx, p.baseAt, ref, trees, 0); err != nil {
 				// The view is empty and nothing landed; rolling the
 				// fresh provenance back to its blank state makes the
 				// next (incremental) refresh re-derive and re-ship the
 				// full content, so a transient failure here cannot
-				// leave an empty view behind a clean refresh.
+				// leave an empty view behind a clean refresh. If only
+				// the ack was lost the forest DID land — stay dirty so
+				// the next refresh clears the rows before re-shipping.
 				fresh.Rollback()
-				p.dirty = false
+				p.dirty = errors.Is(err, netsim.ErrAckLost)
 				return 0, err
 			}
 			if err := m.recordProv(p, ev.Additions); err != nil {
@@ -256,7 +280,7 @@ func (m *Manager) refreshPlacementFull(st *state, p *placement) (int, error) {
 
 	// Full re-materialization: re-run the query against the base host
 	// and swap the placement's content.
-	forest, err := m.evalFull(st, p.at)
+	forest, err := m.evalFull(ctx, st, p.at)
 	if err != nil {
 		return 0, err
 	}
@@ -367,7 +391,9 @@ func (m *Manager) watchPlacement(st *state, p *placement) {
 					if !ok {
 						return
 					}
-					_, _ = m.refreshState(st)
+					// The manager's context bounds auto-refresh work:
+					// Close cancels it, stopping in-flight ships.
+					_, _ = m.refreshState(m.ctx, st)
 				}
 			}
 		}()
@@ -383,6 +409,7 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	m.cancel()
 	close(m.done)
 	states := make([]*state, 0, len(m.views))
 	for _, st := range m.views {

@@ -26,10 +26,12 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"axml/internal/core"
 	"axml/internal/gendoc"
@@ -102,6 +104,17 @@ type state struct {
 type Manager struct {
 	sys *core.System
 
+	// gen counts catalog-shaping changes (Define/Drop). Plan caches
+	// key their entries on it: a bumped generation invalidates every
+	// cached plan, since a new or dropped view changes which rewrites
+	// the optimizer should consider.
+	gen atomic.Uint64
+
+	// ctx is canceled by Close: in-flight auto-refreshes and their
+	// remote ships stop instead of racing the shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	mu     sync.Mutex
 	views  map[string]*state
 	auto   bool
@@ -112,8 +125,20 @@ type Manager struct {
 
 // NewManager creates an empty view manager for the system.
 func NewManager(sys *core.System) *Manager {
-	return &Manager{sys: sys, views: map[string]*state{}, done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{sys: sys, views: map[string]*state{}, done: make(chan struct{}),
+		ctx: ctx, cancel: cancel}
 }
+
+// System returns the core system the views are defined over. Layers
+// that compose with views — the session pipeline, wire servers — reach
+// the evaluator through it.
+func (m *Manager) System() *core.System { return m.sys }
+
+// Generation returns the current view-catalog generation. It changes
+// whenever a view is defined, replicated or dropped; cached query
+// plans from an older generation must be re-optimized.
+func (m *Manager) Generation() uint64 { return m.gen.Load() }
 
 // Define parses src and materializes it as a view (see DefineQuery).
 func (m *Manager) Define(name, src string, at netsim.PeerID) error {
@@ -178,7 +203,7 @@ func (m *Manager) DefineQuery(name string, q *xquery.Query, at netsim.PeerID) er
 			return fmt.Errorf("view %q: already placed at %s", name, at)
 		}
 	}
-	p, err := m.materialize(st, at)
+	p, err := m.materialize(m.ctx, st, at)
 	if err != nil {
 		// A view with no materialized placement must not linger: its
 		// shape would keep rewriting queries onto a document that was
@@ -198,6 +223,7 @@ func (m *Manager) DefineQuery(name string, q *xquery.Query, at netsim.PeerID) er
 		// class: d@any resolution may pick it (definition (9)).
 		m.sys.Generics.RegisterDoc(st.bases[0], gendoc.DocReplica{Doc: docName, At: at})
 	}
+	m.gen.Add(1)
 	m.watchPlacement(st, p)
 	return nil
 }
@@ -207,7 +233,7 @@ func (m *Manager) DefineQuery(name string, q *xquery.Query, at netsim.PeerID) er
 // the results ship; recompute views are evaluated at the placement
 // peer, which fetches the base documents whole (definition (7)).
 // Callers hold st.mu.
-func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
+func (m *Manager) materialize(ctx context.Context, st *state, at netsim.PeerID) (*placement, error) {
 	target, ok := m.sys.Peer(at)
 	if !ok {
 		return nil, fmt.Errorf("view %q: unknown peer %q", st.def.Name, at)
@@ -237,7 +263,7 @@ func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
 			prov: map[xquery.Lineage][]xmltree.NodeID{}}
 		if trees := initial.AddedTrees(); len(trees) > 0 {
 			ref := peer.NodeRef{Peer: at, Node: root.ID}
-			if _, err := m.sys.ShipForest(baseAt, ref, trees, 0); err != nil {
+			if _, err := m.sys.ShipForest(ctx, baseAt, ref, trees, 0); err != nil {
 				inc.Rollback()
 				return nil, fmt.Errorf("view %q: shipping initial state: %w", st.def.Name, err)
 			}
@@ -248,7 +274,7 @@ func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
 		return p, nil
 	}
 
-	forest, err := m.evalFull(st, at)
+	forest, err := m.evalFull(ctx, st, at)
 	if err != nil {
 		return nil, fmt.Errorf("view %q: materializing: %w", st.def.Name, err)
 	}
@@ -268,7 +294,7 @@ func (m *Manager) materialize(st *state, at netsim.PeerID) (*placement, error) {
 // catalog, where the view's own replica registration would short-
 // circuit a refresh into reading its stale self. The delegation and
 // the shipped results are network-charged as usual.
-func (m *Manager) evalFull(st *state, at netsim.PeerID) ([]*xmltree.Node, error) {
+func (m *Manager) evalFull(ctx context.Context, st *state, at netsim.PeerID) ([]*xmltree.Node, error) {
 	host, err := m.hostOf(st.bases[0], at)
 	if err != nil {
 		if st.replica {
@@ -283,7 +309,7 @@ func (m *Manager) evalFull(st *state, at netsim.PeerID) ([]*xmltree.Node, error)
 	if host != at {
 		e = &core.EvalAt{At: host, E: &core.Query{Q: st.def.Query, At: host}}
 	}
-	res, err := m.sys.Eval(at, e)
+	res, err := m.sys.EvalContext(ctx, at, e)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +360,7 @@ func (m *Manager) Drop(name string) error {
 	}
 	delete(m.views, name)
 	m.mu.Unlock()
+	m.gen.Add(1)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()

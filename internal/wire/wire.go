@@ -4,9 +4,12 @@
 // (paper §2.1: services "correspond to (simplified) WSDL
 // request-response operations").
 //
-// Requests and replies are single lines. Requests:
+// Requests are single lines. Requests:
 //
 //	QUERY <xquery on one line>
+//	QUERYX [+flag…] <xquery on one line>
+//	EXEC <update statement>
+//	PREPARE <xquery on one line>
 //	CALL <service> [<param-forest-xml>]
 //	INSTALL <docname> <xml>
 //	DELETE <path query>
@@ -14,31 +17,55 @@
 //	DEFVIEW <name>[@<peer>] <xquery on one line>
 //	LIST
 //
-// Replies: <x:forest>…</x:forest>, <x:ok/> (update verbs report the
-// touched node count as <x:ok n="K"/>), <x:info>…</x:info> or
-// <x:error>message</x:error>, always one line (the XML serializer
-// emits no newlines in compact mode).
+// Single-line replies: <x:forest>…</x:forest>, <x:ok/> (update verbs
+// report the touched node count as <x:ok n="K"/>), <x:info>…</x:info>
+// or <x:error code="kind">message</x:error>. QUERYX is the streamed
+// form: the reply is a sequence of <x:row>…</x:row> lines, one result
+// tree each, terminated by <x:end n="K"/> (or an <x:error> line) — the
+// client consumes rows as they arrive instead of buffering the forest.
+// Flags: +noopt (evaluate as written), +nocache (re-plan even on a
+// cache hit).
 //
-// DEFVIEW materializes the query as a view on the served peer (the
-// optional @peer placement must name it); subsequent QUERYs that the
-// view subsumes are transparently rewritten to read it.
+// Error replies carry a machine-readable code — canceled, no-such-doc,
+// no-such-service, peer-down, bad-query, internal — which the client
+// maps back onto the same typed sentinels local evaluation returns
+// (session.ErrCanceled &co), so callers branch on failure kind without
+// knowing which backend they are talking to.
+//
+// The served peer lives inside a core.System when Views is set; the
+// server then answers QUERY/QUERYX through the unified session
+// pipeline (internal/session): parse → view-aware optimize → plan
+// cache (keyed by normalized query shape, invalidated when DEFVIEW
+// changes the catalog) → evaluate, refreshing any view the plan reads
+// first. PREPARE warms that plan cache, so a client driving one
+// prepared statement repeatedly costs one optimizer search. Without a
+// system the server falls back to direct evaluation against the
+// peer's store.
 //
 // DELETE removes every node the path query selects (the query body
 // must be a bare path, e.g. doc("catalog")/item[price > 900]); REPLACE
 // swaps each selected node for a copy of the given tree — the literal
-// " WITH " separates query from payload. Both emit typed change
-// notifications, so views over the touched documents retract or
-// re-derive the affected rows on their next (or auto-) refresh.
+// " WITH " separates query from payload. EXEC is the statement form of
+// the same verbs (`delete <path>`, `replace <path> with <xml>`). All
+// emit typed change notifications, so views over the touched documents
+// retract or re-derive the affected rows on their next (or auto-)
+// refresh.
 package wire
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"axml/internal/core"
 	"axml/internal/peer"
+	"axml/internal/session"
 	"axml/internal/view"
 	"axml/internal/xmltree"
 	"axml/internal/xquery"
@@ -48,11 +75,32 @@ import (
 const maxLine = 16 << 20
 
 // Server serves one peer over a listener. When Views is set (the peer
-// then belongs to a core.System), DEFVIEW is accepted and queries are
-// answered from matching views.
+// then belongs to a core.System), DEFVIEW is accepted and queries run
+// through the unified session pipeline with view-aware optimization
+// and plan caching.
 type Server struct {
 	Peer  *peer.Peer
 	Views *view.Manager
+
+	sessOnce sync.Once
+	sess     *session.Local
+	sessErr  error
+}
+
+// session returns the server's shared query session (one plan cache
+// across all connections). A view-serving peer that cannot build its
+// session is a misconfiguration — the error is remembered and every
+// query reports it rather than silently bypassing views and caching.
+// View-less peers (no system behind them) return (nil, nil) and use
+// direct evaluation.
+func (s *Server) session() (*session.Local, error) {
+	if s.Views == nil {
+		return nil, nil
+	}
+	s.sessOnce.Do(func() {
+		s.sess, s.sessErr = session.NewLocal(s.Views.System(), s.Views, s.Peer.ID)
+	})
+	return s.sess, s.sessErr
 }
 
 // Serve accepts connections until the listener is closed.
@@ -79,62 +127,210 @@ func (s *Server) handle(conn net.Conn) {
 		if strings.EqualFold(line, "QUIT") {
 			return
 		}
-		reply := s.dispatch(line)
-		fmt.Fprintln(w, reply)
+		s.dispatch(line, w)
 		if err := w.Flush(); err != nil {
 			return
 		}
 	}
 }
 
+// errCode classifies an error into the protocol's code vocabulary.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, core.ErrNoSuchDoc):
+		return "no-such-doc"
+	case errors.Is(err, core.ErrNoSuchService):
+		return "no-such-service"
+	case errors.Is(err, core.ErrPeerDown):
+		return "peer-down"
+	case errors.Is(err, session.ErrBadQuery):
+		return "bad-query"
+	default:
+		return "internal"
+	}
+}
+
+// sentinelFor is the client-side inverse of errCode.
+func sentinelFor(code string) error {
+	switch code {
+	case "canceled":
+		return session.ErrCanceled
+	case "no-such-doc":
+		return session.ErrNoSuchDoc
+	case "no-such-service":
+		return session.ErrNoSuchService
+	case "peer-down":
+		return session.ErrPeerDown
+	case "bad-query":
+		return session.ErrBadQuery
+	default:
+		return nil
+	}
+}
+
 func errReply(err error) string {
-	e := xmltree.E("x:error", xmltree.T(err.Error()))
+	e := xmltree.E("x:error", xmltree.A("code", errCode(err)), xmltree.T(err.Error()))
 	return xmltree.Serialize(e)
 }
 
-func (s *Server) dispatch(line string) string {
+// dispatch executes one request line. Most commands produce a single
+// reply line; QUERYX streams its reply.
+func (s *Server) dispatch(line string, w *bufio.Writer) {
 	cmd, rest, _ := strings.Cut(line, " ")
+	if strings.EqualFold(cmd, "QUERYX") {
+		s.doQueryStream(rest, w)
+		return
+	}
+	var reply string
 	switch strings.ToUpper(cmd) {
 	case "QUERY":
-		return s.doQuery(rest)
+		reply = s.doQuery(rest)
+	case "EXEC":
+		reply = s.doExec(rest)
+	case "PREPARE":
+		reply = s.doPrepare(rest)
 	case "CALL":
-		return s.doCall(rest)
+		reply = s.doCall(rest)
 	case "INSTALL":
-		return s.doInstall(rest)
+		reply = s.doInstall(rest)
 	case "DELETE":
-		return s.doDelete(rest)
+		reply = s.doDelete(rest)
 	case "REPLACE":
-		return s.doReplace(rest)
+		reply = s.doReplace(rest)
 	case "DEFVIEW":
-		return s.doDefView(rest)
+		reply = s.doDefView(rest)
 	case "LIST":
-		return s.doList()
+		reply = s.doList()
 	default:
-		return errReply(fmt.Errorf("unknown command %q", cmd))
+		reply = errReply(fmt.Errorf("unknown command %q", cmd))
 	}
+	fmt.Fprintln(w, reply)
+}
+
+// parseFlags strips a leading "+flag+flag" token off a QUERYX request
+// and folds it into session options.
+func parseFlags(rest string) (string, []session.Option) {
+	if !strings.HasPrefix(rest, "+") {
+		return rest, nil
+	}
+	token, src, _ := strings.Cut(rest, " ")
+	var opts []session.Option
+	for _, f := range strings.Split(token, "+") {
+		switch f {
+		case "noopt":
+			opts = append(opts, session.WithNoOptimize())
+		case "nocache":
+			opts = append(opts, session.WithNoPlanCache())
+		}
+	}
+	return src, opts
+}
+
+// evalQuery answers a query through the session pipeline (view-aware,
+// plan-cached, consistent reads) or the direct fallback for system-less
+// peers.
+func (s *Server) evalQuery(src string, opts []session.Option) ([]*xmltree.Node, error) {
+	sess, err := s.session()
+	if err != nil {
+		return nil, err
+	}
+	if sess != nil {
+		opts = append(opts, session.WithConsistentView())
+		rows, err := sess.Query(context.Background(), src, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return rows.Collect()
+	}
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", session.ErrBadQuery, err)
+	}
+	return s.Peer.RunQuery(q)
 }
 
 func (s *Server) doQuery(src string) string {
-	q, err := xquery.Parse(src)
-	if err != nil {
-		return errReply(err)
-	}
-	if s.Views != nil {
-		// Served views are local by construction, so any match wins.
-		// Only the matched view is refreshed, and only when one
-		// matches — non-matching queries pay nothing.
-		if rw, name, ok := s.Views.RewriteBest(q); ok {
-			if _, err := s.Views.Refresh(name); err != nil {
-				return errReply(err)
-			}
-			q = rw
-		}
-	}
-	out, err := s.Peer.RunQuery(q)
+	out, err := s.evalQuery(src, nil)
 	if err != nil {
 		return errReply(err)
 	}
 	return forestReply(out)
+}
+
+// doQueryStream answers QUERYX: one x:row line per result tree, then
+// x:end. Errors terminate the stream with a single x:error line —
+// before any row when planning fails, mid-stream never (evaluation is
+// complete before the first row is written; genuine incremental server
+// evaluation would reuse the same framing).
+func (s *Server) doQueryStream(rest string, w *bufio.Writer) {
+	src, opts := parseFlags(rest)
+	out, err := s.evalQuery(src, opts)
+	if err != nil {
+		fmt.Fprintln(w, errReply(err))
+		return
+	}
+	for _, n := range out {
+		row := xmltree.E("x:row")
+		row.AppendChild(xmltree.DeepCopy(n))
+		fmt.Fprintln(w, xmltree.Serialize(row))
+	}
+	fmt.Fprintln(w, xmltree.Serialize(xmltree.E("x:end", xmltree.A("n", fmt.Sprint(len(out))))))
+}
+
+// doExec runs an update statement (or a query whose results are
+// discarded) and reports the touched-node count.
+func (s *Server) doExec(src string) string {
+	sess, err := s.session()
+	if err != nil {
+		return errReply(err)
+	}
+	if sess != nil {
+		n, err := sess.Exec(context.Background(), src)
+		if err != nil {
+			return errReply(err)
+		}
+		return okCount(n)
+	}
+	if upd, ok, err := session.ParseUpdate(src); ok {
+		if err != nil {
+			return errReply(err)
+		}
+		n, err := session.ApplyUpdate(s.Peer, upd)
+		if err != nil {
+			return errReply(err)
+		}
+		return okCount(n)
+	}
+	out, err := s.evalQuery(src, nil)
+	if err != nil {
+		return errReply(err)
+	}
+	return okCount(len(out))
+}
+
+// doPrepare validates a query and warms the server-side plan cache, so
+// subsequent QUERYX of the same shape skip the optimizer search.
+func (s *Server) doPrepare(src string) string {
+	sess, err := s.session()
+	if err != nil {
+		return errReply(err)
+	}
+	if sess != nil {
+		stmt, err := sess.Prepare(context.Background(), src)
+		if err != nil {
+			return errReply(err)
+		}
+		_ = stmt.Close()
+		return "<x:ok/>"
+	}
+	if _, err := xquery.Parse(src); err != nil {
+		return errReply(fmt.Errorf("%w: %v", session.ErrBadQuery, err))
+	}
+	return "<x:ok/>"
 }
 
 func (s *Server) doDefView(rest string) string {
@@ -162,7 +358,7 @@ func (s *Server) doCall(rest string) string {
 	}
 	svc, ok := s.Peer.Service(name)
 	if !ok {
-		return errReply(fmt.Errorf("no service %q", name))
+		return errReply(fmt.Errorf("%w: %q", core.ErrNoSuchService, name))
 	}
 	if !svc.Declarative() {
 		return errReply(fmt.Errorf("service %q is not declarative", name))
@@ -208,62 +404,17 @@ func (s *Server) doDelete(src string) string {
 	if strings.TrimSpace(src) == "" {
 		return errReply(fmt.Errorf("DELETE requires a path query"))
 	}
-	q, err := xquery.Parse(src)
-	if err != nil {
-		return errReply(err)
-	}
-	ids, err := s.Peer.SelectIDs(q)
-	if err != nil {
-		return errReply(err)
-	}
-	n := 0
-	for _, id := range ids {
-		// A path like //e can select both an ancestor and its
-		// descendant; removing the ancestor takes the descendant with
-		// it, so skip ids that are already gone.
-		if _, ok := s.Peer.NodeByID(id); !ok {
-			continue
-		}
-		if err := s.Peer.RemoveChildByID(0, id); err != nil {
-			return errReply(fmt.Errorf("after %d removal(s): %w", n, err))
-		}
-		n++
-	}
-	return okCount(n)
+	return s.doExec("delete " + src)
 }
 
 // doReplace swaps every node selected by a path query for a copy of
 // the payload tree. Query and payload are separated by " WITH ".
 func (s *Server) doReplace(rest string) string {
-	src, xml, ok := strings.Cut(rest, " WITH ")
-	if !ok || strings.TrimSpace(src) == "" || strings.TrimSpace(xml) == "" {
-		return errReply(fmt.Errorf("REPLACE requires '<path query> WITH <xml>'"))
-	}
-	q, err := xquery.Parse(src)
-	if err != nil {
-		return errReply(err)
-	}
-	tree, err := xmltree.Parse(strings.TrimSpace(xml))
-	if err != nil {
-		return errReply(err)
-	}
-	ids, err := s.Peer.SelectIDs(q)
-	if err != nil {
-		return errReply(err)
-	}
-	n := 0
-	for _, id := range ids {
-		// Replacing an ancestor discards its selected descendants;
-		// skip ids that vanished with an earlier replacement.
-		if _, ok := s.Peer.NodeByID(id); !ok {
-			continue
-		}
-		if err := s.Peer.ReplaceChildByID(0, id, xmltree.DeepCopy(tree)); err != nil {
-			return errReply(fmt.Errorf("after %d replacement(s): %w", n, err))
-		}
-		n++
-	}
-	return okCount(n)
+	// The statement parser splits case-insensitively and tries every
+	// candidate separator, so " WITH " passes through verbatim even
+	// when the query's literals contain the keyword; a missing
+	// separator comes back as a typed bad-query error.
+	return s.doExec("replace " + rest)
 }
 
 func okCount(n int) string {
@@ -297,64 +448,339 @@ func forestReply(out []*xmltree.Node) string {
 	return xmltree.Serialize(env)
 }
 
-// Client is a connection to an axmlpeer server.
-type Client struct {
-	conn net.Conn
-	sc   *bufio.Scanner
+// DialOption configures a client connection.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// WithDialTimeout bounds the TCP connection establishment (default
+// 10s; 0 disables).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.dialTimeout = d }
+}
+
+// WithIOTimeout bounds each conn operation — the request write, the
+// reply read, and each streamed row individually (the deadline re-arms
+// per read, so a long healthy stream never trips it) — tightened by
+// the call context's own deadline when that is earlier. Zero (the
+// default) leaves I/O bounded only by the context.
+func WithIOTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.ioTimeout = d }
+}
+
+// Client is a connection to an axmlpeer server. It implements the
+// unified session interface: Query streams, Exec updates, Prepare
+// pins a statement — same methods, options and error kinds as a local
+// axml session. A Client serializes its calls; a streaming Rows must
+// be closed (or drained) before the next request.
+type Client struct {
+	conn      net.Conn
+	sc        *bufio.Scanner
+	ioTimeout time.Duration
+
+	mu     sync.Mutex
+	busy   bool // an exchange (round trip or open Rows) owns the conn
+	closed bool
+}
+
+// Client implements the session interface — the wire backend of the
+// unified API.
+var _ session.Session = (*Client)(nil)
+
+// Dial connects to a server. The default configuration bounds the TCP
+// dial at 10 seconds; per-call deadlines come from each call's context
+// (or WithIOTimeout as the fallback).
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialConfig{dialTimeout: 10 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	conn, err := net.DialTimeout("tcp", addr, cfg.dialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("wire: dial %s: %w: %v", addr, core.ErrPeerDown, err)
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
-	return &Client{conn: conn, sc: sc}, nil
+	return &Client{conn: conn, sc: sc, ioTimeout: cfg.ioTimeout}, nil
 }
 
 // Close terminates the session.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	fmt.Fprintln(c.conn, "QUIT")
 	return c.conn.Close()
 }
 
-// roundTrip sends one request line and parses the reply.
-func (c *Client) roundTrip(line string) (*xmltree.Node, error) {
+// guard arms the connection for one exchange: bump (re-)applies the
+// deadline — ioTimeout from now, tightened by the context's own
+// deadline — and is called before each conn operation, so per-row
+// reads of a long stream each get a fresh allowance; a watcher aborts
+// in-flight I/O the moment the context is canceled. The returned
+// release must be called when the exchange ends; it waits for the
+// watcher to exit before clearing the deadline, so a late cancellation
+// can never poison the connection for the next exchange.
+func (c *Client) guard(ctx context.Context) (bump, release func()) {
+	bump = func() {
+		if ctx.Err() != nil {
+			return // keep the watcher's poisoned deadline
+		}
+		var dl time.Time
+		if c.ioTimeout > 0 {
+			dl = time.Now().Add(c.ioTimeout)
+		}
+		if d, ok := ctx.Deadline(); ok && (dl.IsZero() || d.Before(dl)) {
+			dl = d
+		}
+		_ = c.conn.SetDeadline(dl) // zero time clears
+		if ctx.Err() != nil {
+			// The watcher may have fired between the check and the set;
+			// re-poison so a canceled context never waits out a fresh
+			// allowance.
+			_ = c.conn.SetDeadline(time.Now().Add(-time.Second))
+		}
+	}
+	bump()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			// Unblock any Read/Write immediately.
+			_ = c.conn.SetDeadline(time.Now().Add(-time.Second))
+		case <-stop:
+		}
+	}()
+	release = func() {
+		close(stop)
+		<-done
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	return bump, release
+}
+
+// ioError classifies a transport failure: context expiry (either the
+// caller's or the I/O deadline) maps to ErrCanceled, everything else
+// to ErrPeerDown — the remote equivalents of a local canceled
+// evaluation and a netsim peer marked down.
+func (c *Client) ioError(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("wire: %w: %v", session.ErrCanceled, cerr)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("wire: i/o timeout: %w: %v", session.ErrCanceled, err)
+	}
+	return fmt.Errorf("wire: connection lost: %w: %v", session.ErrPeerDown, err)
+}
+
+// send writes one request line.
+func (c *Client) send(ctx context.Context, line string) error {
 	if strings.ContainsAny(line, "\n\r") {
 		line = strings.ReplaceAll(strings.ReplaceAll(line, "\r", " "), "\n", " ")
 	}
 	if _, err := fmt.Fprintln(c.conn, line); err != nil {
-		return nil, err
+		return c.ioError(ctx, err)
 	}
+	return nil
+}
+
+// recv reads one reply line as a parsed tree. Protocol-level errors
+// (x:error) are mapped onto typed sentinels via their code attribute.
+func (c *Client) recv(ctx context.Context) (*xmltree.Node, error) {
 	if !c.sc.Scan() {
 		if err := c.sc.Err(); err != nil {
-			return nil, err
+			return nil, c.ioError(ctx, err)
 		}
-		return nil, fmt.Errorf("wire: connection closed")
+		return nil, fmt.Errorf("wire: connection closed: %w", session.ErrPeerDown)
 	}
 	root, err := xmltree.Parse(c.sc.Text())
 	if err != nil {
 		return nil, fmt.Errorf("wire: bad reply: %w", err)
 	}
 	if root.Label == "x:error" {
+		code, _ := root.Attr("code")
+		if sentinel := sentinelFor(code); sentinel != nil {
+			return nil, fmt.Errorf("wire: server: %w: %s", sentinel, root.TextContent())
+		}
 		return nil, fmt.Errorf("wire: server: %s", root.TextContent())
 	}
 	return root, nil
 }
 
-// Query evaluates a query on the server and returns the result forest.
-func (c *Client) Query(src string) ([]*xmltree.Node, error) {
-	root, err := c.roundTrip("QUERY " + src)
+// begin claims the connection for one exchange; end releases it. A
+// failed begin means another call or an open Rows owns the line.
+func (c *Client) begin() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return session.ErrClosed
+	}
+	if c.busy {
+		return fmt.Errorf("wire: connection busy (concurrent call, or previous Rows not closed)")
+	}
+	c.busy = true
+	return nil
+}
+
+func (c *Client) end() {
+	c.mu.Lock()
+	c.busy = false
+	c.mu.Unlock()
+}
+
+// roundTrip sends one request line and parses the single reply line.
+func (c *Client) roundTrip(ctx context.Context, line string) (*xmltree.Node, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	defer c.end()
+	bump, release := c.guard(ctx)
+	defer release()
+	if err := c.send(ctx, line); err != nil {
+		return nil, err
+	}
+	bump()
+	return c.recv(ctx)
+}
+
+// Query evaluates a query on the server and streams the result rows as
+// they arrive (QUERYX). The returned Rows must be closed (or fully
+// drained) before the client can carry another request.
+func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) (*session.Rows, error) {
+	if err := c.begin(); err != nil {
+		return nil, err
+	}
+	cfg := session.BuildConfig(opts)
+	cancelTimeout := func() {}
+	if cfg.Timeout > 0 {
+		// The timeout spans the whole stream, not just this call; the
+		// derived context is released when the stream finishes.
+		ctx, cancelTimeout = context.WithTimeout(ctx, cfg.Timeout)
+	}
+	var flags []string
+	if cfg.NoOptimize {
+		flags = append(flags, "noopt")
+	}
+	if cfg.NoPlanCache {
+		flags = append(flags, "nocache")
+	}
+	line := "QUERYX "
+	if len(flags) > 0 {
+		line += "+" + strings.Join(flags, "+") + " "
+	}
+	line += src
+
+	// The begin() claim stays held for the whole stream; finish()
+	// releases it when the terminator, an error, or Close is reached.
+	bump, release := c.guard(ctx)
+	finished := false
+	finish := func() {
+		if finished {
+			return
+		}
+		finished = true
+		release()
+		cancelTimeout()
+		c.end()
+	}
+	if err := c.send(ctx, line); err != nil {
+		finish()
+		return nil, err
+	}
+	next := func() (*xmltree.Node, error) {
+		if finished {
+			return nil, nil
+		}
+		bump() // fresh I/O allowance per row
+		root, err := c.recv(ctx)
+		if err != nil {
+			finish()
+			return nil, err
+		}
+		switch root.Label {
+		case "x:row":
+			kids := detachChildren(root)
+			if len(kids) == 0 {
+				finish()
+				return nil, fmt.Errorf("wire: empty row")
+			}
+			return kids[0], nil
+		case "x:end":
+			finish()
+			return nil, nil
+		default:
+			finish()
+			return nil, fmt.Errorf("wire: unexpected stream reply %q", root.Label)
+		}
+	}
+	// Read the first reply eagerly: planning errors (bad query, missing
+	// document) surface from Query itself, exactly as they do on the
+	// local backend, instead of hiding until the first Next.
+	first, err := next()
 	if err != nil {
 		return nil, err
 	}
-	return detachChildren(root), nil
+	delivered := first == nil // empty result: stream already finished
+	pull := func() (*xmltree.Node, error) {
+		if !delivered {
+			delivered = true
+			return first, nil
+		}
+		return next()
+	}
+	return session.NewRows(pull, func() error { finish(); return nil }), nil
+}
+
+// QueryAll is Query + Collect: the whole result forest in one call.
+func (c *Client) QueryAll(src string) ([]*xmltree.Node, error) {
+	rows, err := c.Query(context.Background(), src)
+	if err != nil {
+		return nil, err
+	}
+	return rows.Collect()
+}
+
+// Exec runs an update statement (`delete <path>`, `replace <path> with
+// <xml>`) — or a query whose results are discarded — on the server and
+// reports the touched count.
+func (c *Client) Exec(ctx context.Context, src string, opts ...session.Option) (int, error) {
+	cfg := session.BuildConfig(opts)
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	root, err := c.roundTrip(ctx, "EXEC "+src)
+	if err != nil {
+		return 0, err
+	}
+	return countOf(root)
+}
+
+// Prepare validates the statement on the server and warms its plan
+// cache; the returned handle re-runs it without per-call planning
+// work server-side.
+func (c *Client) Prepare(ctx context.Context, src string) (*session.Stmt, error) {
+	if _, err := c.roundTrip(ctx, "PREPARE "+src); err != nil {
+		return nil, err
+	}
+	run := func(ctx context.Context, opts ...session.Option) (*session.Rows, error) {
+		return c.Query(ctx, src, opts...)
+	}
+	return session.NewStmt(src, run, nil), nil
 }
 
 // Call invokes a declarative service with the given parameter trees.
-func (c *Client) Call(service string, params ...*xmltree.Node) ([]*xmltree.Node, error) {
+func (c *Client) Call(ctx context.Context, service string, params ...*xmltree.Node) ([]*xmltree.Node, error) {
 	var sb strings.Builder
 	sb.WriteString("CALL ")
 	sb.WriteString(service)
@@ -364,7 +790,7 @@ func (c *Client) Call(service string, params ...*xmltree.Node) ([]*xmltree.Node,
 			sb.WriteString(xmltree.Serialize(p))
 		}
 	}
-	root, err := c.roundTrip(sb.String())
+	root, err := c.roundTrip(ctx, sb.String())
 	if err != nil {
 		return nil, err
 	}
@@ -372,29 +798,21 @@ func (c *Client) Call(service string, params ...*xmltree.Node) ([]*xmltree.Node,
 }
 
 // Install installs a document on the server.
-func (c *Client) Install(name string, doc *xmltree.Node) error {
-	_, err := c.roundTrip("INSTALL " + name + " " + xmltree.Serialize(doc))
+func (c *Client) Install(ctx context.Context, name string, doc *xmltree.Node) error {
+	_, err := c.roundTrip(ctx, "INSTALL "+name+" "+xmltree.Serialize(doc))
 	return err
 }
 
 // Delete removes every node the path query selects on the server and
 // returns how many were removed.
-func (c *Client) Delete(query string) (int, error) {
-	root, err := c.roundTrip("DELETE " + query)
-	if err != nil {
-		return 0, err
-	}
-	return countOf(root)
+func (c *Client) Delete(ctx context.Context, query string) (int, error) {
+	return c.Exec(ctx, "delete "+query)
 }
 
 // Replace swaps every node the path query selects for a copy of the
 // given tree and returns how many were replaced.
-func (c *Client) Replace(query string, tree *xmltree.Node) (int, error) {
-	root, err := c.roundTrip("REPLACE " + query + " WITH " + xmltree.Serialize(tree))
-	if err != nil {
-		return 0, err
-	}
-	return countOf(root)
+func (c *Client) Replace(ctx context.Context, query string, tree *xmltree.Node) (int, error) {
+	return c.Exec(ctx, "replace "+query+" with "+xmltree.Serialize(tree))
 }
 
 func countOf(root *xmltree.Node) (int, error) {
@@ -412,14 +830,14 @@ func countOf(root *xmltree.Node) (int, error) {
 // DefineView materializes src as a view on the server. spec is the
 // view name, optionally suffixed "@peer" (which must name the served
 // peer).
-func (c *Client) DefineView(spec, src string) error {
-	_, err := c.roundTrip("DEFVIEW " + spec + " " + src)
+func (c *Client) DefineView(ctx context.Context, spec, src string) error {
+	_, err := c.roundTrip(ctx, "DEFVIEW "+spec+" "+src)
 	return err
 }
 
 // List returns the server's document and service names.
-func (c *Client) List() (docs, services []string, err error) {
-	root, err := c.roundTrip("LIST")
+func (c *Client) List(ctx context.Context) (docs, services []string, err error) {
+	root, err := c.roundTrip(ctx, "LIST")
 	if err != nil {
 		return nil, nil, err
 	}
@@ -436,8 +854,8 @@ func (c *Client) List() (docs, services []string, err error) {
 }
 
 // ListViews returns the server's views as "name (mode): query" lines.
-func (c *Client) ListViews() ([]string, error) {
-	root, err := c.roundTrip("LIST")
+func (c *Client) ListViews(ctx context.Context) ([]string, error) {
+	root, err := c.roundTrip(ctx, "LIST")
 	if err != nil {
 		return nil, err
 	}
