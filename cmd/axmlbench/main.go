@@ -1,20 +1,29 @@
-// Command axmlbench runs the experiment suite (E1–E13) and prints the
+// Command axmlbench runs the experiment suite (E1–E14) and prints the
 // tables recorded in EXPERIMENTS.md. E11 measures the materialized-
 // view subsystem (internal/view) on a subscription workload; E12
 // measures provenance-based view maintenance against full refresh on
 // a churn workload with deletions and in-place updates; E13 measures
 // the session API's plan cache on a repeated-query workload
-// (optimize-once vs optimize-per-query).
+// (optimize-once vs optimize-per-query); E14 measures the pull-based
+// streaming evaluator's time-to-first-row against eager
+// materialization.
 //
 // Usage:
 //
-//	axmlbench [-only E1,E5] [-quick]
+//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming]
 //
 // -only restricts the run to a comma-separated list of experiment IDs;
-// -quick shrinks the workloads for a fast smoke run.
+// -quick shrinks the workloads for a fast smoke run. -json writes the
+// tables (and E14's raw streaming points) as a machine-readable file —
+// CI uploads it as the BENCH_ci.json trajectory artifact. -gate
+// streaming exits non-zero unless E14's cursor mode beats eager
+// evaluation on time-to-first-row at the largest measured size; CI
+// runs it so a regression that re-materializes results before the
+// first row fails the build.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,80 +32,191 @@ import (
 	"axml/internal/bench"
 )
 
+// experiment is one registry entry; run receives the -quick flag.
+type experiment struct {
+	id  string
+	run func(quick bool) (*bench.Table, error)
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E5)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	jsonPath := flag.String("json", "", "write results as JSON to this file")
+	gate := flag.String("gate", "", "acceptance gate to enforce (streaming)")
 	flag.Parse()
-
-	tables, err := run(*quick)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "axmlbench:", err)
-		os.Exit(1)
+	if *gate != "" && *gate != "streaming" {
+		// Rejected up front: an unknown gate must not burn a full
+		// suite run before failing.
+		fmt.Fprintf(os.Stderr, "axmlbench: unknown gate %q\n", *gate)
+		os.Exit(2)
 	}
+
+	var streaming []bench.StreamingPoint
+	registry := []experiment{
+		{"E1", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E1SelectionPushdown(100, []float64{0.01, 0.2})
+			}
+			return bench.E1SelectionPushdown(1000, []float64{0.001, 0.01, 0.05, 0.2, 0.5})
+		}},
+		{"E2", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E2QueryDelegation([]float64{1, 8}, 40)
+			}
+			return bench.E2QueryDelegation([]float64{1, 8, 32, 128}, 150)
+		}},
+		{"E3", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E3Rerouting([]int{1, 8})
+			}
+			return bench.E3Rerouting([]int{1, 8, 64})
+		}},
+		{"E4", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E4TransferSharing([]int{50, 200})
+			}
+			return bench.E4TransferSharing([]int{50, 500, 2000})
+		}},
+		{"E5", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E5PushOverCall(100, []float64{0.1})
+			}
+			return bench.E5PushOverCall(1000, []float64{0.01, 0.1, 0.5})
+		}},
+		{"E6", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E6PickStrategies(3, 10)
+			}
+			return bench.E6PickStrategies(5, 40)
+		}},
+		{"E7", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E7Continuous(200, 5, 5)
+			}
+			return bench.E7Continuous(2000, 20, 10)
+		}},
+		{"E8", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E8Optimizer(80)
+			}
+			return bench.E8Optimizer(600)
+		}},
+		{"E9", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E9SoftwareDist([]int{3, 7}, 40)
+			}
+			return bench.E9SoftwareDist([]int{3, 7, 15}, 150)
+		}},
+		{"E10", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E10Activation(4)
+			}
+			return bench.E10Activation(8)
+		}},
+		{"E11", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E11Views(3, 100, 3, 10)
+			}
+			return bench.E11Views(4, 400, 5, 20)
+		}},
+		{"E12", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E12ChurnMaintenance(100, 3, 10)
+			}
+			return bench.E12ChurnMaintenance(400, 6, 20)
+		}},
+		{"E13", func(q bool) (*bench.Table, error) {
+			if q {
+				return bench.E13SessionPlanCache(100, 4, 8)
+			}
+			return bench.E13SessionPlanCache(400, 8, 25)
+		}},
+		{"E14", func(q bool) (*bench.Table, error) {
+			sizes := bench.DefaultStreamingSizes
+			if q {
+				sizes = bench.QuickStreamingSizes
+			}
+			pts, t, err := bench.E14Streaming(sizes)
+			streaming = pts
+			return t, err
+		}},
+	}
+
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			selected[strings.ToUpper(id)] = true
 		}
 	}
-	for _, t := range tables {
-		if len(selected) > 0 && !selected[t.ID] {
+	if *gate == "streaming" && len(selected) > 0 {
+		// The gate needs E14's data even under -only filters.
+		selected["E14"] = true
+	}
+
+	var tables []*bench.Table
+	for _, exp := range registry {
+		if len(selected) > 0 && !selected[exp.id] {
 			continue
 		}
+		t, err := exp.run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: %s: %v\n", exp.id, err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
 		t.Print(os.Stdout)
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *quick, tables, streaming); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *gate == "streaming" {
+		if err := gateStreaming(streaming); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: gate failed: %v\n", err)
+			os.Exit(1)
+		}
+		last := streaming[len(streaming)-1]
+		fmt.Printf("gate streaming: OK — cursor first row %.2fms vs eager %.2fms (%.1fx) at %d items\n",
+			last.CursorFirstRowMs, last.EagerFirstRowMs, last.FirstRowGain, last.Size)
 	}
 }
 
-func run(quick bool) ([]*bench.Table, error) {
-	if !quick {
-		return bench.All()
+// gateStreaming is the CI acceptance check: the pull-based cursor must
+// beat eager materialization on time-to-first-row at the largest
+// measured result size.
+func gateStreaming(points []bench.StreamingPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("streaming gate requires E14 to run (check -only)")
 	}
-	var tables []*bench.Table
-	add := func(t *bench.Table, err error) error {
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-		return nil
+	last := points[len(points)-1]
+	if last.CursorFirstRowMs >= last.EagerFirstRowMs {
+		return fmt.Errorf(
+			"cursor does not beat eager on time-to-first-row at %d items: cursor %.3fms, eager %.3fms",
+			last.Size, last.CursorFirstRowMs, last.EagerFirstRowMs)
 	}
-	if err := add(bench.E1SelectionPushdown(100, []float64{0.01, 0.2})); err != nil {
-		return nil, err
+	return nil
+}
+
+// benchReport is the BENCH_*.json schema: the rendered tables plus
+// E14's raw points, so trajectory tooling can plot first-row latency
+// across commits without re-parsing table strings.
+type benchReport struct {
+	Quick       bool                   `json:"quick"`
+	Experiments []*bench.Table         `json:"experiments"`
+	Streaming   []bench.StreamingPoint `json:"streaming,omitempty"`
+}
+
+func writeJSON(path string, quick bool, tables []*bench.Table, streaming []bench.StreamingPoint) error {
+	data, err := json.MarshalIndent(benchReport{
+		Quick: quick, Experiments: tables, Streaming: streaming,
+	}, "", "  ")
+	if err != nil {
+		return err
 	}
-	if err := add(bench.E2QueryDelegation([]float64{1, 8}, 40)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E3Rerouting([]int{1, 8})); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E4TransferSharing([]int{50, 200})); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E5PushOverCall(100, []float64{0.1})); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E6PickStrategies(3, 10)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E7Continuous(200, 5, 5)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E8Optimizer(80)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E9SoftwareDist([]int{3, 7}, 40)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E10Activation(4)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E11Views(3, 100, 3, 10)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E12ChurnMaintenance(100, 3, 10)); err != nil {
-		return nil, err
-	}
-	if err := add(bench.E13SessionPlanCache(100, 4, 8)); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

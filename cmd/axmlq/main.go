@@ -15,11 +15,14 @@
 //	      -replace 'doc("catalog")/item[name="x"]' -with '<item><name>x</name><price>5</price></item>'
 //
 // Queries run through the unified session API: results stream row by
-// row (the QUERYX wire form), -timeout bounds the whole exchange via a
-// context deadline, and -prepare N repeats the query N times through
-// one prepared statement — the server optimizes once and answers the
+// row (the QUERYX wire form) as the server's pull-based evaluator
+// produces them, -timeout bounds the whole exchange via a context
+// deadline, and -prepare N repeats the query N times through one
+// prepared statement — the server optimizes once and answers the
 // repeats from its plan cache, which the printed per-run timing makes
-// visible.
+// visible. -first-row adds a timing line (or, with -prepare, a column)
+// showing wire latency-to-first-row next to the total: on a server
+// streaming incrementally the first number stays flat as results grow.
 //
 // -view materializes a view on the peer: name=query, optionally
 // suffixed @peer to assert the placement (it must be the served peer —
@@ -58,6 +61,7 @@ func main() {
 	call := flag.String("call", "", "service to call")
 	params := flag.String("params", "", "XML parameter forest for -call")
 	list := flag.Bool("list", false, "list remote documents, services and views")
+	firstRow := flag.Bool("first-row", false, "print first-row and total latency for -query")
 	del := flag.String("delete", "", "path query whose matches to delete")
 	replace := flag.String("replace", "", "path query whose matches to replace (requires -with)")
 	with := flag.String("with", "", "replacement tree for -replace")
@@ -111,14 +115,19 @@ func main() {
 			fmt.Println("view:     ", v)
 		}
 	case *query != "" && *prepare > 0:
-		runPrepared(ctx, c, *query, *prepare, *compact)
+		runPrepared(ctx, c, *query, *prepare, *compact, *firstRow)
 	case *query != "":
+		start := time.Now()
 		rows, err := c.Query(ctx, *query)
 		if err != nil {
 			log.Fatalf("axmlq: %v", err)
 		}
+		var ttfr time.Duration
 		n := 0
 		for rows.Next() {
+			if n == 0 {
+				ttfr = time.Since(start)
+			}
 			printNode(rows.Node(), *compact)
 			n++
 		}
@@ -126,6 +135,13 @@ func main() {
 			log.Fatalf("axmlq: after %d row(s): %v", n, err)
 		}
 		_ = rows.Close()
+		if *firstRow {
+			// The server streams rows as its cursor yields them, so the
+			// first-row column shows wire latency-to-first-row, not
+			// total evaluation time.
+			fmt.Printf("first row %.2fms, total %.2fms, %d row(s)\n",
+				ms(ttfr), ms(time.Since(start)), n)
+		}
 	case *call != "":
 		var trees []*xmltree.Node
 		if *params != "" {
@@ -167,14 +183,15 @@ func main() {
 
 // runPrepared drives one prepared statement repeatedly: the server
 // plans once, the repeats hit its plan cache. The last run's rows are
-// printed; per-run latency shows the planning amortization.
-func runPrepared(ctx context.Context, c *wire.Client, query string, n int, compact bool) {
+// printed; per-run latency shows the planning amortization, and
+// -first-row adds the averaged time-to-first-row column.
+func runPrepared(ctx context.Context, c *wire.Client, query string, n int, compact, firstRow bool) {
 	stmt, err := c.Prepare(ctx, query)
 	if err != nil {
 		log.Fatalf("axmlq: prepare: %v", err)
 	}
 	defer stmt.Close()
-	var first, rest time.Duration
+	var first, rest, ttfrSum time.Duration
 	var lastForest []*xmltree.Node
 	for i := 0; i < n; i++ {
 		start := time.Now()
@@ -182,10 +199,17 @@ func runPrepared(ctx context.Context, c *wire.Client, query string, n int, compa
 		if err != nil {
 			log.Fatalf("axmlq: run %d: %v", i+1, err)
 		}
-		forest, err := rows.Collect()
-		if err != nil {
+		var forest []*xmltree.Node
+		for rows.Next() {
+			if len(forest) == 0 {
+				ttfrSum += time.Since(start)
+			}
+			forest = append(forest, rows.Node())
+		}
+		if err := rows.Err(); err != nil {
 			log.Fatalf("axmlq: run %d: %v", i+1, err)
 		}
+		_ = rows.Close()
 		d := time.Since(start)
 		if i == 0 {
 			first = d
@@ -196,6 +220,9 @@ func runPrepared(ctx context.Context, c *wire.Client, query string, n int, compa
 	}
 	printForest(lastForest, compact)
 	fmt.Printf("prepared statement: %d run(s), first %.2fms", n, ms(first))
+	if firstRow {
+		fmt.Printf(", first-row avg %.2fms", ms(ttfrSum)/float64(n))
+	}
 	if n > 1 {
 		fmt.Printf(", rest avg %.2fms", ms(rest)/float64(n-1))
 	}

@@ -233,3 +233,26 @@ func TestTablePrint(t *testing.T) {
 		}
 	}
 }
+
+func TestE14Shape(t *testing.T) {
+	pts, tab, err := E14Streaming([]int{200, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("points = %d, rows = %d", len(pts), len(tab.Rows))
+	}
+	for _, pt := range pts {
+		if pt.Rows == 0 {
+			t.Fatalf("size %d produced no rows", pt.Size)
+		}
+	}
+	// The cursor's first row must beat eager materialization, and the
+	// win must grow with the result size (eager first-row latency is
+	// O(total), the cursor's is O(source scan + 1 row)).
+	last := pts[len(pts)-1]
+	if last.FirstRowGain <= 1 {
+		t.Errorf("cursor does not beat eager at size %d: gain %.2fx (eager %.3fms, cursor %.3fms)",
+			last.Size, last.FirstRowGain, last.EagerFirstRowMs, last.CursorFirstRowMs)
+	}
+}

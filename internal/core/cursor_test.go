@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"axml/internal/netsim"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+func cursorSystem(t *testing.T, items int) *System {
+	t.Helper()
+	net := netsim.New()
+	netsim.Uniform(net, []netsim.PeerID{"client", "data"}, netsim.Link{
+		LatencyMs: 5, BytesPerMs: 1000})
+	sys := NewSystem(net)
+	client := sys.MustAddPeer("client")
+	sys.MustAddPeer("data")
+	cat := xmltree.E("catalog")
+	for i := 0; i < items; i++ {
+		cat.AppendChild(xmltree.MustParse(fmt.Sprintf(
+			`<item><name>n-%02d</name><price>%d</price></item>`, i, (i*37)%100)))
+	}
+	if err := client.InstallDocument("catalog", cat); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sys.Close)
+	return sys
+}
+
+func drainRows(t *testing.T, c *RowCursor) []*xmltree.Node {
+	t.Helper()
+	var out []*xmltree.Node
+	for {
+		n, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == nil {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+func mustParseQuery(t *testing.T, src string) *xquery.Query {
+	t.Helper()
+	q, err := xquery.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestEvalCursorMatchesEval: same rows, same order, same completion VT
+// as the eager evaluator, for a locally-evaluated query.
+func TestEvalCursorMatchesEval(t *testing.T) {
+	src := `for $i in doc("catalog")/item where $i/price < 60 return <r>{$i/name}{$i/price}</r>`
+	sysA := cursorSystem(t, 30)
+	expr := &Query{Q: mustParseQuery(t, src), At: "client"}
+	res, err := sysA.Eval("client", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB := cursorSystem(t, 30)
+	cur, err := sysB.EvalCursor("client", &Query{Q: mustParseQuery(t, src), At: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainRows(t, cur)
+	if len(rows) != len(res.Forest) {
+		t.Fatalf("cursor rows = %d, eager = %d", len(rows), len(res.Forest))
+	}
+	for i := range rows {
+		if xmltree.Serialize(rows[i]) != xmltree.Serialize(res.Forest[i]) {
+			t.Errorf("row %d: %s vs %s", i,
+				xmltree.Serialize(rows[i]), xmltree.Serialize(res.Forest[i]))
+		}
+	}
+	if math.Abs(cur.VT()-res.VT) > 1e-9 {
+		t.Errorf("cursor VT = %g, eager VT = %g", cur.VT(), res.VT)
+	}
+}
+
+// TestEvalCursorLocalEvalAtUnwraps: eval@client(q) at client stays on
+// the lazy path (no messages for a purely local plan).
+func TestEvalCursorLocalEvalAtUnwraps(t *testing.T) {
+	sys := cursorSystem(t, 10)
+	expr := &EvalAt{At: "client", E: &Query{
+		Q: mustParseQuery(t, `for $i in doc("catalog")/item return $i/name`), At: "client"}}
+	cur, err := sys.EvalCursor("client", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(drainRows(t, cur)); got != 10 {
+		t.Fatalf("rows = %d", got)
+	}
+	if n := sys.Net.Stats().Messages; n != 0 {
+		t.Errorf("local plan shipped %d messages", n)
+	}
+}
+
+// TestEvalCursorRemoteFallback: an expression that must run elsewhere
+// ships eagerly and streams the landed forest — identical rows.
+func TestEvalCursorRemoteFallback(t *testing.T) {
+	sys := cursorSystem(t, 8)
+	client, _ := sys.Peer("client")
+	doc, _ := client.Document("catalog")
+	data, _ := sys.Peer("data")
+	if err := data.InstallDocument("catalog2", xmltree.DeepCopy(doc.Root)); err != nil {
+		t.Fatal(err)
+	}
+	expr := &EvalAt{At: "data", E: &Doc{Name: "catalog2", At: "data"}}
+	cur, err := sys.EvalCursor("client", expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drainRows(t, cur)
+	if len(rows) != 1 || rows[0].Label != "catalog" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if sys.Net.Stats().Messages == 0 {
+		t.Error("remote fallback should have shipped")
+	}
+	if cur.VT() <= 0 {
+		t.Error("remote fallback should carry a transfer VT")
+	}
+}
+
+// TestEvalCursorAbandon: Close mid-stream stops the evaluation and
+// charges only the yielded rows, so the abandoned VT is below the full
+// evaluation's.
+func TestEvalCursorAbandon(t *testing.T) {
+	src := `for $i in doc("catalog")/item return <r>{$i/name}</r>`
+	full := cursorSystem(t, 200)
+	res, err := full.Eval("client", &Query{Q: mustParseQuery(t, src), At: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cursorSystem(t, 200)
+	cur, err := sys.EvalCursor("client", &Query{Q: mustParseQuery(t, src), At: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if n, err := cur.Next(); n == nil || err != nil {
+			t.Fatalf("pull %d: %v %v", i, n, err)
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cur.Next(); n != nil || err != nil {
+		t.Errorf("Next after Close = (%v, %v)", n, err)
+	}
+	if cur.VT() <= 0 || cur.VT() >= res.VT {
+		t.Errorf("abandoned VT = %g, want in (0, %g)", cur.VT(), res.VT)
+	}
+}
+
+func TestEvalCursorContextCanceled(t *testing.T) {
+	sys := cursorSystem(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := sys.EvalCursorContext(ctx, "client", &Query{
+		Q: mustParseQuery(t, `for $i in doc("catalog")/item return $i/name`), At: "client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cur.Next(); n == nil || err != nil {
+		t.Fatalf("first pull: %v %v", n, err)
+	}
+	cancel()
+	if _, err := cur.Next(); !errors.Is(err, ErrCanceled) {
+		t.Errorf("Next after cancel = %v, want ErrCanceled", err)
+	}
+	// Opening under a dead context fails up front.
+	if _, err := sys.EvalCursorContext(ctx, "client", &Doc{Name: "catalog", At: "client"}); !errors.Is(err, ErrCanceled) {
+		t.Errorf("open under dead ctx = %v", err)
+	}
+}

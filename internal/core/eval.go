@@ -192,6 +192,49 @@ func (s *System) evalDoc(ctx context.Context, p *peer.Peer, d *Doc, vt float64) 
 // expressions, ship them (and the query, if defined elsewhere) to the
 // evaluation site, then apply the query.
 func (s *System) evalQuery(ctx context.Context, p *peer.Peer, q *Query, vt float64) (*Result, error) {
+	run, err := s.prepareQuery(ctx, p, q, vt)
+	if err != nil {
+		return nil, err
+	}
+	out, err := q.Q.Eval(run.env, run.args...)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Forest: out, VT: run.finish(countNodes(out))}, nil
+}
+
+// queryRun is the shared setup of a query application: arguments
+// evaluated (and shipped) eagerly, documents resolved lazily through
+// env. Both the eager evaluator and the row cursor build on it; the
+// difference is only whether q.Q.Eval or q.Q.EvalCursor consumes it.
+type queryRun struct {
+	sys        *System
+	p          *peer.Peer
+	args       [][]*xmltree.Node
+	env        *xquery.Env
+	inputNodes int
+	startVT    float64 // max arg-completion VT; doc fetches may push past it
+	fetchVT    float64
+}
+
+// finish charges the query's compute cost once the output size is
+// known and returns the completion VT.
+func (r *queryRun) finish(outNodes int) float64 {
+	maxVT := r.startVT
+	if r.fetchVT > maxVT {
+		maxVT = r.fetchVT
+	}
+	doneVT := maxVT + r.sys.queryCost(r.p.ID, r.inputNodes+outNodes)
+	r.sys.Net.ObserveVT(doneVT)
+	return doneVT
+}
+
+// prepareQuery performs everything of a query application short of
+// running the query body: fetch the query text when defined elsewhere
+// (definition (7)), evaluate and ship the arguments, and build the
+// document-resolving environment (local store, then pickDoc, then
+// naive whole-document fetch).
+func (s *System) prepareQuery(ctx context.Context, p *peer.Peer, q *Query, vt float64) (*queryRun, error) {
 	queryVT := vt
 	if q.At != p.ID && q.At != "" {
 		// Definition (7): the query itself must be shipped from its
@@ -250,14 +293,15 @@ func (s *System) evalQuery(ctx context.Context, p *peer.Peer, q *Query, vt float
 	if q.Q.Arity() != len(args) {
 		return nil, fmt.Errorf("core: query takes %d parameter(s), got %d args", q.Q.Arity(), len(args))
 	}
+	run := &queryRun{sys: s, p: p, args: args, inputNodes: inputNodes,
+		startVT: maxVT, fetchVT: maxVT}
 	// Resolve doc("name") references: local documents are free; a
 	// document hosted elsewhere is fetched whole — the naive plan of
 	// definition (7) that Example 1's pushdown improves on. Generic
 	// classes resolve through pickDoc (definition (9)).
-	fetchVT := maxVT
-	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
+	run.env = &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
 		if doc, ok := p.Document(name); ok {
-			inputNodes += doc.Root.NodeCount()
+			run.inputNodes += doc.Root.NodeCount()
 			return doc.Root, nil
 		}
 		// Resolution order: the generics catalog (pickDoc, def (9))
@@ -272,33 +316,20 @@ func (s *System) evalQuery(ctx context.Context, p *peer.Peer, q *Query, vt float
 		} else {
 			return nil, fmt.Errorf("core: no peer hosts document: %w: %q", ErrNoSuchDoc, name)
 		}
-		res, err := s.eval(ctx, p.ID, fetchExpr, maxVT)
+		res, err := s.eval(ctx, p.ID, fetchExpr, run.startVT)
 		if err != nil {
 			return nil, err
 		}
-		if res.VT > fetchVT {
-			fetchVT = res.VT
+		if res.VT > run.fetchVT {
+			run.fetchVT = res.VT
 		}
 		if len(res.Forest) != 1 {
 			return nil, fmt.Errorf("core: document %q fetch returned %d trees", name, len(res.Forest))
 		}
-		inputNodes += res.Forest[0].NodeCount()
+		run.inputNodes += res.Forest[0].NodeCount()
 		return res.Forest[0], nil
 	}}
-	out, err := q.Q.Eval(env, args...)
-	if err != nil {
-		return nil, err
-	}
-	if fetchVT > maxVT {
-		maxVT = fetchVT
-	}
-	outNodes := 0
-	for _, n := range out {
-		outNodes += n.NodeCount()
-	}
-	doneVT := maxVT + s.queryCost(p.ID, inputNodes+outNodes)
-	s.Net.ObserveVT(doneVT)
-	return &Result{Forest: out, VT: doneVT}, nil
+	return run, nil
 }
 
 // evalSend implements definitions (3), (4) and (8).

@@ -9,9 +9,12 @@ import (
 )
 
 // Rows streams a query's result forest, one tree at a time. Local
-// sessions stream an already-evaluated forest; wire sessions pull rows
-// off the connection as Next advances, so large results never
-// materialize client-side.
+// sessions evaluate lazily: Next pulls the next row out of the
+// evaluator on demand and Close abandons the remaining work, so a
+// consumer that stops after N rows only ever paid for N rows. Wire
+// sessions pull rows off the connection as Next advances (the server
+// evaluates and streams incrementally on its side), so large results
+// never materialize client-side.
 //
 // Two consumption styles are supported: the database/sql-style
 // Next/Node/Scan loop,
@@ -29,6 +32,10 @@ type Rows struct {
 	// pull returns the next tree; (nil, nil) signals exhaustion.
 	pull    func() (*xmltree.Node, error)
 	closeFn func() error
+	// abandon marks a backend whose remaining work should be dropped
+	// on Close rather than drained (a lazily-evaluating cursor, where
+	// draining would force the evaluation Close exists to skip).
+	abandon bool
 
 	cur    *xmltree.Node
 	err    error
@@ -38,9 +45,18 @@ type Rows struct {
 
 // NewRows builds a Rows over a pull function. pull returns (nil, nil)
 // when exhausted; closeFn (optional) releases backend resources and
-// runs exactly once.
+// runs exactly once. Close drains the remaining rows first — the right
+// semantics for protocol-backed streams that must reach a terminator.
 func NewRows(pull func() (*xmltree.Node, error), closeFn func() error) *Rows {
 	return &Rows{pull: pull, closeFn: closeFn}
+}
+
+// NewCursorRows builds a Rows over a lazily-evaluating backend: Close
+// abandons the remaining work (no drain) and closeFn releases the
+// cursor. Rows.Close after N rows means only N rows were ever
+// evaluated.
+func NewCursorRows(pull func() (*xmltree.Node, error), closeFn func() error) *Rows {
+	return &Rows{pull: pull, closeFn: closeFn, abandon: true}
 }
 
 // FromForest wraps an in-memory forest as Rows.
@@ -104,12 +120,22 @@ func (r *Rows) Scan(dest any) error {
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the stream. For wire-backed rows this drains the
-// remaining replies so the connection can carry the next request.
+// remaining replies so the connection can carry the next request;
+// cursor-backed rows (NewCursorRows) instead abandon the remaining
+// evaluation.
 func (r *Rows) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	if r.abandon {
+		r.done = true
+		r.cur = nil
+		if r.closeFn != nil {
+			return r.closeFn()
+		}
+		return nil
+	}
 	// Drain so that streaming backends reach their terminator.
 	for !r.done && r.err == nil {
 		n, err := r.pull()

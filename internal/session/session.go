@@ -31,6 +31,7 @@
 package session
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -106,6 +107,11 @@ type Config struct {
 	Timeout time.Duration
 	// MaxPlans caps the optimizer search (0 = the optimizer default).
 	MaxPlans int
+	// Eager materializes the whole result forest before the first row
+	// is handed out, instead of the default pull-based evaluation.
+	// Benchmarks use it as the latency baseline; it is also the escape
+	// hatch if a workload prefers throughput over first-row latency.
+	Eager bool
 }
 
 // Option is a functional option of Session.Query/Exec and Stmt.Query.
@@ -129,6 +135,12 @@ func WithTimeout(d time.Duration) Option { return func(c *Config) { c.Timeout = 
 // WithMaxPlans caps the optimizer's plan search for this call.
 func WithMaxPlans(n int) Option { return func(c *Config) { c.MaxPlans = n } }
 
+// WithEagerEval evaluates the whole query before the first row is
+// returned (the pre-cursor behavior): Rows then streams a materialized
+// forest. Use when the consumer will drain everything anyway and wants
+// the evaluation done in one burst.
+func WithEagerEval() Option { return func(c *Config) { c.Eager = true } }
+
 // BuildConfig folds options into a Config. Backends (wire) use it to
 // interpret the shared option vocabulary.
 func BuildConfig(opts []Option) Config {
@@ -149,6 +161,9 @@ type Stats struct {
 	// Invalidations: cached plans discarded because the view catalog
 	// changed underneath them.
 	Invalidations uint64
+	// Evictions: cached plans dropped because the cache reached its
+	// size cap (least-recently-used first).
+	Evictions uint64
 }
 
 // HitRate returns the fraction of planned calls served from cache.
@@ -160,12 +175,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// cachedPlan is one plan-cache entry: the optimized expression and the
-// view-catalog generation it was derived under.
+// cachedPlan is one plan-cache entry: the normalized shape key, the
+// optimized expression and the view-catalog generation it was derived
+// under.
 type cachedPlan struct {
+	key  string
 	expr core.Expr
 	gen  uint64
 }
+
+// DefaultPlanCacheSize bounds a session's plan cache when no explicit
+// WithPlanCacheSize is given. Long-lived server sessions see
+// adversarial shape churn (every distinct normalized query is one
+// entry); an unbounded map would grow with the lifetime of the
+// process.
+const DefaultPlanCacheSize = 256
 
 // Local is the Session implementation over an in-process core.System:
 // the one query pipeline the facade, the wire server and the bench
@@ -175,24 +199,54 @@ type Local struct {
 	views *view.Manager
 	at    netsim.PeerID
 
-	mu     sync.Mutex
-	plans  map[string]*cachedPlan
-	stats  Stats
-	closed bool
+	mu      sync.Mutex
+	plans   map[string]*list.Element // shape key → element of order
+	order   *list.List               // front = most recently used; values are *cachedPlan
+	planCap int
+	stats   Stats
+	closed  bool
+}
+
+// LocalOption configures a Local session at construction time.
+type LocalOption func(*Local)
+
+// WithPlanCacheSize caps the session's plan cache at n entries,
+// evicting least-recently-used plans beyond it. n <= 0 restores the
+// default (DefaultPlanCacheSize).
+func WithPlanCacheSize(n int) LocalOption {
+	return func(s *Local) {
+		if n <= 0 {
+			n = DefaultPlanCacheSize
+		}
+		s.planCap = n
+	}
 }
 
 // NewLocal opens a session evaluating at peer `at` of the given
 // system. The view manager supplies view-aware optimization and the
 // cache-invalidation generation; it may not be nil (pass a fresh
 // manager for view-less systems).
-func NewLocal(sys *core.System, views *view.Manager, at netsim.PeerID) (*Local, error) {
+func NewLocal(sys *core.System, views *view.Manager, at netsim.PeerID, opts ...LocalOption) (*Local, error) {
 	if views == nil {
 		return nil, fmt.Errorf("session: nil view manager")
 	}
 	if _, ok := sys.Peer(at); !ok {
 		return nil, fmt.Errorf("session: unknown peer %q", at)
 	}
-	return &Local{sys: sys, views: views, at: at, plans: map[string]*cachedPlan{}}, nil
+	s := &Local{sys: sys, views: views, at: at,
+		plans: map[string]*list.Element{}, order: list.New(),
+		planCap: DefaultPlanCacheSize}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// PlanCacheLen reports how many plans the session currently caches.
+func (s *Local) PlanCacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.plans)
 }
 
 // At returns the peer this session evaluates at.
@@ -210,7 +264,8 @@ func (s *Local) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
-	s.plans = map[string]*cachedPlan{}
+	s.plans = map[string]*list.Element{}
+	s.order = list.New()
 	return nil
 }
 
@@ -223,8 +278,12 @@ func (s *Local) alive() error {
 	return nil
 }
 
-// Query implements Session: parse → plan (cached) → evaluate →
-// stream.
+// Query implements Session: parse → plan (cached) → open a pull-based
+// cursor → stream. Rows.Next drives the evaluation on demand: the
+// first rows are available while the rest of the result is still
+// unevaluated, and Rows.Close abandons the remaining work. The first
+// row is pulled eagerly so that evaluation-setup failures (missing
+// documents, dead peers) surface from Query itself.
 func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, error) {
 	if err := s.alive(); err != nil {
 		return nil, err
@@ -243,11 +302,74 @@ func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, e
 	if err != nil {
 		return nil, err
 	}
-	forest, err := s.run(ctx, expr, &cfg)
-	if err != nil {
+	return s.rowsFor(ctx, expr, &cfg)
+}
+
+// rowsFor opens the result stream for a planned expression under the
+// call's context rules (timeout, consistent views, eager override).
+func (s *Local) rowsFor(ctx context.Context, expr core.Expr, cfg *Config) (*Rows, error) {
+	if cfg.Eager {
+		forest, err := s.run(ctx, expr, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return FromForest(forest), nil
+	}
+	cancel := func() {}
+	if cfg.Timeout > 0 {
+		// The deadline spans the whole stream; it is released as soon
+		// as the stream ends — exhaustion, error, or Close, whichever
+		// comes first — so an un-Closed but drained Rows does not pin
+		// the timer for the rest of the timeout.
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+	}
+	fail := func(err error) (*Rows, error) {
+		cancel()
 		return nil, err
 	}
-	return FromForest(forest), nil
+	if cfg.ConsistentView {
+		for _, name := range planViews(expr) {
+			if _, err := s.views.RefreshContext(ctx, name); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	cur, err := s.sys.EvalCursorContext(ctx, s.at, expr)
+	if err != nil {
+		return fail(err)
+	}
+	first, err := cur.Next()
+	if err != nil {
+		_ = cur.Close()
+		return fail(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			cancel()
+		}
+	}
+	delivered := first == nil
+	if delivered {
+		release() // empty result: nothing left to bound
+	}
+	pull := func() (*xmltree.Node, error) {
+		if !delivered {
+			delivered = true
+			return first, nil
+		}
+		n, err := cur.Next()
+		if err != nil || n == nil {
+			release()
+		}
+		return n, err
+	}
+	return NewCursorRows(pull, func() error {
+		err := cur.Close()
+		release()
+		return err
+	}), nil
 }
 
 // Exec implements Session. Update statements are location-transparent
@@ -339,11 +461,7 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		forest, err := s.run(ctx, expr, &cfg)
-		if err != nil {
-			return nil, err
-		}
-		return FromForest(forest), nil
+		return s.rowsFor(ctx, expr, &cfg)
 	}
 	return NewStmt(src, run, nil), nil
 }
@@ -360,12 +478,15 @@ func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
 	gen := s.views.Generation()
 
 	s.mu.Lock()
-	if cp, ok := s.plans[key]; ok {
+	if elem, ok := s.plans[key]; ok {
+		cp := elem.Value.(*cachedPlan)
 		if cp.gen != gen {
+			s.order.Remove(elem)
 			delete(s.plans, key)
 			s.stats.Invalidations++
 		} else if !cfg.NoPlanCache {
 			s.stats.Hits++
+			s.order.MoveToFront(elem)
 			expr := cp.expr
 			s.mu.Unlock()
 			return expr, nil
@@ -383,9 +504,27 @@ func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.plans[key] = &cachedPlan{expr: plan.Expr, gen: gen}
+	s.storePlan(&cachedPlan{key: key, expr: plan.Expr, gen: gen})
 	s.mu.Unlock()
 	return plan.Expr, nil
+}
+
+// storePlan inserts (or refreshes) a cache entry as most-recently-used
+// and evicts the least-recently-used entries beyond the cap. Caller
+// holds s.mu.
+func (s *Local) storePlan(cp *cachedPlan) {
+	if elem, ok := s.plans[cp.key]; ok {
+		elem.Value = cp
+		s.order.MoveToFront(elem)
+		return
+	}
+	s.plans[cp.key] = s.order.PushFront(cp)
+	for s.order.Len() > s.planCap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.plans, oldest.Value.(*cachedPlan).key)
+		s.stats.Evictions++
+	}
 }
 
 // run evaluates a planned expression under the call's context rules.

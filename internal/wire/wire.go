@@ -22,9 +22,14 @@
 // or <x:error code="kind">message</x:error>. QUERYX is the streamed
 // form: the reply is a sequence of <x:row>…</x:row> lines, one result
 // tree each, terminated by <x:end n="K"/> (or an <x:error> line) — the
-// client consumes rows as they arrive instead of buffering the forest.
-// Flags: +noopt (evaluate as written), +nocache (re-plan even on a
-// cache hit).
+// server evaluates through a pull-based cursor and writes (and
+// flushes) each row as it is produced, so the first rows reach the
+// client while evaluation continues; an evaluation failure after the
+// first row terminates the stream with an <x:error> line in place of
+// <x:end>. A client that hangs up mid-stream makes the next row write
+// fail, which abandons the server-side cursor — no further evaluation
+// happens for a stream nobody is reading. Flags: +noopt (evaluate as
+// written), +nocache (re-plan even on a cache hit).
 //
 // Error replies carry a machine-readable code — canceled, no-such-doc,
 // no-such-service, peer-down, bad-query, internal — which the client
@@ -61,6 +66,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"axml/internal/core"
@@ -85,6 +91,32 @@ type Server struct {
 	sessOnce sync.Once
 	sess     *session.Local
 	sessErr  error
+
+	rowsStreamed   atomic.Uint64
+	streamsStarted atomic.Uint64
+	streamsAborted atomic.Uint64
+}
+
+// ServerStats counts streaming activity; tests and operators use it to
+// verify that abandoned streams stop server-side work.
+type ServerStats struct {
+	// StreamsStarted: QUERYX requests accepted.
+	StreamsStarted uint64
+	// RowsStreamed: x:row lines successfully written and flushed.
+	RowsStreamed uint64
+	// StreamsAborted: streams cut short because the client went away
+	// mid-stream (row write or flush failed); the server-side cursor
+	// was closed with rows still unevaluated.
+	StreamsAborted uint64
+}
+
+// Stats returns a snapshot of the streaming counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		StreamsStarted: s.streamsStarted.Load(),
+		RowsStreamed:   s.rowsStreamed.Load(),
+		StreamsAborted: s.streamsAborted.Load(),
+	}
 }
 
 // session returns the server's shared query session (one plan cache
@@ -261,24 +293,68 @@ func (s *Server) doQuery(src string) string {
 	return forestReply(out)
 }
 
-// doQueryStream answers QUERYX: one x:row line per result tree, then
-// x:end. Errors terminate the stream with a single x:error line —
-// before any row when planning fails, mid-stream never (evaluation is
-// complete before the first row is written; genuine incremental server
-// evaluation would reuse the same framing).
+// doQueryStream answers QUERYX: one x:row line per result tree as the
+// session cursor yields it, then x:end. Each row is flushed
+// individually, so the first rows reach the client while evaluation
+// continues. Errors before the first row (planning, setup) produce a
+// single x:error line; an evaluation failure mid-stream terminates the
+// row sequence with an x:error line in place of x:end. A failed row
+// write or flush means the client hung up: the cursor is closed —
+// abandoning the unevaluated remainder — and the stream is counted as
+// aborted.
 func (s *Server) doQueryStream(rest string, w *bufio.Writer) {
 	src, opts := parseFlags(rest)
-	out, err := s.evalQuery(src, opts)
+	s.streamsStarted.Add(1)
+	rows, err := s.streamRows(src, opts)
 	if err != nil {
 		fmt.Fprintln(w, errReply(err))
 		return
 	}
-	for _, n := range out {
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
 		row := xmltree.E("x:row")
-		row.AppendChild(xmltree.DeepCopy(n))
-		fmt.Fprintln(w, xmltree.Serialize(row))
+		row.AppendChild(rows.Node())
+		if _, werr := fmt.Fprintln(w, xmltree.Serialize(row)); werr != nil {
+			s.streamsAborted.Add(1)
+			return
+		}
+		if werr := w.Flush(); werr != nil {
+			s.streamsAborted.Add(1)
+			return
+		}
+		s.rowsStreamed.Add(1)
+		n++
 	}
-	fmt.Fprintln(w, xmltree.Serialize(xmltree.E("x:end", xmltree.A("n", fmt.Sprint(len(out))))))
+	if err := rows.Err(); err != nil {
+		fmt.Fprintln(w, errReply(err))
+		return
+	}
+	fmt.Fprintln(w, xmltree.Serialize(xmltree.E("x:end", xmltree.A("n", fmt.Sprint(n)))))
+}
+
+// streamRows opens the pull-based row stream for a QUERYX request: the
+// session pipeline when this peer serves views (rows are produced as
+// evaluation proceeds), else a direct eager evaluation wrapped as rows
+// (system-less peers keep the old materialize-then-stream behavior).
+func (s *Server) streamRows(src string, opts []session.Option) (*session.Rows, error) {
+	sess, err := s.session()
+	if err != nil {
+		return nil, err
+	}
+	if sess != nil {
+		opts = append(opts, session.WithConsistentView())
+		return sess.Query(context.Background(), src, opts...)
+	}
+	q, err := xquery.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", session.ErrBadQuery, err)
+	}
+	out, err := s.Peer.RunQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return session.FromForest(out), nil
 }
 
 // doExec runs an update statement (or a query whose results are

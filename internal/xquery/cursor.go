@@ -1,0 +1,413 @@
+// Pull-based (cursor) evaluation. Query.Eval materializes the whole
+// result forest before returning; EvalCursor instead hands back a
+// Cursor whose Next lazily drives the FLWOR machinery one result tree
+// at a time: for-clauses advance like an odometer, the where filter
+// runs per candidate tuple, and the return expression — usually the
+// expensive part, a constructor or a nested FLWR — is only evaluated
+// for tuples actually pulled. The first row of an N-row result costs
+// O(source scan + 1 row), not O(N rows), which is what lets a server
+// ship the first x:row of a wire stream while evaluation continues.
+//
+// Laziness has one inherent limit: an order-by must see every binding
+// tuple before the first row can leave, so ordered FLWRs expand and
+// sort their tuples eagerly — but still evaluate the return expression
+// per pull. Sequences compose lazily; bare paths evaluate their
+// node-set in one XPath pass (the language is set-oriented below the
+// FLWR level) and then deep-copy one node per pull.
+package xquery
+
+import (
+	"context"
+
+	"axml/internal/xmltree"
+	"axml/internal/xpath"
+)
+
+// Row is one result tree of a streamed evaluation.
+type Row = *xmltree.Node
+
+// Cursor streams a query's result forest. Next returns (nil, nil) when
+// the stream is exhausted; after an error or a Close every subsequent
+// Next returns the same terminal state. Close abandons the remaining
+// evaluation — no further work happens on behalf of the query.
+type Cursor interface {
+	Next() (Row, error)
+	Close() error
+}
+
+// EvalCursor evaluates the query lazily: the returned cursor yields
+// the same trees, in the same order, as Eval's result forest, but rows
+// are produced on demand and ctx is checked on every pull — canceling
+// it mid-stream stops the evaluation where it stands.
+//
+// Error timing differs from Eval by design: Eval surfaces a failure
+// anywhere in the tuple stream before returning any data, a cursor
+// yields the rows preceding the failure first.
+//
+// Concurrency contract: like Eval, the cursor reads the resolved
+// documents without locking — the caller must not mutate them while
+// the evaluation is live. A cursor stretches "while" from the duration
+// of one Eval call to the lifetime of the stream (consumer-paced), so
+// callers interleaving updates with open cursors should close or drain
+// cursors first; ROADMAP tracks snapshot isolation for streams.
+func (q *Query) EvalCursor(ctx context.Context, env *Env, args ...[]*xmltree.Node) (Cursor, error) {
+	if len(args) != len(q.Params) {
+		return nil, errf("query takes %d parameter(s), got %d", len(q.Params), len(args))
+	}
+	ec := &evalCtx{env: env, vars: map[string]xpath.Value{}}
+	for i, p := range q.Params {
+		ec.vars[p] = xpath.NodeSet(args[i])
+	}
+	return &queryCursor{ctx: ctx, it: exprIter(q.Body, ec)}, nil
+}
+
+// queryCursor is the exported Cursor over the internal row iterators:
+// it owns the terminal state and the per-pull context check.
+type queryCursor struct {
+	ctx    context.Context
+	it     rowIter
+	done   bool
+	closed bool
+	err    error
+}
+
+func (c *queryCursor) Next() (Row, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.done || c.closed {
+		return nil, nil
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			c.err = &EvalError{Msg: "canceled: " + err.Error(), cause: err}
+			return nil, c.err
+		}
+	}
+	n, err := c.it.next()
+	if err != nil {
+		c.err = err
+		return nil, err
+	}
+	if n == nil {
+		c.done = true
+	}
+	return n, nil
+}
+
+func (c *queryCursor) Close() error {
+	c.closed = true
+	c.it = nil
+	return nil
+}
+
+// rowIter is the internal pull interface: next returns (nil, nil) when
+// exhausted. Iterators hold no resources beyond their evaluation
+// state, so there is no close — dropping one abandons it.
+type rowIter interface {
+	next() (*xmltree.Node, error)
+}
+
+// exprIter builds the lazy iterator for an expression. Construction
+// never evaluates anything; all work (including source scans) happens
+// on the first next.
+func exprIter(e Expr, ctx *evalCtx) rowIter {
+	switch v := e.(type) {
+	case *FLWR:
+		return &flwrIter{f: v, ctx: ctx}
+	case *Seq:
+		return &seqIter{items: v.Items, ctx: ctx}
+	case *Elem:
+		return &onceIter{eval: func() (*xmltree.Node, error) { return evalElem(v, ctx) }}
+	case TextLit:
+		return &onceIter{eval: func() (*xmltree.Node, error) { return xmltree.NewText(string(v)), nil }}
+	case *Path:
+		return &pathIter{p: v, ctx: ctx}
+	default:
+		return &errIter{err: errf("unknown expression type %T", e)}
+	}
+}
+
+type errIter struct{ err error }
+
+func (it *errIter) next() (*xmltree.Node, error) { return nil, it.err }
+
+// onceIter yields a single lazily-computed tree.
+type onceIter struct {
+	eval func() (*xmltree.Node, error)
+	done bool
+}
+
+func (it *onceIter) next() (*xmltree.Node, error) {
+	if it.done {
+		return nil, nil
+	}
+	it.done = true
+	return it.eval()
+}
+
+// pathIter evaluates the path's value on first pull (one set-oriented
+// XPath pass) and then materializes one node per pull — mirroring
+// materialize()'s copy/attr/scalar rules, but spreading the deep
+// copies over the pulls.
+type pathIter struct {
+	p       *Path
+	ctx     *evalCtx
+	started bool
+	ns      xpath.NodeSet
+	scalar  *xmltree.Node
+	i       int
+}
+
+func (it *pathIter) next() (*xmltree.Node, error) {
+	if !it.started {
+		it.started = true
+		val, err := evalToValue(it.p, it.ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ns, ok := val.(xpath.NodeSet); ok {
+			it.ns = ns
+		} else {
+			it.scalar = xmltree.NewText(val.Str())
+		}
+	}
+	if it.scalar != nil {
+		n := it.scalar
+		it.scalar = nil
+		return n, nil
+	}
+	if it.i >= len(it.ns) {
+		return nil, nil
+	}
+	n := it.ns[it.i]
+	it.i++
+	if n.Kind == xmltree.AttrNode {
+		return xmltree.NewText(n.Text), nil
+	}
+	return xmltree.DeepCopy(n), nil
+}
+
+// seqIter concatenates the item iterators lazily.
+type seqIter struct {
+	items []Expr
+	ctx   *evalCtx
+	cur   rowIter
+	i     int
+}
+
+func (it *seqIter) next() (*xmltree.Node, error) {
+	for {
+		if it.cur == nil {
+			if it.i >= len(it.items) {
+				return nil, nil
+			}
+			it.cur = exprIter(it.items[it.i], it.ctx)
+			it.i++
+		}
+		n, err := it.cur.next()
+		if err != nil {
+			return nil, err
+		}
+		if n != nil {
+			return n, nil
+		}
+		it.cur = nil
+	}
+}
+
+// flwrIter streams a FLWR: a tuple source (lazy odometer, or the
+// eagerly-sorted tuple list when an order by is present) crossed with
+// a per-tuple iterator over the return expression's forest.
+type flwrIter struct {
+	f       *FLWR
+	ctx     *evalCtx
+	started bool
+	tuples  tupleSource
+	cur     rowIter
+}
+
+// tupleSource yields binding tuples; nil context means exhausted.
+type tupleSource interface {
+	next() (*evalCtx, error)
+}
+
+func (it *flwrIter) next() (*xmltree.Node, error) {
+	if !it.started {
+		it.started = true
+		if it.f.Order != nil {
+			// Order by is a pipeline breaker: expand and sort now, but
+			// keep the return expression lazy per tuple.
+			tuples, err := collectTuples(it.f, it.ctx)
+			if err != nil {
+				return nil, err
+			}
+			tuples, err = sortTuples(it.f, tuples)
+			if err != nil {
+				return nil, err
+			}
+			it.tuples = &sliceTuples{tuples: tuples}
+		} else {
+			it.tuples = &lazyTuples{f: it.f, base: it.ctx}
+		}
+	}
+	for {
+		if it.cur != nil {
+			n, err := it.cur.next()
+			if err != nil {
+				return nil, err
+			}
+			if n != nil {
+				return n, nil
+			}
+			it.cur = nil
+		}
+		tup, err := it.tuples.next()
+		if err != nil {
+			return nil, err
+		}
+		if tup == nil {
+			return nil, nil
+		}
+		it.cur = exprIter(it.f.Return, tup)
+	}
+}
+
+type sliceTuples struct {
+	tuples []*evalCtx
+	i      int
+}
+
+func (t *sliceTuples) next() (*evalCtx, error) {
+	if t.i >= len(t.tuples) {
+		return nil, nil
+	}
+	tup := t.tuples[t.i]
+	t.i++
+	return tup, nil
+}
+
+// lazyTuples is the pull-based clause odometer: one frame per clause,
+// the deepest for-frame advances first, and a frame whose node-set is
+// spent pops so its parent can advance. For-sources and let-values are
+// evaluated exactly as often as in the eager expansion (once per
+// parent tuple); the where filter runs per candidate on pull.
+type lazyTuples struct {
+	f       *FLWR
+	base    *evalCtx
+	frames  []tframe
+	started bool
+	done    bool
+}
+
+type tframe struct {
+	ctx     *evalCtx
+	ns      xpath.NodeSet // for-clause bindings; nil for a let
+	idx     int
+	varName string
+	isFor   bool
+}
+
+func (t *lazyTuples) parent() *evalCtx {
+	if len(t.frames) == 0 {
+		return t.base
+	}
+	return t.frames[len(t.frames)-1].ctx
+}
+
+// step advances the deepest for-frame, popping spent frames. It
+// reports whether another binding combination exists.
+func (t *lazyTuples) step() bool {
+	for len(t.frames) > 0 {
+		fr := &t.frames[len(t.frames)-1]
+		if fr.isFor && fr.idx+1 < len(fr.ns) {
+			fr.idx++
+			parent := t.base
+			if len(t.frames) > 1 {
+				parent = t.frames[len(t.frames)-2].ctx
+			}
+			next := parent.child()
+			next.vars[fr.varName] = xpath.NodeSet{fr.ns[fr.idx]}
+			fr.ctx = next
+			return true
+		}
+		t.frames = t.frames[:len(t.frames)-1]
+	}
+	return false
+}
+
+func (t *lazyTuples) next() (*evalCtx, error) {
+	if t.done {
+		return nil, nil
+	}
+	advance := t.started
+	t.started = true
+	for {
+		if advance {
+			if !t.step() {
+				t.done = true
+				return nil, nil
+			}
+			advance = false
+		}
+		// Fill the remaining clauses under the current partial tuple.
+		for len(t.frames) < len(t.f.Clauses) {
+			cur := t.parent()
+			switch cl := t.f.Clauses[len(t.frames)].(type) {
+			case ForClause:
+				val, err := evalToValue(cl.Source, cur)
+				if err != nil {
+					t.done = true
+					return nil, err
+				}
+				ns, ok := val.(xpath.NodeSet)
+				if !ok {
+					t.done = true
+					return nil, errf("for $%s: source is not a node sequence (got %T)", cl.Var, val)
+				}
+				if len(ns) == 0 {
+					if !t.step() {
+						t.done = true
+						return nil, nil
+					}
+					continue
+				}
+				next := cur.child()
+				next.vars[cl.Var] = xpath.NodeSet{ns[0]}
+				t.frames = append(t.frames, tframe{ctx: next, ns: ns, varName: cl.Var, isFor: true})
+			case LetClause:
+				val, err := evalToValue(cl.Source, cur)
+				if err != nil {
+					t.done = true
+					return nil, err
+				}
+				next := cur.child()
+				next.vars[cl.Var] = val
+				t.frames = append(t.frames, tframe{ctx: next})
+			default:
+				t.done = true
+				return nil, errf("unknown clause type %T", cl)
+			}
+		}
+		tup := t.parent()
+		if t.f.Where != nil {
+			v, err := evalToValue(t.f.Where, tup)
+			if err != nil {
+				t.done = true
+				return nil, err
+			}
+			if !v.Bool() {
+				if !t.step() {
+					t.done = true
+					return nil, nil
+				}
+				continue
+			}
+		}
+		if len(t.f.Clauses) == 0 {
+			// A clause-less body yields exactly one tuple.
+			t.done = true
+		}
+		return tup, nil
+	}
+}

@@ -1,0 +1,231 @@
+package xquery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"axml/internal/xmltree"
+)
+
+func cursorDoc(items int) *xmltree.Node {
+	root := xmltree.E("catalog")
+	for i := 0; i < items; i++ {
+		root.AppendChild(xmltree.MustParse(fmt.Sprintf(
+			`<item><name>n-%02d</name><price>%d</price></item>`, i, (i*37)%100)))
+	}
+	return root
+}
+
+func drainCursor(t *testing.T, c Cursor) []*xmltree.Node {
+	t.Helper()
+	var out []*xmltree.Node
+	for {
+		n, err := c.Next()
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if n == nil {
+			return out
+		}
+		out = append(out, n)
+	}
+}
+
+func serializeForest(forest []*xmltree.Node) string {
+	parts := make([]string, len(forest))
+	for i, n := range forest {
+		parts[i] = xmltree.Serialize(n)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// TestCursorEagerEquivalence checks that the cursor yields exactly the
+// eager result forest — same trees, same order — across the language's
+// expression forms.
+func TestCursorEagerEquivalence(t *testing.T) {
+	queries := []string{
+		`doc("catalog")/item/name`,
+		`doc("catalog")/item[price < 40]`,
+		`for $i in doc("catalog")/item return $i/name`,
+		`for $i in doc("catalog")/item where $i/price < 50 return <hit>{$i/name}{$i/price}</hit>`,
+		`for $i in doc("catalog")/item let $p := $i/price where $p > 20 return <r p="{$p}">{$i/name}</r>`,
+		`for $i in doc("catalog")/item where $i/price < 60 order by $i/price return $i/name`,
+		`for $i in doc("catalog")/item order by $i/name descending return <n>{$i/name}</n>`,
+		`for $i in doc("catalog")/item where $i/price > 90 return <pair>{$i/name, $i/price}</pair>`,
+		`<all>{for $i in doc("catalog")/item where $i/price < 10 return $i}</all>`,
+		`for $i in doc("catalog")/item where $i/price < 30
+		 return <o>{for $j in doc("catalog")/item where $j/price = $i/price return $j/name}</o>`,
+		`count(doc("catalog")/item)`,
+	}
+	doc := cursorDoc(25)
+	env := &Env{Resolve: func(name string) (*xmltree.Node, error) {
+		if name != "catalog" {
+			return nil, fmt.Errorf("no doc %q", name)
+		}
+		return doc, nil
+	}}
+	for _, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		eager, err := q.Eval(env)
+		if err != nil {
+			t.Fatalf("eval %q: %v", src, err)
+		}
+		cur, err := q.EvalCursor(context.Background(), env)
+		if err != nil {
+			t.Fatalf("cursor %q: %v", src, err)
+		}
+		lazy := drainCursor(t, cur)
+		if got, want := serializeForest(lazy), serializeForest(eager); got != want {
+			t.Errorf("query %q:\ncursor: %s\neager:  %s", src, got, want)
+		}
+	}
+}
+
+func TestCursorWithParameters(t *testing.T) {
+	q, err := Parse(`param $xs; for $x in $xs/item where $x/price < 50 return $x/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := []*xmltree.Node{cursorDoc(12)}
+	eager, err := q.Eval(nil, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := q.EvalCursor(context.Background(), nil, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := drainCursor(t, cur)
+	if serializeForest(lazy) != serializeForest(eager) {
+		t.Errorf("parameterized cursor diverges:\n%s\nvs\n%s",
+			serializeForest(lazy), serializeForest(eager))
+	}
+	if _, err := q.EvalCursor(context.Background(), nil); err == nil {
+		t.Error("arity mismatch should fail at EvalCursor")
+	}
+}
+
+// TestCursorLaziness proves rows are produced on demand: the inner
+// FLWR's doc reference binds once per outer tuple, so a counting
+// resolver observes exactly as many "inner" resolutions as rows
+// pulled — not the full result size.
+func TestCursorLaziness(t *testing.T) {
+	const items = 20
+	outer := cursorDoc(items)
+	inner := xmltree.MustParse(`<d><x>1</x></d>`)
+	counts := map[string]int{}
+	env := &Env{Resolve: func(name string) (*xmltree.Node, error) {
+		counts[name]++
+		switch name {
+		case "outer":
+			return outer, nil
+		case "inner":
+			return inner, nil
+		}
+		return nil, fmt.Errorf("no doc %q", name)
+	}}
+	q, err := Parse(`for $i in doc("outer")/item return <r>{$i/name}{doc("inner")/x}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := q.EvalCursor(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	const pulled = 3
+	for i := 0; i < pulled; i++ {
+		n, err := cur.Next()
+		if err != nil || n == nil {
+			t.Fatalf("pull %d: %v %v", i, n, err)
+		}
+	}
+	if counts["inner"] != pulled {
+		t.Errorf("inner doc resolved %d times after %d pulls (eager would be %d)",
+			counts["inner"], pulled, items)
+	}
+	if counts["outer"] != 1 {
+		t.Errorf("outer doc resolved %d times, want 1", counts["outer"])
+	}
+	// Close abandons the rest: no further resolutions, Next is terminal.
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cur.Next(); n != nil || err != nil {
+		t.Errorf("Next after Close = (%v, %v), want (nil, nil)", n, err)
+	}
+	if counts["inner"] != pulled {
+		t.Errorf("Close still evaluated: inner count %d", counts["inner"])
+	}
+}
+
+func TestCursorContextCancel(t *testing.T) {
+	doc := cursorDoc(30)
+	env := &Env{Resolve: func(string) (*xmltree.Node, error) { return doc, nil }}
+	q, err := Parse(`for $i in doc("catalog")/item return $i/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := q.EvalCursor(ctx, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if n, err := cur.Next(); n == nil || err != nil {
+			t.Fatalf("pull %d: %v %v", i, n, err)
+		}
+	}
+	cancel()
+	_, err = cur.Next()
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Next after cancel = %v, want context.Canceled", err)
+	}
+	// The failure is sticky.
+	if _, err2 := cur.Next(); !errors.Is(err2, context.Canceled) {
+		t.Errorf("second Next after cancel = %v", err2)
+	}
+}
+
+// TestCursorLateError checks stream semantics on dynamic failures:
+// rows preceding the failing tuple arrive, then the error surfaces.
+// The eager evaluator would have returned no rows at all.
+func TestCursorLateError(t *testing.T) {
+	doc := xmltree.MustParse(`<d><item>1</item><item>2</item><item>3</item></d>`)
+	pulls := 0
+	env := &Env{Resolve: func(name string) (*xmltree.Node, error) {
+		switch name {
+		case "d":
+			return doc, nil
+		case "extra":
+			pulls++
+			if pulls >= 3 {
+				return nil, fmt.Errorf("doc store lost %q", name)
+			}
+			return xmltree.MustParse(`<x/>`), nil
+		}
+		return nil, fmt.Errorf("no doc %q", name)
+	}}
+	q, err := Parse(`for $i in doc("d")/item return <r>{doc("extra")}</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := q.EvalCursor(context.Background(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if n, err := cur.Next(); n == nil || err != nil {
+			t.Fatalf("row %d: %v %v", i, n, err)
+		}
+	}
+	if _, err := cur.Next(); err == nil {
+		t.Fatal("third row should fail")
+	}
+}

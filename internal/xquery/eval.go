@@ -24,10 +24,15 @@ type Env struct {
 
 // EvalError reports a dynamic query failure.
 type EvalError struct {
-	Msg string
+	Msg   string
+	cause error // optional underlying error (e.g. a context failure)
 }
 
 func (e *EvalError) Error() string { return "xquery: " + e.Msg }
+
+// Unwrap exposes the underlying cause, so a cursor stopped by context
+// cancellation still satisfies errors.Is(err, context.Canceled).
+func (e *EvalError) Unwrap() error { return e.cause }
 
 func errf(format string, args ...any) error {
 	return &EvalError{Msg: fmt.Sprintf(format, args...)}
@@ -210,8 +215,32 @@ func xpathEval(e xpath.Expr, vars map[string]xpath.Value) (xpath.Value, error) {
 }
 
 func evalFLWR(f *FLWR, ctx *evalCtx) ([]*xmltree.Node, error) {
+	tuples, err := collectTuples(f, ctx)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err = sortTuples(f, tuples)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*xmltree.Node
+	for _, tup := range tuples {
+		f, err := evalToForest(f.Return, tup)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+// collectTuples expands the clauses depth-first into the binding-tuple
+// stream, applying the where filter. Shared by the eager evaluator and
+// the order-by path of the cursor evaluator (an order by needs every
+// tuple before the first row can leave).
+func collectTuples(f *FLWR, ctx *evalCtx) ([]*evalCtx, error) {
 	var tuples []*evalCtx
-	// Expand clauses depth-first to produce the tuple stream.
 	var expand func(i int, cur *evalCtx) error
 	expand = func(i int, cur *evalCtx) error {
 		if i == len(f.Clauses) {
@@ -260,56 +289,51 @@ func evalFLWR(f *FLWR, ctx *evalCtx) ([]*xmltree.Node, error) {
 	if err := expand(0, ctx); err != nil {
 		return nil, err
 	}
+	return tuples, nil
+}
 
-	if f.Order != nil {
-		keys := make([]xpath.Value, len(tuples))
-		for i, tup := range tuples {
-			k, err := evalToValue(f.Order.Key, tup)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = k
-		}
-		numeric := true
-		for _, k := range keys {
-			if math.IsNaN(k.Number()) {
-				numeric = false
-				break
-			}
-		}
-		idx := make([]int, len(tuples))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(i, j int) bool {
-			a, b := idx[i], idx[j]
-			if f.Order.Descending {
-				if numeric {
-					return keys[a].Number() > keys[b].Number()
-				}
-				return keys[a].Str() > keys[b].Str()
-			}
-			if numeric {
-				return keys[a].Number() < keys[b].Number()
-			}
-			return keys[a].Str() < keys[b].Str()
-		})
-		sorted := make([]*evalCtx, len(tuples))
-		for i, j := range idx {
-			sorted[i] = tuples[j]
-		}
-		tuples = sorted
+// sortTuples applies the order-by clause (a no-op when absent).
+func sortTuples(f *FLWR, tuples []*evalCtx) ([]*evalCtx, error) {
+	if f.Order == nil {
+		return tuples, nil
 	}
-
-	var out []*xmltree.Node
-	for _, tup := range tuples {
-		f, err := evalToForest(f.Return, tup)
+	keys := make([]xpath.Value, len(tuples))
+	for i, tup := range tuples {
+		k, err := evalToValue(f.Order.Key, tup)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, f...)
+		keys[i] = k
 	}
-	return out, nil
+	numeric := true
+	for _, k := range keys {
+		if math.IsNaN(k.Number()) {
+			numeric = false
+			break
+		}
+	}
+	idx := make([]int, len(tuples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := idx[i], idx[j]
+		if f.Order.Descending {
+			if numeric {
+				return keys[a].Number() > keys[b].Number()
+			}
+			return keys[a].Str() > keys[b].Str()
+		}
+		if numeric {
+			return keys[a].Number() < keys[b].Number()
+		}
+		return keys[a].Str() < keys[b].Str()
+	})
+	sorted := make([]*evalCtx, len(tuples))
+	for i, j := range idx {
+		sorted[i] = tuples[j]
+	}
+	return sorted, nil
 }
 
 func evalElem(e *Elem, ctx *evalCtx) (*xmltree.Node, error) {
