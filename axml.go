@@ -74,6 +74,7 @@ import (
 	"axml/internal/netsim"
 	"axml/internal/opt"
 	"axml/internal/peer"
+	"axml/internal/placement"
 	"axml/internal/rewrite"
 	"axml/internal/service"
 	"axml/internal/view"
@@ -115,7 +116,8 @@ type (
 // NewLocalSystem, NewSystem, or Wrap.
 type System struct {
 	*core.System
-	views *view.Manager
+	views     *view.Manager
+	placement *placement.Controller
 }
 
 // DefineView materializes query src as view name at peer at and keeps
@@ -142,6 +144,42 @@ func (s *System) AutoRefreshViews() { s.views.AutoRefresh() }
 // ViewManager exposes the underlying manager for advanced use
 // (replicated placements, the optimizer rule, drop/refresh policies).
 func (s *System) ViewManager() *view.Manager { return s.views }
+
+// Adaptive placement: views follow their query traffic at runtime.
+
+// PlacementConfig tunes adaptive placement: per-peer byte budgets,
+// hysteresis margin, replica cap, cooldown (see internal/placement).
+type PlacementConfig = placement.Config
+
+// PlacementDecision records one executed placement action.
+type PlacementDecision = placement.Decision
+
+// PlacementController drives the observe→decide→act loop; call Step
+// to run one round.
+type PlacementController = placement.Controller
+
+// PlacementInfo describes one materialized copy of one view.
+type PlacementInfo = view.PlacementInfo
+
+// EnableAdaptivePlacement attaches a traffic-driven placement
+// controller to the system: sessions opened afterwards (Session,
+// LocalSession) report their query traffic to its observer, and each
+// Controller.Step migrates, replicates or evicts view placements
+// toward the observed demand under the configured budgets. Call Step
+// on whatever cadence suits the deployment — a ticker, or once per
+// workload round. Calling EnableAdaptivePlacement again replaces the
+// configuration (sessions already open keep feeding the old observer).
+func (s *System) EnableAdaptivePlacement(cfg PlacementConfig) *PlacementController {
+	s.placement = placement.New(s.views, cfg)
+	return s.placement
+}
+
+// PlacementController returns the adaptive-placement controller, or
+// nil when EnableAdaptivePlacement has not been called.
+func (s *System) PlacementController() *PlacementController { return s.placement }
+
+// Placements returns the current view-placement map.
+func (s *System) Placements() []PlacementInfo { return s.views.Placements() }
 
 // Close stops view maintenance and all continuous subscriptions.
 func (s *System) Close() {

@@ -1,4 +1,4 @@
-// Command axmlbench runs the experiment suite (E1–E14) and prints the
+// Command axmlbench runs the experiment suite (E1–E15) and prints the
 // tables recorded in EXPERIMENTS.md. E11 measures the materialized-
 // view subsystem (internal/view) on a subscription workload; E12
 // measures provenance-based view maintenance against full refresh on
@@ -6,20 +6,25 @@
 // the session API's plan cache on a repeated-query workload
 // (optimize-once vs optimize-per-query); E14 measures the pull-based
 // streaming evaluator's time-to-first-row against eager
-// materialization.
+// materialization; E15 measures adaptive view placement against a
+// static deployment on a skewed multi-peer subscription workload.
 //
 // Usage:
 //
-//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming]
+//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming,placement]
 //
 // -only restricts the run to a comma-separated list of experiment IDs;
 // -quick shrinks the workloads for a fast smoke run. -json writes the
-// tables (and E14's raw streaming points) as a machine-readable file —
-// CI uploads it as the BENCH_ci.json trajectory artifact. -gate
-// streaming exits non-zero unless E14's cursor mode beats eager
-// evaluation on time-to-first-row at the largest measured size; CI
-// runs it so a regression that re-materializes results before the
-// first row fails the build.
+// tables (plus E14's raw streaming points and E15's placement summary)
+// as a machine-readable file — CI uploads it as the BENCH_ci.json
+// trajectory artifact. -gate takes a comma-separated list of
+// acceptance gates to enforce: "streaming" exits non-zero unless E14's
+// cursor mode beats eager evaluation on time-to-first-row at the
+// largest measured size; "placement" exits non-zero unless E15's
+// adaptive mode beats the static deployment on both total bytes
+// shipped and median query latency while converging to a stable
+// placement. CI runs both, so a regression in either loop fails the
+// build.
 package main
 
 import (
@@ -42,16 +47,24 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E5)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	jsonPath := flag.String("json", "", "write results as JSON to this file")
-	gate := flag.String("gate", "", "acceptance gate to enforce (streaming)")
+	gate := flag.String("gate", "", "comma-separated acceptance gates to enforce (streaming, placement)")
 	flag.Parse()
-	if *gate != "" && *gate != "streaming" {
-		// Rejected up front: an unknown gate must not burn a full
-		// suite run before failing.
-		fmt.Fprintf(os.Stderr, "axmlbench: unknown gate %q\n", *gate)
-		os.Exit(2)
+	gates := map[string]bool{}
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g == "" {
+			continue
+		}
+		if g != "streaming" && g != "placement" {
+			// Rejected up front: an unknown gate must not burn a full
+			// suite run before failing.
+			fmt.Fprintf(os.Stderr, "axmlbench: unknown gate %q\n", g)
+			os.Exit(2)
+		}
+		gates[g] = true
 	}
 
 	var streaming []bench.StreamingPoint
+	var placementPt *bench.PlacementPoint
 	registry := []experiment{
 		{"E1", func(q bool) (*bench.Table, error) {
 			if q {
@@ -140,6 +153,18 @@ func main() {
 			streaming = pts
 			return t, err
 		}},
+		{"E15", func(q bool) (*bench.Table, error) {
+			var pt *bench.PlacementPoint
+			var t *bench.Table
+			var err error
+			if q {
+				pt, t, err = bench.E15AdaptivePlacement(100, 3, 9, 5)
+			} else {
+				pt, t, err = bench.E15AdaptivePlacement(400, 4, 12, 10)
+			}
+			placementPt = pt
+			return t, err
+		}},
 	}
 
 	selected := map[string]bool{}
@@ -148,9 +173,14 @@ func main() {
 			selected[strings.ToUpper(id)] = true
 		}
 	}
-	if *gate == "streaming" && len(selected) > 0 {
-		// The gate needs E14's data even under -only filters.
-		selected["E14"] = true
+	if len(selected) > 0 {
+		// The gates need their experiments' data even under -only.
+		if gates["streaming"] {
+			selected["E14"] = true
+		}
+		if gates["placement"] {
+			selected["E15"] = true
+		}
 	}
 
 	var tables []*bench.Table
@@ -168,14 +198,14 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *quick, tables, streaming); err != nil {
+		if err := writeJSON(*jsonPath, *quick, tables, streaming, placementPt); err != nil {
 			fmt.Fprintf(os.Stderr, "axmlbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 
-	if *gate == "streaming" {
+	if gates["streaming"] {
 		if err := gateStreaming(streaming); err != nil {
 			fmt.Fprintf(os.Stderr, "axmlbench: gate failed: %v\n", err)
 			os.Exit(1)
@@ -184,6 +214,39 @@ func main() {
 		fmt.Printf("gate streaming: OK — cursor first row %.2fms vs eager %.2fms (%.1fx) at %d items\n",
 			last.CursorFirstRowMs, last.EagerFirstRowMs, last.FirstRowGain, last.Size)
 	}
+	if gates["placement"] {
+		if err := gatePlacement(placementPt); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: gate failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate placement: OK — adaptive %d bytes vs static %d (%.1fx), median %.2fms vs %.2fms (%.1fx), converged in round %d\n",
+			placementPt.AdaptiveBytes, placementPt.StaticBytes, placementPt.BytesGain,
+			placementPt.AdaptiveMedianMs, placementPt.StaticMedianMs, placementPt.LatencyGain,
+			placementPt.LastActionRound)
+	}
+}
+
+// gatePlacement is the CI acceptance check of the adaptive-placement
+// loop: adaptive must beat static on total bytes shipped AND median
+// query latency, and the placement must converge (no decisions in the
+// final third of the rounds).
+func gatePlacement(pt *bench.PlacementPoint) error {
+	if pt == nil {
+		return fmt.Errorf("placement gate requires E15 to run (check -only)")
+	}
+	if pt.AdaptiveBytes >= pt.StaticBytes {
+		return fmt.Errorf("adaptive does not beat static on bytes shipped: %d vs %d",
+			pt.AdaptiveBytes, pt.StaticBytes)
+	}
+	if pt.AdaptiveMedianMs >= pt.StaticMedianMs {
+		return fmt.Errorf("adaptive does not beat static on median latency: %.3fms vs %.3fms",
+			pt.AdaptiveMedianMs, pt.StaticMedianMs)
+	}
+	if !pt.Converged {
+		return fmt.Errorf("placement did not converge: %d actions, last in round %d of %d",
+			pt.Actions, pt.LastActionRound, pt.Rounds)
+	}
+	return nil
 }
 
 // gateStreaming is the CI acceptance check: the pull-based cursor must
@@ -203,17 +266,20 @@ func gateStreaming(points []bench.StreamingPoint) error {
 }
 
 // benchReport is the BENCH_*.json schema: the rendered tables plus
-// E14's raw points, so trajectory tooling can plot first-row latency
+// E14's raw streaming points and E15's placement summary, so
+// trajectory tooling can plot first-row latency and placement gains
 // across commits without re-parsing table strings.
 type benchReport struct {
 	Quick       bool                   `json:"quick"`
 	Experiments []*bench.Table         `json:"experiments"`
 	Streaming   []bench.StreamingPoint `json:"streaming,omitempty"`
+	Placement   *bench.PlacementPoint  `json:"placement,omitempty"`
 }
 
-func writeJSON(path string, quick bool, tables []*bench.Table, streaming []bench.StreamingPoint) error {
+func writeJSON(path string, quick bool, tables []*bench.Table,
+	streaming []bench.StreamingPoint, placement *bench.PlacementPoint) error {
 	data, err := json.MarshalIndent(benchReport{
-		Quick: quick, Experiments: tables, Streaming: streaming,
+		Quick: quick, Experiments: tables, Streaming: streaming, Placement: placement,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -20,16 +20,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"axml/internal/core"
 	"axml/internal/netsim"
+	"axml/internal/placement"
 	"axml/internal/service"
+	"axml/internal/session"
 	"axml/internal/view"
 	"axml/internal/wire"
 	"axml/internal/xmltree"
@@ -44,6 +48,10 @@ func (p *pairList) Set(v string) error { *p = append(*p, v); return nil }
 func main() {
 	addr := flag.String("addr", ":7012", "listen address")
 	id := flag.String("id", "peer", "peer identifier")
+	adaptive := flag.Duration("adaptive", 0,
+		"adaptive-placement step interval (0 disables the controller)")
+	budget := flag.Int64("view-budget", 0,
+		"byte budget for view placements on this peer (0 = unlimited; implies the placement controller)")
 	var docs, services pairList
 	flag.Var(&docs, "doc", "name=file of a document to install (repeatable)")
 	flag.Var(&services, "service", "name=file of a declarative service body (repeatable)")
@@ -95,11 +103,39 @@ func main() {
 		fmt.Printf("registered service %q from %s\n", name, file)
 	}
 
+	srv := &wire.Server{Peer: p, Views: views}
+	if *adaptive > 0 || *budget > 0 {
+		// A single served peer cannot migrate views anywhere, but the
+		// controller still enforces the byte budget (benefit-weighted
+		// eviction) and PLACEMENTS exposes its decision log; multi-peer
+		// systems embed the same controller through the axml facade.
+		ctrl := placement.New(views, placement.Config{DefaultBudget: *budget})
+		srv.Placements = ctrl
+		srv.SessionOptions = []session.LocalOption{session.WithTrafficSink(ctrl.Observer())}
+		if *adaptive <= 0 {
+			// Budgets are enforced inside Step: a budget without an
+			// explicit cadence still needs the ticker, or the limit
+			// would silently never apply.
+			*adaptive = 5 * time.Second
+			fmt.Printf("view budget set without -adaptive; stepping the controller every %s\n", *adaptive)
+		}
+		go func() {
+			for range time.Tick(*adaptive) {
+				decisions, err := ctrl.Step(context.Background())
+				if err != nil {
+					log.Printf("axmlpeer: placement step: %v", err)
+				}
+				for _, d := range decisions {
+					fmt.Printf("placement: %s\n", d)
+				}
+			}
+		}()
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 	fmt.Printf("peer %q listening on %s\n", *id, l.Addr())
-	srv := &wire.Server{Peer: p, Views: views}
 	log.Fatal(srv.Serve(l))
 }

@@ -8,6 +8,7 @@
 //	axmlq -addr localhost:7012 -timeout 2s -query '…'
 //	axmlq -addr localhost:7012 -call bargains
 //	axmlq -addr localhost:7012 -list
+//	axmlq -addr localhost:7012 -placements
 //	axmlq -addr localhost:7012 \
 //	      -view 'cheap=for $i in doc("catalog")/item where $i/price < 100 return $i@store'
 //	axmlq -addr localhost:7012 -delete 'doc("catalog")/item[price > 900]'
@@ -61,6 +62,7 @@ func main() {
 	call := flag.String("call", "", "service to call")
 	params := flag.String("params", "", "XML parameter forest for -call")
 	list := flag.Bool("list", false, "list remote documents, services and views")
+	placements := flag.Bool("placements", false, "print the view-placement map and recent adaptive-placement decisions")
 	firstRow := flag.Bool("first-row", false, "print first-row and total latency for -query")
 	del := flag.String("delete", "", "path query whose matches to delete")
 	replace := flag.String("replace", "", "path query whose matches to replace (requires -with)")
@@ -100,6 +102,17 @@ func main() {
 	}
 
 	switch {
+	case *placements:
+		lines, err := c.Placements(ctx)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		if len(lines) == 0 {
+			fmt.Println("no view placements")
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
 	case *list:
 		docs, services, err := c.List(ctx)
 		if err != nil {

@@ -256,3 +256,28 @@ func TestE14Shape(t *testing.T) {
 			last.Size, last.FirstRowGain, last.EagerFirstRowMs, last.CursorFirstRowMs)
 	}
 }
+
+func TestE15Shape(t *testing.T) {
+	pt, tab, err := E15AdaptivePlacement(100, 3, 9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The acceptance criteria of the adaptive loop, all deterministic
+	// (virtual clock and byte counters, no wall-clock): fewer bytes
+	// shipped, lower median latency, and a placement that settles.
+	if pt.AdaptiveBytes >= pt.StaticBytes {
+		t.Errorf("adaptive shipped %d bytes vs static %d", pt.AdaptiveBytes, pt.StaticBytes)
+	}
+	if pt.AdaptiveMedianMs >= pt.StaticMedianMs {
+		t.Errorf("adaptive median %.2fms vs static %.2fms", pt.AdaptiveMedianMs, pt.StaticMedianMs)
+	}
+	if !pt.Converged {
+		t.Errorf("placement did not converge: %d actions, last in round %d", pt.Actions, pt.LastActionRound)
+	}
+	if pt.Actions == 0 {
+		t.Error("adaptive run took no placement actions at all")
+	}
+}

@@ -1,0 +1,239 @@
+// E15: adaptive view placement on a skewed multi-peer subscription
+// workload — the acceptance experiment of internal/placement.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"axml/internal/core"
+	"axml/internal/gendoc"
+	"axml/internal/netsim"
+	"axml/internal/placement"
+	"axml/internal/session"
+	"axml/internal/view"
+	"axml/internal/workload"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// PlacementPoint is the machine-readable summary of E15. cmd/axmlbench
+// records it in BENCH_*.json and CI gates on BytesGain (adaptive must
+// ship fewer bytes than static), LatencyGain (and answer faster at the
+// median) and Converged (the placement settles — no decisions in the
+// final third of the horizon).
+type PlacementPoint struct {
+	Clients          int     `json:"clients"`
+	Rounds           int     `json:"rounds"`
+	Queries          int     `json:"queries"`
+	StaticBytes      int64   `json:"staticBytes"`
+	AdaptiveBytes    int64   `json:"adaptiveBytes"`
+	BytesGain        float64 `json:"bytesGain"`
+	StaticMedianMs   float64 `json:"staticMedianMs"`
+	AdaptiveMedianMs float64 `json:"adaptiveMedianMs"`
+	LatencyGain      float64 `json:"latencyGain"`
+	Actions          int     `json:"actions"`
+	LastActionRound  int     `json:"lastActionRound"`
+	Converged        bool    `json:"converged"`
+}
+
+// e15Result is one mode's measurement.
+type e15Result struct {
+	bytes     int64
+	messages  int64
+	medianMs  float64
+	rows      int
+	actions   int
+	lastRound int
+}
+
+// E15AdaptivePlacement measures traffic-driven view placement: a
+// selection view starts at the data peer (the static deployment
+// decision); `clients` subscriber peers re-issue a subsumed query as
+// the base document grows, with heavily skewed demand (client0 issues
+// ~70% of the queries). The static run keeps the placement fixed; the
+// adaptive run feeds session traffic into the placement controller and
+// steps it once per round, letting the view migrate (and replicate)
+// toward its consumers. Both runs are checked for identical result
+// totals, the adaptive run additionally for multiset-identical answers
+// after every round with a migration and for convergence (no decisions
+// in the final third of the rounds).
+func E15AdaptivePlacement(items, clients, rounds, perRound int) (*PlacementPoint, *Table, error) {
+	t := &Table{
+		ID:     "E15",
+		Title:  "Adaptive view placement: skewed subscription workload, static vs adaptive",
+		Anchor: "internal/placement (LiquidXML-style adaptive redistribution)",
+		Header: []string{"config", "bytes", "msgs", "medianMs", "rows", "moves"},
+		Notes:  "client0 issues ~70% of queries; adaptive migrates the view to it and pays only maintenance deltas",
+	}
+	if clients < 2 {
+		return nil, nil, fmt.Errorf("E15 needs at least 2 clients")
+	}
+	vsrc := `for $i in doc("catalog")/item where $i/price < 200 return $i`
+	qsrc := `for $i in doc("catalog")/item where $i/price < 100 return <hit>{$i/name}</hit>`
+
+	// The deterministic skew: client0 ~70%, client1 ~20%, the rest
+	// share what remains, at 20 queries per round.
+	const queriesPerRound = 20
+	schedule := make([]int, 0, queriesPerRound)
+	for q := 0; q < queriesPerRound; q++ {
+		switch {
+		case q < 14:
+			schedule = append(schedule, 0)
+		case q < 18 || clients == 2:
+			schedule = append(schedule, 1)
+		default:
+			schedule = append(schedule, 2+(q-18)%(clients-2))
+		}
+	}
+
+	run := func(adaptive bool) (e15Result, error) {
+		peers := []netsim.PeerID{"data"}
+		for i := 0; i < clients; i++ {
+			peers = append(peers, netsim.PeerID(fmt.Sprintf("client%d", i)))
+		}
+		net := netsim.New()
+		netsim.Uniform(net, peers, wanLink)
+		sys := core.NewSystem(net)
+		for _, p := range peers {
+			sys.MustAddPeer(p)
+		}
+		sys.Generics.SetStrategy(gendoc.Nearest{Net: net})
+		defer sys.Close()
+		installCatalog(sys, "data", workload.CatalogSpec{
+			Items: items, PriceMax: 1000, DescWords: 4, Seed: 31})
+		mgr := view.NewManager(sys)
+		defer mgr.Close()
+		if err := mgr.Define("hot", vsrc, "data"); err != nil {
+			return e15Result{}, err
+		}
+		var ctrl *placement.Controller
+		var sessOpts []session.LocalOption
+		if adaptive {
+			ctrl = placement.New(mgr, placement.Config{
+				MaxReplicas: 2, Cooldown: 1, HorizonRounds: 4,
+			})
+			sessOpts = []session.LocalOption{session.WithTrafficSink(ctrl.Observer())}
+		}
+		sessions := make([]*session.Local, clients)
+		for i := 0; i < clients; i++ {
+			s, err := session.NewLocal(sys, mgr, peers[1+i], sessOpts...)
+			if err != nil {
+				return e15Result{}, err
+			}
+			sessions[i] = s
+		}
+
+		ctx := context.Background()
+		data, _ := sys.Peer("data")
+		catalog, _ := data.Document("catalog")
+		truthQ := xquery.MustParse(qsrc)
+		var latencies []float64
+		res := e15Result{}
+		serial := items
+		for r := 0; r < rounds; r++ {
+			for k := 0; k < perRound; k++ {
+				if err := data.AddChild(catalog.Root.ID, xmltree.E("item",
+					xmltree.A("id", fmt.Sprintf("r%d", serial)),
+					xmltree.E("name", xmltree.T(fmt.Sprintf("fresh-%d", serial))),
+					xmltree.E("price", xmltree.T(fmt.Sprint(serial*37%1000)))),
+				); err != nil {
+					return e15Result{}, err
+				}
+				serial++
+			}
+			if _, err := mgr.RefreshAll(); err != nil {
+				return e15Result{}, err
+			}
+			for _, c := range schedule {
+				rows, err := sessions[c].Query(ctx, qsrc)
+				if err != nil {
+					return e15Result{}, fmt.Errorf("round %d client%d: %w", r, c, err)
+				}
+				forest, err := rows.Collect()
+				if err != nil {
+					return e15Result{}, fmt.Errorf("round %d client%d: %w", r, c, err)
+				}
+				res.rows += len(forest)
+				latencies = append(latencies, rows.VT())
+			}
+			if ctrl != nil {
+				decisions, err := ctrl.Step(ctx)
+				if err != nil {
+					return e15Result{}, fmt.Errorf("round %d: %w", r, err)
+				}
+				if len(decisions) > 0 {
+					res.actions += len(decisions)
+					res.lastRound = r
+					// Every migration must preserve answers: compare a
+					// post-move client answer against direct evaluation
+					// at the base.
+					truth, err := data.RunQuery(truthQ)
+					if err != nil {
+						return e15Result{}, err
+					}
+					rows, err := sessions[0].Query(ctx, qsrc)
+					if err != nil {
+						return e15Result{}, fmt.Errorf("post-move check: %w", err)
+					}
+					forest, err := rows.Collect()
+					if err != nil {
+						return e15Result{}, fmt.Errorf("post-move check: %w", err)
+					}
+					if !sameForestMultiset(forest, truth) {
+						return e15Result{}, fmt.Errorf(
+							"round %d: answers diverged after %v (%d rows vs truth %d)",
+							r, decisions, len(forest), len(truth))
+					}
+				}
+			}
+		}
+		sort.Float64s(latencies)
+		res.medianMs = latencies[len(latencies)/2]
+		st := sys.Net.Stats()
+		res.bytes, res.messages = st.Bytes, st.Messages
+		return res, nil
+	}
+
+	static, err := run(false)
+	if err != nil {
+		return nil, nil, fmt.Errorf("E15 static: %w", err)
+	}
+	adaptive, err := run(true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("E15 adaptive: %w", err)
+	}
+	if static.rows != adaptive.rows {
+		return nil, nil, fmt.Errorf("E15: result mismatch %d vs %d", static.rows, adaptive.rows)
+	}
+	point := &PlacementPoint{
+		Clients:          clients,
+		Rounds:           rounds,
+		Queries:          rounds * queriesPerRound,
+		StaticBytes:      static.bytes,
+		AdaptiveBytes:    adaptive.bytes,
+		StaticMedianMs:   static.medianMs,
+		AdaptiveMedianMs: adaptive.medianMs,
+		Actions:          adaptive.actions,
+		LastActionRound:  adaptive.lastRound,
+		Converged:        adaptive.lastRound < rounds*2/3 && adaptive.actions <= clients+1,
+	}
+	if adaptive.bytes > 0 {
+		point.BytesGain = float64(static.bytes) / float64(adaptive.bytes)
+	}
+	if adaptive.medianMs > 0 {
+		point.LatencyGain = static.medianMs / adaptive.medianMs
+	}
+	t.Rows = append(t.Rows,
+		[]string{"static", fmtBytes(static.bytes), fmt.Sprint(static.messages),
+			fmtMs(static.medianMs), fmt.Sprint(static.rows), "0"},
+		[]string{"adaptive", fmtBytes(adaptive.bytes), fmt.Sprint(adaptive.messages),
+			fmtMs(adaptive.medianMs), fmt.Sprint(adaptive.rows), fmt.Sprint(adaptive.actions)},
+		[]string{"gain", factor(static.bytes, adaptive.bytes), factor(static.messages, adaptive.messages),
+			factorF(static.medianMs, adaptive.medianMs), "", ""})
+	t.Notes += fmt.Sprintf("; last placement action in round %d of %d (converged=%v)",
+		adaptive.lastRound, rounds, point.Converged)
+	return point, t, nil
+}

@@ -542,8 +542,11 @@ func (s *System) shipData(ctx context.Context, from netsim.PeerID, ref peer.Node
 	}
 	// Use a Call so the delivery is synchronous and errors surface;
 	// the reply is an empty ack whose size is the envelope overhead.
+	// The "ship" kind marks the transfer as data landing (view
+	// maintenance, forwarded results) in the per-link accounting, so
+	// traffic observers can tell it apart from delegated evaluation.
 	_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
-		From: from, To: ref.Peer, Kind: "eval",
+		From: from, To: ref.Peer, Kind: "ship",
 		Body: SerializeExpr(&Send{
 			Dest:    DestNodes{Refs: []peer.NodeRef{ref}},
 			Payload: &Tree{Node: wrapForest(forest), At: ref.Peer},

@@ -176,6 +176,7 @@ func (s *System) Close() {
 // implements the wire protocol:
 //
 //	"eval"     Call  body = expression XML   → "result" forest
+//	"ship"     Call  same as "eval"; tags data-landing transfers
 //	"call"     Call  body = <x:call> … </x:call> → "result" forest
 //	"deploy"   Call  body = <x:deploy>      → "ok"
 //	"fetchq"   Call  body = <x:fetchq name>  → "query" text
@@ -194,7 +195,10 @@ func (h *peerHandler) HandleCall(msg netsim.Message, arriveVT float64) ([]byte, 
 // delegation chains instead of stopping at the first hop.
 func (h *peerHandler) HandleCallCtx(ctx context.Context, msg netsim.Message, arriveVT float64) ([]byte, string, float64, error) {
 	switch msg.Kind {
-	case "eval":
+	case "eval", "ship":
+		// "ship" is the same protocol as "eval" — a serialized send
+		// expression applied at this peer — tagged separately so link
+		// accounting distinguishes data landing from delegated work.
 		expr, err := ParseExprBytes(msg.Body)
 		if err != nil {
 			return nil, "", 0, err

@@ -346,6 +346,10 @@ func (n *Network) account(msg *Message, arriveVT float64) {
 	ls := fromMap[msg.To]
 	ls.Messages++
 	ls.Bytes += int64(msg.Size())
+	if ls.ByKind == nil {
+		ls.ByKind = map[string]int64{}
+	}
+	ls.ByKind[msg.Kind] += int64(msg.Size())
 	fromMap[msg.To] = ls
 	if arriveVT > n.stats.MaxVT {
 		n.stats.MaxVT = arriveVT
@@ -376,10 +380,15 @@ func (n *Network) ObserveVT(vt float64) {
 	}
 }
 
-// LinkStats aggregates one direction of one link.
+// LinkStats aggregates one direction of one link. ByKind splits the
+// byte total by application-level message kind ("eval" for delegated
+// work and shipped query results, "ship" for view-maintenance and
+// data-landing transfers, "call"/"data"/… for the rest), so observers
+// can distinguish query traffic from maintenance traffic on a link.
 type LinkStats struct {
 	Messages int64
 	Bytes    int64
+	ByKind   map[string]int64
 }
 
 // Stats aggregates network activity.
@@ -399,6 +408,13 @@ func (n *Network) Stats() Stats {
 	for from, m := range n.stats.PerLink {
 		cp := map[PeerID]LinkStats{}
 		for to, ls := range m {
+			if ls.ByKind != nil {
+				byKind := make(map[string]int64, len(ls.ByKind))
+				for k, v := range ls.ByKind {
+					byKind[k] = v
+				}
+				ls.ByKind = byKind
+			}
 			cp[to] = ls
 		}
 		out.PerLink[from] = cp

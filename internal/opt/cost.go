@@ -108,6 +108,15 @@ func (es *Estimator) docSize(name string, at netsim.PeerID) (float64, netsim.Pee
 	return float64(d.Root.ByteSize()), at, nil
 }
 
+// QuerySelectivity exposes the estimator's output-fraction model for
+// reuse outside the plan search: the adaptive-placement scorer prices
+// candidate moves with the same cardinality estimates the optimizer
+// prices plans with, so the two never disagree about what a query
+// ships.
+func (es *Estimator) QuerySelectivity(q *xquery.Query) float64 {
+	return es.querySelectivity(q)
+}
+
 // querySelectivity estimates the output fraction of a query from its
 // shape: each where conjunct filters, a projecting return shrinks.
 func (es *Estimator) querySelectivity(q *xquery.Query) float64 {

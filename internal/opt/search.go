@@ -51,9 +51,15 @@ func (o *Options) fill() {
 // Plan is an optimized expression with its predicted cost and the
 // derivation that produced it.
 type Plan struct {
-	Expr       core.Expr
-	Est        Estimate
-	Cost       float64
+	Expr core.Expr
+	Est  Estimate
+	Cost float64
+	// BaseCost is the estimated cost of the original (unrewritten)
+	// expression under the same weights — the search's starting point.
+	// Cost ≤ BaseCost always; the difference is the predicted saving
+	// of the chosen plan (the session plan cache weights its eviction
+	// policy with it).
+	BaseCost   float64
 	Derivation []string // "rule @ position" steps from the original
 }
 
@@ -116,6 +122,7 @@ func Optimize(sys *core.System, at netsim.PeerID, e core.Expr, opts Options) (*P
 		Expr:       best.expr,
 		Est:        best.est,
 		Cost:       best.cost,
+		BaseCost:   start.cost,
 		Derivation: best.deriv,
 	}, explored, nil
 }

@@ -1,0 +1,204 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+
+	"axml/internal/netsim"
+)
+
+// Observer aggregates the demand signals the placement controller
+// decides from. Two feeds:
+//
+//   - ObserveQuery implements session.TrafficSink (structurally — this
+//     package never imports session): each executed query reports its
+//     evaluating peer, normalized shape key and the documents its plan
+//     reads, which becomes per-(document, consumer) and per-(document,
+//     shape) demand.
+//   - SampleNetwork diffs netsim's per-link, per-kind byte counters
+//     between calls, splitting maintenance traffic (the "ship" kind:
+//     view refresh deltas, data landings) from evaluation traffic, so
+//     the scorer can price what a replica costs to keep fresh from
+//     what it actually cost recently rather than from a guess.
+//
+// Demand decays exponentially between controller rounds (Decay), so
+// the controller follows traffic shifts instead of the whole history.
+type Observer struct {
+	mu sync.Mutex
+	// demand: doc → consumer peer → decayed query count.
+	demand map[string]map[netsim.PeerID]float64
+	// shapes: doc → normalized shape key → decayed query count.
+	shapes map[string]map[string]float64
+	// shipRate: per-link EWMA of maintenance ("ship") bytes per sample
+	// window; evalRate the same for everything else.
+	shipRate map[linkKey]float64
+	evalRate map[linkKey]float64
+	last     netsim.Stats
+	sampled  bool
+}
+
+type linkKey struct{ from, to netsim.PeerID }
+
+// NewObserver creates an empty observer.
+func NewObserver() *Observer {
+	return &Observer{
+		demand:   map[string]map[netsim.PeerID]float64{},
+		shapes:   map[string]map[string]float64{},
+		shipRate: map[linkKey]float64{},
+		evalRate: map[linkKey]float64{},
+	}
+}
+
+// ObserveQuery records one executed query (session.TrafficSink).
+func (o *Observer) ObserveQuery(at netsim.PeerID, shape string, docs []string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, doc := range docs {
+		byPeer := o.demand[doc]
+		if byPeer == nil {
+			byPeer = map[netsim.PeerID]float64{}
+			o.demand[doc] = byPeer
+		}
+		byPeer[at]++
+		byShape := o.shapes[doc]
+		if byShape == nil {
+			byShape = map[string]float64{}
+			o.shapes[doc] = byShape
+		}
+		byShape[shape]++
+	}
+}
+
+// SampleNetwork folds the transfer volume since the previous sample
+// into the per-link rates (EWMA, half-weight to history). Call it once
+// per controller round with the network's current Stats.
+func (o *Observer) SampleNetwork(st netsim.Stats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.sampled {
+		shipDelta, evalDelta := diffByKind(o.last, st)
+		foldRate(o.shipRate, shipDelta)
+		foldRate(o.evalRate, evalDelta)
+	}
+	o.last, o.sampled = st, true
+}
+
+// diffByKind splits the per-link byte growth between two snapshots
+// into maintenance ("ship") bytes and everything else.
+func diffByKind(prev, cur netsim.Stats) (ship, other map[linkKey]float64) {
+	ship = map[linkKey]float64{}
+	other = map[linkKey]float64{}
+	for from, m := range cur.PerLink {
+		for to, ls := range m {
+			var prevShip, prevTotal int64
+			if pm, ok := prev.PerLink[from]; ok {
+				p := pm[to]
+				prevShip = p.ByKind["ship"]
+				prevTotal = p.Bytes
+			}
+			k := linkKey{from, to}
+			s := float64(ls.ByKind["ship"] - prevShip)
+			if s > 0 {
+				ship[k] = s
+			}
+			if o := float64(ls.Bytes-prevTotal) - s; o > 0 {
+				other[k] = o
+			}
+		}
+	}
+	return ship, other
+}
+
+// foldRate merges one window's deltas into the EWMA map. Links that
+// saw no traffic this window decay toward zero.
+func foldRate(rate map[linkKey]float64, delta map[linkKey]float64) {
+	for k, r := range rate {
+		rate[k] = r / 2
+	}
+	for k, d := range delta {
+		rate[k] += d / 2
+	}
+}
+
+// Decay ages the query-demand counters by multiplying them with
+// factor (0 forgets everything, 1 keeps the full history); entries
+// that decay below noise are dropped.
+func (o *Observer) Decay(factor float64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	decayMap := func(m map[string]map[netsim.PeerID]float64) {
+		for doc, byPeer := range m {
+			for p, v := range byPeer {
+				if v *= factor; v < 0.01 {
+					delete(byPeer, p)
+				} else {
+					byPeer[p] = v
+				}
+			}
+			if len(byPeer) == 0 {
+				delete(m, doc)
+			}
+		}
+	}
+	decayMap(o.demand)
+	for doc, byShape := range o.shapes {
+		for s, v := range byShape {
+			if v *= factor; v < 0.01 {
+				delete(byShape, s)
+			} else {
+				byShape[s] = v
+			}
+		}
+		if len(byShape) == 0 {
+			delete(o.shapes, doc)
+		}
+	}
+}
+
+// Demand returns the decayed per-consumer query weight of one
+// document.
+func (o *Observer) Demand(doc string) map[netsim.PeerID]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := map[netsim.PeerID]float64{}
+	for p, v := range o.demand[doc] {
+		out[p] = v
+	}
+	return out
+}
+
+// Shapes returns the decayed per-shape query weight of one document.
+func (o *Observer) Shapes(doc string) map[string]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := map[string]float64{}
+	for s, v := range o.shapes[doc] {
+		out[s] = v
+	}
+	return out
+}
+
+// ShipRate returns the recent maintenance-traffic rate (bytes per
+// controller round) on the from→to link.
+func (o *Observer) ShipRate(from, to netsim.PeerID) float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.shipRate[linkKey{from, to}]
+}
+
+// TopConsumers returns the consumers of a document sorted by demand
+// (highest first, peer order as the deterministic tie-break).
+func (o *Observer) TopConsumers(doc string) []netsim.PeerID {
+	d := o.Demand(doc)
+	out := make([]netsim.PeerID, 0, len(d))
+	for p := range d {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if d[out[i]] != d[out[j]] {
+			return d[out[i]] > d[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,333 @@
+// Package placement closes the observe→decide→act loop over
+// materialized views: it watches where query traffic for each view
+// actually comes from, prices candidate moves with the optimizer's
+// transfer and cardinality estimates, and re-places views at runtime —
+// migrating a copy to its hottest consumer, adding or dropping
+// replicas, and evicting under per-peer byte budgets — through
+// view.Manager's placement surgery.
+//
+// The design follows LiquidXML's adaptive content redistribution and
+// ViP2P's observation that placement dominates latency in materialized
+// view networks: the paper's framework treats placement as a static
+// deployment decision, but its distributed-evaluation rules only pay
+// off when views sit near their consumers. Three cooperating pieces:
+//
+//   - Observer (observer.go) aggregates per-(view, consumer) and
+//     per-(view, shape) demand from session traffic (it implements
+//     session.TrafficSink structurally) and per-link maintenance
+//     volume from netsim's per-kind byte accounting.
+//   - the scorer (score.go) values candidate actions: the per-round
+//     cost of serving the observed demand from a placement set, the
+//     per-round cost of keeping each replica fresh, and the one-time
+//     cost of a move, all priced with the same link model and
+//     selectivity estimates the optimizer prices plans with.
+//   - Controller.Step (this file) executes at most one action per view
+//     per round through view.Manager (Migrate/AddPlacement/
+//     DropPlacement), enforces the byte budgets by benefit-per-byte
+//     eviction, and keeps a decision log for introspection (axmlq
+//     -placements).
+//
+// Anti-thrashing: demand is EWMA-decayed, every action pays a
+// hysteresis margin (MinGainFrac) on top of its amortized one-time
+// cost, and a moved view rests for Cooldown rounds. A stable workload
+// therefore converges to a stable placement — experiment E15 checks
+// exactly that, plus result-multiset equality across every migration.
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/opt"
+	"axml/internal/view"
+)
+
+// Config tunes the controller. The zero value is usable: unlimited
+// budgets, conservative hysteresis, two placements per view.
+type Config struct {
+	// Budgets caps the total bytes of view placements each peer may
+	// hold; peers absent from the map fall back to DefaultBudget.
+	// Zero means unlimited.
+	Budgets map[netsim.PeerID]int64
+	// DefaultBudget is the per-peer byte budget for peers without an
+	// explicit entry (0 = unlimited).
+	DefaultBudget int64
+	// MinGainFrac is the hysteresis margin: an action is taken only
+	// when its net per-round gain exceeds this fraction of the current
+	// per-round cost (default 0.05).
+	MinGainFrac float64
+	// Cooldown is how many rounds a view rests after an action
+	// (default 2).
+	Cooldown int
+	// MaxReplicas caps the placements per view (default 2).
+	MaxReplicas int
+	// HorizonRounds amortizes one-time move costs: a migration must
+	// pay for itself within this many rounds (default 8).
+	HorizonRounds float64
+	// ChurnFrac estimates per-round maintenance volume as a fraction
+	// of the view size when no maintenance traffic has been observed
+	// yet (default 0.05).
+	ChurnFrac float64
+	// Decay is the per-round EWMA factor on observed demand
+	// (default 0.5).
+	Decay float64
+	// TopK bounds how many of a view's hottest consumers are
+	// considered as move targets each round (default 4).
+	TopK int
+	// Weights scalarize transfer estimates (opt.DefaultWeights when
+	// zero).
+	Weights opt.Weights
+	// LogSize bounds the retained decision log (default 64).
+	LogSize int
+}
+
+func (c Config) filled() Config {
+	if c.MinGainFrac <= 0 {
+		c.MinGainFrac = 0.05
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 2
+	}
+	if c.HorizonRounds <= 0 {
+		c.HorizonRounds = 8
+	}
+	if c.ChurnFrac <= 0 {
+		c.ChurnFrac = 0.05
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		c.Decay = 0.5
+	}
+	if c.TopK <= 0 {
+		c.TopK = 4
+	}
+	if c.Weights == (opt.Weights{}) {
+		c.Weights = opt.DefaultWeights
+	}
+	if c.LogSize <= 0 {
+		c.LogSize = 64
+	}
+	return c
+}
+
+// Decision records one executed placement action.
+type Decision struct {
+	Round  int
+	View   string
+	Action string // "migrate", "replicate", "drop", "evict"
+	From   netsim.PeerID
+	To     netsim.PeerID
+	// GainPerRound is the projected per-round cost saving the action
+	// was taken for (cost-model units); OneTime the projected one-off
+	// cost it had to amortize.
+	GainPerRound float64
+	OneTime      float64
+	Reason       string
+}
+
+func (d Decision) String() string {
+	switch d.Action {
+	case "migrate":
+		return fmt.Sprintf("r%d %s %s %s→%s (gain/round %.1f, move %.1f)",
+			d.Round, d.Action, d.View, d.From, d.To, d.GainPerRound, d.OneTime)
+	case "replicate":
+		return fmt.Sprintf("r%d %s %s +%s (gain/round %.1f, ship %.1f)",
+			d.Round, d.Action, d.View, d.To, d.GainPerRound, d.OneTime)
+	default:
+		return fmt.Sprintf("r%d %s %s -%s (%s)", d.Round, d.Action, d.View, d.From, d.Reason)
+	}
+}
+
+// Controller drives adaptive placement over one view manager. It is
+// deliberately synchronous: Step runs one observe→decide→act round
+// when called, so deployments choose their own cadence (a ticker in
+// cmd/axmlpeer, one call per workload round in the benchmarks) and
+// tests stay deterministic.
+type Controller struct {
+	sys   *core.System
+	views *view.Manager
+	obs   *Observer
+	cfg   Config
+
+	mu    sync.Mutex
+	round int
+	cool  map[string]int
+	log   []Decision
+	sel   map[string]float64 // shape key → cached selectivity estimate
+}
+
+// New creates a controller over the manager's system. Wire the
+// returned controller's Observer() into the sessions whose traffic
+// should drive placement (session.WithTrafficSink).
+func New(views *view.Manager, cfg Config) *Controller {
+	return &Controller{
+		sys:   views.System(),
+		views: views,
+		obs:   NewObserver(),
+		cfg:   cfg.filled(),
+		cool:  map[string]int{},
+		sel:   map[string]float64{},
+	}
+}
+
+// Observer returns the traffic observer feeding this controller.
+func (c *Controller) Observer() *Observer { return c.obs }
+
+// Rounds returns how many Step rounds have run.
+func (c *Controller) Rounds() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.round
+}
+
+// Decisions returns the retained decision log, oldest first.
+func (c *Controller) Decisions() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Placements returns the current placement map (view.Manager
+// passthrough, for introspection alongside Decisions).
+func (c *Controller) Placements() []view.PlacementInfo { return c.views.Placements() }
+
+// Step runs one observe→decide→act round: sample the network, decide
+// and execute at most one action per view, enforce the byte budgets,
+// decay the demand window. It returns the actions executed this round.
+func (c *Controller) Step(ctx context.Context) ([]Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.round++
+	c.obs.SampleNetwork(c.sys.Net.Stats())
+
+	var made []Decision
+	var errs []error
+	byView := map[string][]view.PlacementInfo{}
+	usage := map[netsim.PeerID]int64{}
+	for _, pi := range c.views.Placements() {
+		byView[pi.View] = append(byView[pi.View], pi)
+		usage[pi.At] += pi.Bytes
+	}
+	names := make([]string, 0, len(byView))
+	for name := range byView {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if c.cool[name] > 0 {
+			c.cool[name]--
+			continue
+		}
+		d, err := c.decide(ctx, name, byView[name], usage)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("view %q: %w", name, err))
+			continue
+		}
+		if d != nil {
+			c.cool[name] = c.cfg.Cooldown
+			made = append(made, *d)
+		}
+	}
+	evicted, err := c.enforceBudgets()
+	if err != nil {
+		errs = append(errs, err)
+	}
+	made = append(made, evicted...)
+	c.log = append(c.log, made...)
+	if over := len(c.log) - c.cfg.LogSize; over > 0 {
+		c.log = append([]Decision(nil), c.log[over:]...)
+	}
+	c.obs.Decay(c.cfg.Decay)
+	return made, errors.Join(errs...)
+}
+
+// enforceBudgets evicts placements from peers whose view bytes exceed
+// their budget, lowest benefit-per-byte first. Evicting the last copy
+// of a view drops the view (queries fall back to the base — correct,
+// just slower), which is exactly what a hard storage limit means.
+func (c *Controller) enforceBudgets() ([]Decision, error) {
+	var out []Decision
+	var errs []error
+	for guard := 0; guard < 64; guard++ {
+		infos := c.views.Placements()
+		perPeer := map[netsim.PeerID]int64{}
+		for _, pi := range infos {
+			perPeer[pi.At] += pi.Bytes
+		}
+		var peers []netsim.PeerID
+		for p := range perPeer {
+			if b := c.budgetFor(p); b > 0 && perPeer[p] > b {
+				peers = append(peers, p)
+			}
+		}
+		if len(peers) == 0 {
+			break
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		peer := peers[0]
+		victim, ok := c.pickEvictim(infos, peer)
+		if !ok {
+			break
+		}
+		if err := c.views.DropPlacement(victim.View, peer); err != nil {
+			errs = append(errs, fmt.Errorf("evicting %s@%s: %w", victim.View, peer, err))
+			break
+		}
+		out = append(out, Decision{
+			Round: c.round, View: victim.View, Action: "evict", From: peer,
+			Reason: fmt.Sprintf("budget %d bytes exceeded at %s", c.budgetFor(peer), peer),
+		})
+	}
+	return out, errors.Join(errs...)
+}
+
+func (c *Controller) budgetFor(p netsim.PeerID) int64 {
+	if b, ok := c.cfg.Budgets[p]; ok {
+		return b
+	}
+	return c.cfg.DefaultBudget
+}
+
+// pickEvictim chooses the placement at the peer with the lowest
+// benefit per byte: the demand-weighted serving-cost increase its
+// removal would cause, relative to the bytes it frees.
+func (c *Controller) pickEvictim(infos []view.PlacementInfo, at netsim.PeerID) (view.PlacementInfo, bool) {
+	byView := map[string][]view.PlacementInfo{}
+	for _, pi := range infos {
+		byView[pi.View] = append(byView[pi.View], pi)
+	}
+	best := view.PlacementInfo{}
+	bestScore := 0.0
+	found := false
+	var names []string
+	for name := range byView {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		placed := byView[name]
+		var here *view.PlacementInfo
+		for i := range placed {
+			if placed[i].At == at {
+				here = &placed[i]
+			}
+		}
+		if here == nil || here.Bytes <= 0 {
+			continue
+		}
+		score := c.evictionBenefit(name, placed, *here) / float64(here.Bytes)
+		if !found || score < bestScore {
+			best, bestScore, found = *here, score, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,277 @@
+// The benefit/cost scorer. Every quantity is expressed in the
+// optimizer's scalar cost units (opt.Weights over bytes, messages and
+// virtual milliseconds), computed with the same per-link latency/
+// bandwidth model (netsim.LinkInfo) and the same output-cardinality
+// estimates (opt.Estimator.QuerySelectivity) the plan search prices
+// plans with — the controller and the optimizer can disagree about
+// traffic, but never about what a transfer costs.
+
+package placement
+
+import (
+	"context"
+	"fmt"
+
+	"axml/internal/netsim"
+	"axml/internal/opt"
+	"axml/internal/view"
+	"axml/internal/xquery"
+)
+
+// envelope mirrors netsim's per-message framing overhead (and the
+// estimator's constant of the same name).
+const envelope = 64
+
+// selCacheCap bounds the per-shape selectivity cache; it resets and
+// rebuilds lazily beyond this.
+const selCacheCap = 1024
+
+// xfer prices one message of size bytes over from→to, mirroring
+// opt.Estimator.transfer scalarized with the configured weights.
+// Local delivery is free, like in the evaluator.
+func (c *Controller) xfer(from, to netsim.PeerID, bytes float64) float64 {
+	if from == "" || to == "" || from == to {
+		return 0
+	}
+	l := c.sys.Net.LinkInfo(from, to)
+	t := l.LatencyMs
+	if l.BytesPerMs > 0 {
+		t += (bytes + envelope) / l.BytesPerMs
+	}
+	w := c.cfg.Weights
+	return w.PerByte*(bytes+envelope) + w.PerMessage + w.PerMs*t
+}
+
+// perQueryBytes estimates what one query against the view ships from a
+// placement to its consumer: the view size scaled by the demand-
+// weighted mean selectivity of the observed query shapes (the
+// optimizer's own cardinality model), floored like the estimator
+// floors outputs.
+func (c *Controller) perQueryBytes(doc string, viewBytes int64) float64 {
+	shapes := c.obs.Shapes(doc)
+	est := opt.NewEstimator(c.sys)
+	sel, weight := 0.0, 0.0
+	for shape, w := range shapes {
+		s, ok := c.sel[shape]
+		if !ok {
+			if len(c.sel) >= selCacheCap {
+				// The observer decays stale shapes away but this cache
+				// is keyed by the same unbounded strings; a periodic
+				// reset bounds it (entries rebuild lazily from live
+				// shapes) so shape churn cannot leak memory.
+				c.sel = map[string]float64{}
+			}
+			s = 1
+			if q, err := xquery.Parse(shape); err == nil {
+				s = est.QuerySelectivity(q)
+			}
+			c.sel[shape] = s
+		}
+		sel += s * w
+		weight += w
+	}
+	if weight > 0 {
+		sel /= weight
+	} else {
+		sel = 1
+	}
+	out := float64(viewBytes) * sel
+	if out < 16 {
+		out = 16
+	}
+	return out
+}
+
+// serveCost is the per-round cost of answering the observed demand
+// from the given serving sites: each consumer reads from its cheapest
+// site.
+func (c *Controller) serveCost(demand map[netsim.PeerID]float64, sites []netsim.PeerID, perQ float64) float64 {
+	total := 0.0
+	for consumer, weight := range demand {
+		best := -1.0
+		for _, s := range sites {
+			cost := c.xfer(s, consumer, perQ)
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		total += weight * best
+	}
+	return total
+}
+
+// maintCost is the per-round cost of keeping a copy at `at` fresh from
+// the base: the observed maintenance rate toward any current placement
+// when there is one (netsim's "ship"-kind accounting), else ChurnFrac
+// of the view size — priced over the base→at link either way.
+func (c *Controller) maintCost(base, at netsim.PeerID, viewBytes int64, placed []view.PlacementInfo) float64 {
+	if base == "" || base == at {
+		return 0
+	}
+	rate := 0.0
+	for _, pi := range placed {
+		if r := c.obs.ShipRate(base, pi.At); r > rate {
+			rate = r
+		}
+	}
+	if rate == 0 {
+		rate = c.cfg.ChurnFrac * float64(viewBytes)
+	}
+	return c.xfer(base, at, rate)
+}
+
+// evictionBenefit is the per-round serving-cost increase of removing
+// one placement, net of the maintenance it saves — with the base peer
+// as the implicit fallback site, so losing the last copy is priced
+// against serving straight from the base rather than as infinite.
+func (c *Controller) evictionBenefit(name string, placed []view.PlacementInfo, victim view.PlacementInfo) float64 {
+	doc := view.DocPrefix + name
+	demand := c.obs.Demand(doc)
+	base, _ := c.views.BaseOf(name)
+	perQ := c.perQueryBytes(doc, victim.Bytes)
+	with := []netsim.PeerID{}
+	without := []netsim.PeerID{}
+	for _, pi := range placed {
+		with = append(with, pi.At)
+		if pi.At != victim.At {
+			without = append(without, pi.At)
+		}
+	}
+	if base != "" {
+		with = append(with, base)
+		without = append(without, base)
+	}
+	benefit := c.serveCost(demand, without, perQ) - c.serveCost(demand, with, perQ)
+	benefit -= c.maintCost(base, victim.At, victim.Bytes, placed)
+	if benefit < 0 {
+		benefit = 0
+	}
+	return benefit
+}
+
+// decide scores the candidate actions for one view and executes the
+// best one when it clears the hysteresis margin. At most one action
+// per view per round keeps every move attributable and the system
+// analyzable for convergence. usage (current view bytes per peer)
+// filters candidates up front: a peer whose budget cannot hold the
+// view is never a move target — without this, a tight budget would
+// ship the view in decide and evict it in enforceBudgets every round.
+func (c *Controller) decide(ctx context.Context, name string, placed []view.PlacementInfo,
+	usage map[netsim.PeerID]int64) (*Decision, error) {
+	doc := view.DocPrefix + name
+	demand := c.obs.Demand(doc)
+	if len(demand) == 0 {
+		return nil, nil
+	}
+	sites := make([]netsim.PeerID, len(placed))
+	viewBytes := int64(0)
+	for i, pi := range placed {
+		sites[i] = pi.At
+		if pi.Bytes > viewBytes {
+			viewBytes = pi.Bytes
+		}
+	}
+	base, _ := c.views.BaseOf(name)
+	perQ := c.perQueryBytes(doc, viewBytes)
+	cur := c.serveCost(demand, sites, perQ)
+	curMaint := 0.0
+	for _, s := range sites {
+		curMaint += c.maintCost(base, s, viewBytes, placed)
+	}
+
+	type candidate struct {
+		action   string
+		from, to netsim.PeerID
+		gain     float64 // net per-round gain, move cost amortized in
+		oneTime  float64
+	}
+	var best *candidate
+	consider := func(cand candidate) {
+		if best == nil || cand.gain > best.gain {
+			b := cand
+			best = &b
+		}
+	}
+
+	hot := c.obs.TopConsumers(doc)
+	if len(hot) > c.cfg.TopK {
+		hot = hot[:c.cfg.TopK]
+	}
+	placedAt := map[netsim.PeerID]bool{}
+	for _, s := range sites {
+		placedAt[s] = true
+	}
+	for _, consumer := range hot {
+		if placedAt[consumer] {
+			continue
+		}
+		if _, ok := c.sys.Peer(consumer); !ok {
+			continue
+		}
+		if b := c.budgetFor(consumer); b > 0 && usage[consumer]+viewBytes > b {
+			continue // the target could not keep the copy anyway
+		}
+		newMaint := c.maintCost(base, consumer, viewBytes, placed)
+		// Replicate: one more copy, one more maintenance stream.
+		if len(sites) < c.cfg.MaxReplicas {
+			oneTime := c.xfer(base, consumer, float64(viewBytes))
+			gain := cur - c.serveCost(demand, append(append([]netsim.PeerID{}, sites...), consumer), perQ) -
+				newMaint - oneTime/c.cfg.HorizonRounds
+			consider(candidate{action: "replicate", to: consumer, gain: gain, oneTime: oneTime})
+		}
+		// Migrate: swap each existing copy for one at the consumer.
+		for _, from := range sites {
+			moved := make([]netsim.PeerID, 0, len(sites))
+			for _, s := range sites {
+				if s != from {
+					moved = append(moved, s)
+				}
+			}
+			moved = append(moved, consumer)
+			oneTime := c.xfer(from, consumer, float64(viewBytes))
+			gain := cur - c.serveCost(demand, moved, perQ) +
+				c.maintCost(base, from, viewBytes, placed) - newMaint -
+				oneTime/c.cfg.HorizonRounds
+			consider(candidate{action: "migrate", from: from, to: consumer, gain: gain, oneTime: oneTime})
+		}
+	}
+	// Drop a replica whose maintenance outweighs its serving benefit.
+	if len(sites) > 1 {
+		for _, from := range sites {
+			rest := make([]netsim.PeerID, 0, len(sites)-1)
+			for _, s := range sites {
+				if s != from {
+					rest = append(rest, s)
+				}
+			}
+			gain := c.maintCost(base, from, viewBytes, placed) -
+				(c.serveCost(demand, rest, perQ) - cur)
+			consider(candidate{action: "drop", from: from, gain: gain})
+		}
+	}
+
+	if best == nil || best.gain <= c.cfg.MinGainFrac*(cur+curMaint)+1e-9 {
+		return nil, nil
+	}
+	var err error
+	switch best.action {
+	case "migrate":
+		err = c.views.Migrate(ctx, name, best.from, best.to)
+	case "replicate":
+		err = c.views.AddPlacement(name, best.to)
+	case "drop":
+		err = c.views.DropPlacement(name, best.from)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Decision{
+		Round: c.round, View: name, Action: best.action,
+		From: best.from, To: best.to,
+		GainPerRound: best.gain, OneTime: best.oneTime,
+		Reason: fmt.Sprintf("demand-weighted serve cost %.1f/round", cur),
+	}, nil
+}

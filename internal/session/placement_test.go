@@ -1,0 +1,391 @@
+package session
+
+// Tests for the session ↔ adaptive-placement seams: the traffic sink,
+// the typed ErrViewMoved surfaced when a placement moves under an open
+// cursor, cost-weighted plan-cache eviction, and catalog-generation
+// invalidation across migrations (including a -race variant with
+// concurrent queries during moves).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/view"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// moveSystem builds client+spare+data peers with a catalog at data, so
+// views have somewhere to migrate.
+func moveSystem(t *testing.T) (*core.System, *view.Manager) {
+	t.Helper()
+	net := netsim.New()
+	sys := core.NewSystem(net)
+	sys.MustAddPeer("client")
+	sys.MustAddPeer("spare")
+	data := sys.MustAddPeer("data")
+	cat := xmltree.E("catalog")
+	for i := 0; i < 40; i++ {
+		price := "500"
+		if i%10 == 0 {
+			price = "5"
+		}
+		cat.AppendChild(xmltree.MustParse(fmt.Sprintf(
+			`<item><name>thing-%d</name><price>%s</price></item>`, i, price)))
+	}
+	if err := data.InstallDocument("catalog", cat); err != nil {
+		t.Fatal(err)
+	}
+	views := view.NewManager(sys)
+	t.Cleanup(views.Close)
+	t.Cleanup(sys.Close)
+	return sys, views
+}
+
+const viewSrc = `for $i in doc("catalog")/item where $i/price < 100 return $i`
+
+func forestCounts(forest []*xmltree.Node) map[xmltree.Digest]int {
+	out := map[xmltree.Digest]int{}
+	for _, n := range forest {
+		out[xmltree.Hash(n)]++
+	}
+	return out
+}
+
+func equalCounts(a, b map[xmltree.Digest]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// recordingSink captures ObserveQuery calls.
+type recordingSink struct {
+	mu    sync.Mutex
+	calls []struct {
+		at    netsim.PeerID
+		shape string
+		docs  []string
+	}
+}
+
+func (r *recordingSink) ObserveQuery(at netsim.PeerID, shape string, docs []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, struct {
+		at    netsim.PeerID
+		shape string
+		docs  []string
+	}{at, shape, docs})
+}
+
+// TestTrafficSinkObservesViewReads: every execution reports the
+// evaluating peer, the shape key and the docs of the chosen plan —
+// including the view document after a rewrite.
+func TestTrafficSinkObservesViewReads(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	sess, err := NewLocal(sys, views, "client", WithTrafficSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.calls) != 1 {
+		t.Fatalf("sink calls = %d, want 1", len(sink.calls))
+	}
+	call := sink.calls[0]
+	if call.at != "client" || call.shape == "" {
+		t.Errorf("observed at=%s shape=%q", call.at, call.shape)
+	}
+	found := false
+	for _, d := range call.docs {
+		if d == view.DocPrefix+"cheap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("plan docs %v do not include the view read", call.docs)
+	}
+}
+
+// TestErrViewMovedMidStream: a cursor over a view whose placement
+// migrates away fails with the typed error, not an opaque one.
+func TestErrViewMovedMidStream(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, sys, views)
+	rows, err := sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views.Migrate(context.Background(), "cheap", "client", "spare"); err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, ErrViewMoved) {
+		t.Fatalf("stream error = %v, want ErrViewMoved", err)
+	}
+	_ = rows.Close()
+
+	// A fresh call re-plans against the new placement and succeeds.
+	rows, err = sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 4 {
+		t.Errorf("re-planned query returned %d rows, want 4", len(forest))
+	}
+}
+
+// TestErrViewMovedOnDrop: dropping the view mid-stream surfaces the
+// same typed error.
+func TestErrViewMovedOnDrop(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, sys, views)
+	rows, err := sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views.Drop("cheap"); err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); !errors.Is(err, ErrViewMoved) {
+		t.Fatalf("stream error = %v, want ErrViewMoved", err)
+	}
+}
+
+// TestUnrelatedCatalogChangeKeepsStreaming: defining a different view
+// mid-stream bumps the generation but must not kill the stream.
+func TestUnrelatedCatalogChangeKeepsStreaming(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, sys, views)
+	rows, err := sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views.Define("other",
+		`for $i in doc("catalog")/item where $i/price < 600 return $i/price`, "spare"); err != nil {
+		t.Fatal(err)
+	}
+	forest, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 4 {
+		t.Errorf("rows = %d, want 4", len(forest))
+	}
+}
+
+// TestReplicationKeepsStreaming: adding a replica of the very view a
+// cursor reads is additive — the copy being read still exists, so the
+// stream must finish, not die with ErrViewMoved.
+func TestReplicationKeepsStreaming(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "client"); err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, sys, views)
+	rows, err := sess.Query(context.Background(), selectQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := views.AddPlacement("cheap", "spare"); err != nil {
+		t.Fatal(err)
+	}
+	forest, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 4 {
+		t.Errorf("rows = %d, want 4", len(forest))
+	}
+}
+
+// TestPlanCacheCostWeightedEviction: under cache pressure the victim
+// is the plan the optimizer could not improve, not the oldest one. A
+// high-benefit plan (remote selective query, big delegation win) must
+// survive a newer zero-benefit plan (local document read).
+func TestPlanCacheCostWeightedEviction(t *testing.T) {
+	sys, views := moveSystem(t)
+	client, _ := sys.Peer("client")
+	if err := client.InstallDocument("local", xmltree.MustParse(`<x><y>1</y><z>2</z></x>`)); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewLocal(sys, views, "client", WithPlanCacheSize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	run := func(src string) {
+		t.Helper()
+		rows, err := sess.Query(ctx, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rows.Collect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remote := selectQ // remote catalog, selective: delegation saves a lot
+	localA := `doc("local")/y`
+	localB := `doc("local")/z`
+	run(remote) // oldest entry, high benefit
+	run(localA) // newer, zero benefit
+	run(localB) // insertion forces one eviction
+	if st := sess.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	hits := sess.Stats().Hits
+	run(remote) // must still be cached despite being least-recently-used
+	if got := sess.Stats().Hits; got != hits+1 {
+		t.Errorf("high-benefit plan was evicted: hits %d → %d", hits, got)
+	}
+	misses := sess.Stats().Misses
+	run(localA) // the zero-benefit entry was the victim
+	if got := sess.Stats().Misses; got != misses+1 {
+		t.Errorf("zero-benefit plan survived: misses %d → %d", misses, got)
+	}
+}
+
+// TestMigrationInvalidatesCachedPlans: a cached plan that read a
+// migrated view re-plans on next use and returns the identical
+// multiset.
+func TestMigrationInvalidatesCachedPlans(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "spare"); err != nil {
+		t.Fatal(err)
+	}
+	sess := newSession(t, sys, views)
+	ctx := context.Background()
+	collect := func() map[xmltree.Digest]int {
+		t.Helper()
+		rows, err := sess.Query(ctx, selectQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, err := rows.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return forestCounts(forest)
+	}
+	before := collect()
+	collect() // second call hits the cache
+	st := sess.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats before migration = %+v", st)
+	}
+	if err := views.Migrate(ctx, "cheap", "spare", "client"); err != nil {
+		t.Fatal(err)
+	}
+	after := collect()
+	st = sess.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (re-plan after the move)", st.Misses)
+	}
+	if !equalCounts(before, after) {
+		t.Error("result multiset changed across the migration")
+	}
+}
+
+// TestConcurrentQueriesDuringMoveRace hammers a migrating view with
+// concurrent queries: every query must either succeed with the exact
+// ground-truth multiset or fail with the typed ErrViewMoved — never an
+// opaque error, never silently wrong rows.
+func TestConcurrentQueriesDuringMoveRace(t *testing.T) {
+	sys, views := moveSystem(t)
+	if err := views.Define("cheap", viewSrc, "spare"); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := sys.Peer("data")
+	truthForest, err := data.RunQuery(xquery.MustParse(selectQ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := forestCounts(truthForest)
+
+	sess := newSession(t, sys, views)
+	ctx := context.Background()
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rows, err := sess.Query(ctx, selectQ)
+				if err != nil {
+					if !errors.Is(err, ErrViewMoved) {
+						errCh <- fmt.Errorf("query error: %w", err)
+						return
+					}
+					continue
+				}
+				forest, err := rows.Collect()
+				if err != nil {
+					if !errors.Is(err, ErrViewMoved) {
+						errCh <- fmt.Errorf("stream error: %w", err)
+						return
+					}
+					continue
+				}
+				if !equalCounts(truth, forestCounts(forest)) {
+					errCh <- fmt.Errorf("wrong multiset: %d rows", len(forest))
+					return
+				}
+			}
+		}()
+	}
+	ping, pong := netsim.PeerID("spare"), netsim.PeerID("data")
+	for i := 0; i < 8; i++ {
+		if err := views.Migrate(ctx, "cheap", ping, pong); err != nil {
+			t.Fatal(err)
+		}
+		ping, pong = pong, ping
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

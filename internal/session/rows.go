@@ -36,6 +36,9 @@ type Rows struct {
 	// on Close rather than drained (a lazily-evaluating cursor, where
 	// draining would force the evaluation Close exists to skip).
 	abandon bool
+	// vtFn reports the backend's virtual completion time, when the
+	// backend has one (local sessions over the simulated network).
+	vtFn func() float64
 
 	cur    *xmltree.Node
 	err    error
@@ -118,6 +121,19 @@ func (r *Rows) Scan(dest any) error {
 // Err returns the error that terminated iteration, if any. A closed or
 // exhausted stream with no failure returns nil.
 func (r *Rows) Err() error { return r.err }
+
+// VT returns the virtual completion time of the evaluation in
+// simulated milliseconds — the latency metric of the netsim cost
+// model. It is final once the stream is exhausted or closed, and zero
+// for backends without a virtual clock (wire sessions). Benchmarks use
+// it to compare query latency across placements without depending on
+// wall-clock noise.
+func (r *Rows) VT() float64 {
+	if r.vtFn == nil {
+		return 0
+	}
+	return r.vtFn()
+}
 
 // Close releases the stream. For wire-backed rows this drains the
 // remaining replies so the connection can carry the next request;

@@ -65,6 +65,14 @@ var (
 
 	// ErrClosed is returned by operations on a closed session.
 	ErrClosed = errors.New("session closed")
+
+	// ErrViewMoved marks a streaming query whose plan read a
+	// materialized view that was migrated, replicated away or dropped
+	// while the stream was open (adaptive placement moves views at
+	// runtime). The stream fails with this typed error instead of an
+	// opaque resolution failure or silently stale rows; re-running the
+	// query re-plans against the new placement.
+	ErrViewMoved = errors.New("view placement changed mid-stream")
 )
 
 // Session is the unified query interface over an AXML deployment. A
@@ -162,7 +170,9 @@ type Stats struct {
 	// changed underneath them.
 	Invalidations uint64
 	// Evictions: cached plans dropped because the cache reached its
-	// size cap (least-recently-used first).
+	// size cap. The victim is the entry with the lowest retention
+	// score — estimated planning benefit weighted by hit count — with
+	// least-recently-used as the tie-break.
 	Evictions uint64
 }
 
@@ -176,12 +186,20 @@ func (s Stats) HitRate() float64 {
 }
 
 // cachedPlan is one plan-cache entry: the normalized shape key, the
-// optimized expression and the view-catalog generation it was derived
-// under.
+// optimized expression, the view-catalog generation it was derived
+// under, and the retention weights of the cost-aware eviction policy.
 type cachedPlan struct {
 	key  string
 	expr core.Expr
 	gen  uint64
+	// benefit is the optimizer's estimated cost saving of this plan
+	// over the naive plan (opt.DefaultWeights scalar). A plan that
+	// saves nothing is cheap to lose — re-deriving it is one search
+	// that converges immediately; a plan whose search found a big win
+	// is the one worth keeping under cache pressure.
+	benefit float64
+	// uses counts cache hits: repeated shapes amortize their search.
+	uses uint64
 }
 
 // DefaultPlanCacheSize bounds a session's plan cache when no explicit
@@ -198,6 +216,7 @@ type Local struct {
 	sys   *core.System
 	views *view.Manager
 	at    netsim.PeerID
+	sink  TrafficSink
 
 	mu      sync.Mutex
 	plans   map[string]*list.Element // shape key → element of order
@@ -205,6 +224,18 @@ type Local struct {
 	planCap int
 	stats   Stats
 	closed  bool
+}
+
+// TrafficSink receives one notification per executed query. The
+// adaptive-placement observer (internal/placement) implements it to
+// learn which peers read which documents and views; anything with the
+// same method set can tap the stream.
+type TrafficSink interface {
+	// ObserveQuery reports an execution: the evaluating peer, the
+	// normalized query-shape key (view.QueryKey), and the documents the
+	// chosen plan reads — view documents carry the "view:" prefix, so
+	// view demand is directly attributable.
+	ObserveQuery(at netsim.PeerID, shape string, docs []string)
 }
 
 // LocalOption configures a Local session at construction time.
@@ -220,6 +251,14 @@ func WithPlanCacheSize(n int) LocalOption {
 		}
 		s.planCap = n
 	}
+}
+
+// WithTrafficSink attaches a per-query traffic observer to the
+// session. Every Query/Exec/Stmt execution reports its evaluating
+// peer, shape key and the documents its plan reads; the adaptive-
+// placement controller aggregates these into per-view demand.
+func WithTrafficSink(sink TrafficSink) LocalOption {
+	return func(s *Local) { s.sink = sink }
 }
 
 // NewLocal opens a session evaluating at peer `at` of the given
@@ -302,19 +341,31 @@ func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, e
 	if err != nil {
 		return nil, err
 	}
+	s.observe(q, expr)
 	return s.rowsFor(ctx, expr, &cfg)
+}
+
+// observe reports one execution to the traffic sink, if any.
+func (s *Local) observe(q *xquery.Query, expr core.Expr) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.ObserveQuery(s.at, view.QueryKey(q), planDocs(expr))
 }
 
 // rowsFor opens the result stream for a planned expression under the
 // call's context rules (timeout, consistent views, eager override).
 func (s *Local) rowsFor(ctx context.Context, expr core.Expr, cfg *Config) (*Rows, error) {
 	if cfg.Eager {
-		forest, err := s.run(ctx, expr, cfg)
+		res, err := s.run(ctx, expr, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return FromForest(forest), nil
+		rows := FromForest(res.Forest)
+		rows.vtFn = func() float64 { return res.VT }
+		return rows, nil
 	}
+	guard := s.viewGuard(expr)
 	cancel := func() {}
 	if cfg.Timeout > 0 {
 		// The deadline spans the whole stream; it is released as soon
@@ -325,6 +376,13 @@ func (s *Local) rowsFor(ctx context.Context, expr core.Expr, cfg *Config) (*Rows
 	}
 	fail := func(err error) (*Rows, error) {
 		cancel()
+		// A failure while the view catalog moved underneath the call is
+		// attributed to the move — the typed error tells the caller to
+		// simply re-run, instead of surfacing a transient resolution
+		// error from a placement that no longer exists.
+		if gerr := guard(); gerr != nil {
+			return nil, gerr
+		}
 		return nil, err
 	}
 	if cfg.ConsistentView {
@@ -355,21 +413,87 @@ func (s *Local) rowsFor(ctx context.Context, expr core.Expr, cfg *Config) (*Rows
 		release() // empty result: nothing left to bound
 	}
 	pull := func() (*xmltree.Node, error) {
+		if err := guard(); err != nil {
+			release()
+			return nil, err
+		}
 		if !delivered {
 			delivered = true
 			return first, nil
 		}
 		n, err := cur.Next()
+		if err != nil {
+			if gerr := guard(); gerr != nil {
+				err = gerr
+			}
+		}
 		if err != nil || n == nil {
 			release()
 		}
 		return n, err
 	}
-	return NewCursorRows(pull, func() error {
+	rows := NewCursorRows(pull, func() error {
 		err := cur.Close()
 		release()
 		return err
-	}), nil
+	})
+	rows.vtFn = cur.VT
+	return rows, nil
+}
+
+// viewGuard builds the mid-stream placement check of a planned
+// expression: a cheap generation probe per pull, and only when the
+// view catalog actually changed, a check that every placement the
+// plan could be reading still exists. The snapshot pins the placement
+// set at open time — the stream fails with ErrViewMoved only when one
+// of those copies disappeared (migrated away, dropped, evicted), since
+// the cursor may be reading exactly that copy. Additive changes — a
+// new replica of this view, an unrelated view defined elsewhere —
+// keep the stream running.
+func (s *Local) viewGuard(expr core.Expr) func() error {
+	names := planViews(expr)
+	if len(names) == 0 {
+		return func() error { return nil }
+	}
+	gen := s.views.Generation()
+	snap := make(map[string][]netsim.PeerID, len(names))
+	for _, name := range names {
+		if ps, ok := s.views.PlacementsOf(name); ok {
+			snap[name] = ps
+		}
+	}
+	return func() error {
+		cur := s.views.Generation()
+		if cur == gen {
+			return nil
+		}
+		for _, name := range names {
+			ps, ok := s.views.PlacementsOf(name)
+			if !ok {
+				return fmt.Errorf("%w: view %q was dropped", ErrViewMoved, name)
+			}
+			if !containsAll(ps, snap[name]) {
+				return fmt.Errorf("%w: view %q moved", ErrViewMoved, name)
+			}
+		}
+		gen = cur // additive change only: stop deep-checking until the next bump
+		return nil
+	}
+}
+
+// containsAll reports whether every peer of want is present in have
+// (both sorted).
+func containsAll(have, want []netsim.PeerID) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(have) && have[i] < w {
+			i++
+		}
+		if i >= len(have) || have[i] != w {
+			return false
+		}
+	}
+	return true
 }
 
 // Exec implements Session. Update statements are location-transparent
@@ -409,6 +533,22 @@ func (s *Local) Exec(ctx context.Context, src string, opts ...Option) (int, erro
 		return 0, err
 	}
 	return len(forest), nil
+}
+
+// planDocs collects the names of every document a plan reads — view
+// documents (the "view:" prefix) and base documents alike — by walking
+// the expression tree and the document references of its embedded
+// queries.
+func planDocs(e core.Expr) []string {
+	seen := map[string]bool{}
+	var names []string
+	walkPlanDocs(e, func(doc string) {
+		if !seen[doc] {
+			seen[doc] = true
+			names = append(names, doc)
+		}
+	})
+	return names
 }
 
 // updateHost resolves the peer an update statement applies at: the
@@ -461,6 +601,7 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.observe(q, expr)
 		return s.rowsFor(ctx, expr, &cfg)
 	}
 	return NewStmt(src, run, nil), nil
@@ -468,8 +609,21 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 
 // plan resolves the expression to evaluate: the naive plan when the
 // optimizer is off, else a cached or freshly optimized plan keyed by
-// the normalized query shape and the view-catalog generation.
+// the normalized query shape and the view-catalog generation. An
+// optimizer failure while the view catalog changed underneath the
+// search (a placement migrating away mid-estimate) is retried once
+// against the new catalog before it surfaces.
 func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
+	for attempt := 0; ; attempt++ {
+		gen := s.views.Generation()
+		expr, err := s.planOnce(q, cfg)
+		if err == nil || attempt == 1 || s.views.Generation() == gen {
+			return expr, err
+		}
+	}
+}
+
+func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, error) {
 	naive := &core.Query{Q: q, At: s.at}
 	if cfg.NoOptimize {
 		return naive, nil
@@ -486,6 +640,7 @@ func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
 			s.stats.Invalidations++
 		} else if !cfg.NoPlanCache {
 			s.stats.Hits++
+			cp.uses++
 			s.order.MoveToFront(elem)
 			expr := cp.expr
 			s.mu.Unlock()
@@ -503,32 +658,61 @@ func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The retention weight of the cost-aware eviction policy: how much
+	// the optimizer thinks this plan saves over the naive one.
+	benefit := plan.BaseCost - plan.Cost
+	if benefit < 0 {
+		benefit = 0
+	}
 	s.mu.Lock()
-	s.storePlan(&cachedPlan{key: key, expr: plan.Expr, gen: gen})
+	s.storePlan(&cachedPlan{key: key, expr: plan.Expr, gen: gen, benefit: benefit})
 	s.mu.Unlock()
 	return plan.Expr, nil
 }
 
 // storePlan inserts (or refreshes) a cache entry as most-recently-used
-// and evicts the least-recently-used entries beyond the cap. Caller
-// holds s.mu.
+// and evicts entries beyond the cap. Caller holds s.mu.
 func (s *Local) storePlan(cp *cachedPlan) {
 	if elem, ok := s.plans[cp.key]; ok {
+		cp.uses = elem.Value.(*cachedPlan).uses
 		elem.Value = cp
 		s.order.MoveToFront(elem)
 		return
 	}
 	s.plans[cp.key] = s.order.PushFront(cp)
 	for s.order.Len() > s.planCap {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.plans, oldest.Value.(*cachedPlan).key)
-		s.stats.Evictions++
+		s.evictOne()
 	}
 }
 
+// evictOne drops the cached plan with the lowest retention score.
+// Pure-LRU eviction treats a plan whose search saved three WAN
+// round-trips the same as one the optimizer could not improve; the
+// score — estimated benefit weighted by hit count — keeps the
+// expensive-to-lose plans and lets the worthless ones churn. Recency
+// still matters twice: the most-recently-used entry is never the
+// victim, and ties fall to the least-recently-used candidate. Caller
+// holds s.mu.
+func (s *Local) evictOne() {
+	var worst *list.Element
+	worstScore := 0.0
+	for elem := s.order.Back(); elem != nil && elem != s.order.Front(); elem = elem.Prev() {
+		cp := elem.Value.(*cachedPlan)
+		score := float64(1+cp.uses) * (cp.benefit + 1)
+		if worst == nil || score < worstScore {
+			worst, worstScore = elem, score
+		}
+	}
+	if worst == nil {
+		worst = s.order.Back()
+	}
+	s.order.Remove(worst)
+	delete(s.plans, worst.Value.(*cachedPlan).key)
+	s.stats.Evictions++
+}
+
 // run evaluates a planned expression under the call's context rules.
-func (s *Local) run(ctx context.Context, e core.Expr, cfg *Config) ([]*xmltree.Node, error) {
+func (s *Local) run(ctx context.Context, e core.Expr, cfg *Config) (*core.Result, error) {
 	if cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
@@ -541,11 +725,7 @@ func (s *Local) run(ctx context.Context, e core.Expr, cfg *Config) ([]*xmltree.N
 			}
 		}
 	}
-	res, err := s.sys.EvalContext(ctx, s.at, e)
-	if err != nil {
-		return nil, err
-	}
-	return res.Forest, nil
+	return s.sys.EvalContext(ctx, s.at, e)
 }
 
 // parseQuery wraps parse failures in ErrBadQuery.
@@ -557,13 +737,11 @@ func parseQuery(src string) (*xquery.Query, error) {
 	return q, nil
 }
 
-// planViews collects the names of the materialized views a plan reads,
-// by walking its expression tree and the document references of its
-// embedded queries.
+// planViews collects the names of the materialized views a plan reads.
 func planViews(e core.Expr) []string {
 	seen := map[string]bool{}
 	var names []string
-	note := func(doc string) {
+	walkPlanDocs(e, func(doc string) {
 		if !strings.HasPrefix(doc, view.DocPrefix) {
 			return
 		}
@@ -572,7 +750,13 @@ func planViews(e core.Expr) []string {
 			seen[name] = true
 			names = append(names, name)
 		}
-	}
+	})
+	return names
+}
+
+// walkPlanDocs visits every document name a plan reads, walking the
+// expression tree and the document references of its embedded queries.
+func walkPlanDocs(e core.Expr, note func(doc string)) {
 	var walk func(core.Expr)
 	walk = func(e core.Expr) {
 		switch v := e.(type) {
@@ -602,5 +786,4 @@ func planViews(e core.Expr) []string {
 		}
 	}
 	walk(e)
-	return names
 }

@@ -167,8 +167,10 @@ func TestEagerEvalOptionEquivalence(t *testing.T) {
 	}
 }
 
-// TestPlanCacheLRUEviction: the cache cap evicts least-recently-used
-// shapes; touching a shape keeps it warm.
+// TestPlanCacheLRUEviction: among equal-benefit shapes the cache cap
+// evicts least-recently-used first (the cost-weighted policy falls
+// back to LRU on score ties); touching a shape keeps it warm. See
+// TestPlanCacheCostWeightedEviction for the benefit-driven case.
 func TestPlanCacheLRUEviction(t *testing.T) {
 	sys, views := testSystem(t)
 	sess, err := NewLocal(sys, views, "client", WithPlanCacheSize(4))

@@ -16,6 +16,7 @@
 //	REPLACE <path query> WITH <xml>
 //	DEFVIEW <name>[@<peer>] <xquery on one line>
 //	LIST
+//	PLACEMENTS
 //
 // Single-line replies: <x:forest>…</x:forest>, <x:ok/> (update verbs
 // report the touched node count as <x:ok n="K"/>), <x:info>…</x:info>
@@ -32,10 +33,14 @@
 // written), +nocache (re-plan even on a cache hit).
 //
 // Error replies carry a machine-readable code — canceled, no-such-doc,
-// no-such-service, peer-down, bad-query, internal — which the client
-// maps back onto the same typed sentinels local evaluation returns
-// (session.ErrCanceled &co), so callers branch on failure kind without
-// knowing which backend they are talking to.
+// no-such-service, peer-down, bad-query, view-moved, internal — which
+// the client maps back onto the same typed sentinels local evaluation
+// returns (session.ErrCanceled &co), so callers branch on failure kind
+// without knowing which backend they are talking to.
+//
+// PLACEMENTS reports the current view-placement map and, when an
+// adaptive-placement controller is attached (Server.Placements), its
+// recent decisions — the wire face of axmlq -placements.
 //
 // The served peer lives inside a core.System when Views is set; the
 // server then answers QUERY/QUERYX through the unified session
@@ -71,6 +76,7 @@ import (
 
 	"axml/internal/core"
 	"axml/internal/peer"
+	"axml/internal/placement"
 	"axml/internal/session"
 	"axml/internal/view"
 	"axml/internal/xmltree"
@@ -87,6 +93,13 @@ const maxLine = 16 << 20
 type Server struct {
 	Peer  *peer.Peer
 	Views *view.Manager
+	// Placements optionally attaches an adaptive-placement controller:
+	// PLACEMENTS then includes its decision log, and deployments
+	// (cmd/axmlpeer -adaptive) step it on a ticker.
+	Placements *placement.Controller
+	// SessionOptions configure the server's shared query session (for
+	// example session.WithTrafficSink to feed the placement observer).
+	SessionOptions []session.LocalOption
 
 	sessOnce sync.Once
 	sess     *session.Local
@@ -130,7 +143,7 @@ func (s *Server) session() (*session.Local, error) {
 		return nil, nil
 	}
 	s.sessOnce.Do(func() {
-		s.sess, s.sessErr = session.NewLocal(s.Views.System(), s.Views, s.Peer.ID)
+		s.sess, s.sessErr = session.NewLocal(s.Views.System(), s.Views, s.Peer.ID, s.SessionOptions...)
 	})
 	return s.sess, s.sessErr
 }
@@ -181,6 +194,8 @@ func errCode(err error) string {
 		return "peer-down"
 	case errors.Is(err, session.ErrBadQuery):
 		return "bad-query"
+	case errors.Is(err, session.ErrViewMoved):
+		return "view-moved"
 	default:
 		return "internal"
 	}
@@ -199,6 +214,8 @@ func sentinelFor(code string) error {
 		return session.ErrPeerDown
 	case "bad-query":
 		return session.ErrBadQuery
+	case "view-moved":
+		return session.ErrViewMoved
 	default:
 		return nil
 	}
@@ -237,6 +254,8 @@ func (s *Server) dispatch(line string, w *bufio.Writer) {
 		reply = s.doDefView(rest)
 	case "LIST":
 		reply = s.doList()
+	case "PLACEMENTS":
+		reply = s.doPlacements()
 	default:
 		reply = errReply(fmt.Errorf("unknown command %q", cmd))
 	}
@@ -514,6 +533,36 @@ func (s *Server) doList() string {
 		}
 	}
 	return xmltree.Serialize(info)
+}
+
+// doPlacements reports the view-placement map and, when a controller
+// is attached, its recent decisions.
+func (s *Server) doPlacements() string {
+	if s.Views == nil {
+		return errReply(fmt.Errorf("placements: peer serves no views"))
+	}
+	root := xmltree.E("x:placements")
+	for _, pi := range s.Views.Placements() {
+		root.AppendChild(xmltree.E("placement",
+			xmltree.A("view", pi.View),
+			xmltree.A("at", string(pi.At)),
+			xmltree.A("base", string(pi.BaseAt)),
+			xmltree.A("mode", pi.Mode),
+			xmltree.A("bytes", fmt.Sprint(pi.Bytes)),
+			xmltree.A("trees", fmt.Sprint(pi.Trees))))
+	}
+	if s.Placements != nil {
+		for _, d := range s.Placements.Decisions() {
+			root.AppendChild(xmltree.E("decision",
+				xmltree.A("round", fmt.Sprint(d.Round)),
+				xmltree.A("view", d.View),
+				xmltree.A("action", d.Action),
+				xmltree.A("from", string(d.From)),
+				xmltree.A("to", string(d.To)),
+				xmltree.A("summary", d.String())))
+		}
+	}
+	return xmltree.Serialize(root)
 }
 
 func forestReply(out []*xmltree.Node) string {
@@ -941,6 +990,31 @@ func (c *Client) ListViews(ctx context.Context) ([]string, error) {
 		mode, _ := ch.Attr("mode")
 		query, _ := ch.Attr("query")
 		out = append(out, fmt.Sprintf("%s (%s): %s", name, mode, query))
+	}
+	return out, nil
+}
+
+// Placements returns the server's view-placement map and recent
+// adaptive-placement decisions as printable lines.
+func (c *Client) Placements(ctx context.Context) ([]string, error) {
+	root, err := c.roundTrip(ctx, "PLACEMENTS")
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ch := range root.ChildElements() {
+		switch ch.Label {
+		case "placement":
+			v, _ := ch.Attr("view")
+			at, _ := ch.Attr("at")
+			mode, _ := ch.Attr("mode")
+			bytes, _ := ch.Attr("bytes")
+			trees, _ := ch.Attr("trees")
+			out = append(out, fmt.Sprintf("%s@%s (%s): %s trees, %s bytes", v, at, mode, trees, bytes))
+		case "decision":
+			summary, _ := ch.Attr("summary")
+			out = append(out, "decision "+summary)
+		}
 	}
 	return out, nil
 }

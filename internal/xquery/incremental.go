@@ -333,6 +333,21 @@ func (d *DeltaFor) derive(ctx *evalCtx, n *xmltree.Node) ([]*xmltree.Node, error
 	return evalFLWR(d.rest, tup)
 }
 
+// Clone returns an independent evaluator with a copy of the current
+// provenance state: deltas taken on the clone do not affect the
+// original and vice versa. View placement migration uses it to carry
+// the incremental state of a materialized copy to its new peer without
+// re-deriving the full view at the base.
+func (d *DeltaFor) Clone() *DeltaFor {
+	return &DeltaFor{
+		env:     d.env,
+		forVar:  d.forVar,
+		source:  d.source,
+		rest:    d.rest,
+		derived: maps.Clone(d.derived),
+	}
+}
+
 // Rollback restores the provenance state to what it was before the
 // most recent Delta/DeltaWith/DeltaEvents call, so the same events are
 // re-emitted on the next call. Callers whose downstream delivery of

@@ -1,0 +1,80 @@
+// Facade test of adaptive placement: enable it on a system, drive
+// skewed traffic through ordinary sessions, and watch the view follow
+// its consumers — the whole observe→decide→act loop from the public
+// API.
+package axml_test
+
+import (
+	"context"
+	"testing"
+
+	axml "axml"
+)
+
+func TestAdaptivePlacementThroughFacade(t *testing.T) {
+	sys := axml.NewLocalSystem()
+	t.Cleanup(sys.Close)
+	sys.Net.SetDefaultLink(axml.Link{LatencyMs: 20, BytesPerMs: 200})
+	sys.MustAddPeer("hotclient")
+	sys.MustAddPeer("coldclient")
+	data := sys.MustAddPeer("data")
+	cat := axml.MustParseXML(`<catalog/>`)
+	for i := 0; i < 80; i++ {
+		cat.AppendChild(axml.MustParseXML(
+			`<item><name>thing</name><price>` + priceFor(i) + `</price></item>`))
+	}
+	if err := data.InstallDocument("catalog", cat); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DefineView("cheap",
+		`for $i in doc("catalog")/item where $i/price < 100 return $i`, "data"); err != nil {
+		t.Fatal(err)
+	}
+	ctrl := sys.EnableAdaptivePlacement(axml.PlacementConfig{MaxReplicas: 1, Cooldown: 1})
+
+	ctx := context.Background()
+	hot := sys.MustSession("hotclient")
+	defer hot.Close()
+	cold := sys.MustSession("coldclient")
+	defer cold.Close()
+	q := `for $i in doc("catalog")/item where $i/price < 5 return $i/name`
+	run := func(s axml.Session) int {
+		t.Helper()
+		rows, err := s.Query(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forest, err := rows.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(forest)
+	}
+	want := run(cold)
+	for i := 0; i < 20; i++ {
+		run(hot)
+	}
+	decisions, err := ctrl.Step(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrated := false
+	for _, d := range decisions {
+		if d.Action == "migrate" && d.To == "hotclient" {
+			migrated = true
+		}
+	}
+	if !migrated {
+		t.Fatalf("decisions = %v, want migration to hotclient", decisions)
+	}
+	placements := sys.Placements()
+	if len(placements) != 1 || placements[0].At != "hotclient" {
+		t.Fatalf("placements = %+v", placements)
+	}
+	if got := run(hot); got != want {
+		t.Errorf("post-migration rows = %d, want %d", got, want)
+	}
+	if got := run(cold); got != want {
+		t.Errorf("cold client post-migration rows = %d, want %d", got, want)
+	}
+}

@@ -52,6 +52,11 @@ var (
 	ErrPeerDown = session.ErrPeerDown
 	// ErrBadQuery: the source text does not parse.
 	ErrBadQuery = session.ErrBadQuery
+	// ErrViewMoved: a streaming query's plan read a materialized view
+	// whose placement migrated or was dropped mid-stream (adaptive
+	// placement); re-running the query re-plans against the new
+	// placement.
+	ErrViewMoved = session.ErrViewMoved
 )
 
 // Query/Exec options.
@@ -87,9 +92,11 @@ func WithIOTimeout(d time.Duration) DialOption { return wire.WithIOTimeout(d) }
 
 // Session opens a session evaluating at peer at: the single
 // client-facing entrypoint over this system. Use LocalSession for the
-// concrete type, which additionally exposes plan-cache Stats.
+// concrete type, which additionally exposes plan-cache Stats. When
+// adaptive placement is enabled, the session's query traffic feeds the
+// placement observer.
 func (s *System) Session(at PeerID) (Session, error) {
-	return session.NewLocal(s.System, s.views, at)
+	return s.LocalSession(at)
 }
 
 // MustSession is Session that panics on error (setup code).
@@ -104,7 +111,11 @@ func (s *System) MustSession(at PeerID) Session {
 // LocalSession is Session returning the concrete local type, which
 // additionally exposes plan-cache Stats.
 func (s *System) LocalSession(at PeerID) (*session.Local, error) {
-	return session.NewLocal(s.System, s.views, at)
+	var opts []session.LocalOption
+	if s.placement != nil {
+		opts = append(opts, session.WithTrafficSink(s.placement.Observer()))
+	}
+	return session.NewLocal(s.System, s.views, at, opts...)
 }
 
 // Dial connects to a remote axmlpeer and returns the same Session
