@@ -69,9 +69,12 @@
 package axml
 
 import (
+	"context"
+
 	"axml/internal/core"
 	"axml/internal/gendoc"
 	"axml/internal/netsim"
+	"axml/internal/obs"
 	"axml/internal/opt"
 	"axml/internal/peer"
 	"axml/internal/placement"
@@ -118,6 +121,7 @@ type System struct {
 	*core.System
 	views     *view.Manager
 	placement *placement.Controller
+	metrics   *obs.Registry
 }
 
 // DefineView materializes query src as view name at peer at and keeps
@@ -170,6 +174,9 @@ type PlacementInfo = view.PlacementInfo
 // workload round. Calling EnableAdaptivePlacement again replaces the
 // configuration (sessions already open keep feeding the old observer).
 func (s *System) EnableAdaptivePlacement(cfg PlacementConfig) *PlacementController {
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.metrics
+	}
 	s.placement = placement.New(s.views, cfg)
 	return s.placement
 }
@@ -243,8 +250,49 @@ func NewSystem(net *Network) *System { return Wrap(core.NewSystem(net)) }
 // Wrap attaches the facade (view manager included) to an existing
 // core.System, for callers that construct the core layers directly.
 func Wrap(sys *core.System) *System {
-	return &System{System: sys, views: view.NewManager(sys)}
+	s := &System{System: sys, views: view.NewManager(sys), metrics: obs.NewRegistry()}
+	s.metrics.Gauge("net.messages_total", func() int64 { m, _, _ := sys.Net.Totals(); return m })
+	s.metrics.Gauge("net.bytes_total", func() int64 { _, b, _ := sys.Net.Totals(); return b })
+	s.metrics.Gauge("net.max_vt_ms", func() int64 { _, _, vt := sys.Net.Totals(); return int64(vt) })
+	return s
 }
+
+// Observability: every System carries a metrics registry that its
+// sessions and (when enabled) placement controller feed, plus
+// distributed query tracing — see internal/obs and the README's
+// Observability section.
+
+type (
+	// Metrics is the unified counter/gauge/histogram registry.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// Trace collects the spans of one traced query.
+	Trace = obs.Trace
+	// TraceSpan is one timed phase of a traced evaluation.
+	TraceSpan = obs.Span
+)
+
+// Metrics returns the system's registry: session plan-cache counters,
+// network totals, placement action counts. Snapshot it, or render with
+// RenderMetrics.
+func (s *System) Metrics() *Metrics { return s.metrics }
+
+// NewTrace creates a trace; put it in a context with WithTrace and
+// every session query and delegated evaluation under that context
+// records spans into it.
+func NewTrace(id string) *Trace { return obs.NewTrace(id) }
+
+// WithTrace returns a context carrying the trace (see NewTrace).
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return obs.WithTrace(ctx, tr)
+}
+
+// RenderTrace draws a trace's span tree (EXPLAIN ANALYZE output).
+func RenderTrace(spans []TraceSpan) string { return obs.Render(spans) }
+
+// RenderMetrics renders a metrics snapshot as aligned text.
+func RenderMetrics(snap MetricsSnapshot) string { return obs.RenderSnapshot(snap) }
 
 // NewNetwork creates an empty simulated network.
 func NewNetwork() *Network { return netsim.New() }

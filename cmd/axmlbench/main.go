@@ -15,9 +15,12 @@
 //
 // -only restricts the run to a comma-separated list of experiment IDs;
 // -quick shrinks the workloads for a fast smoke run. -json writes the
-// tables (plus E14's raw streaming points and E15's placement summary)
-// as a machine-readable file — CI uploads it as the BENCH_ci.json
-// trajectory artifact. -gate takes a comma-separated list of
+// tables as a machine-readable file — CI uploads it as the
+// BENCH_ci.json trajectory artifact on every run. Every experiment
+// contributes numeric trajectory points (Table.Points): E14/E15 emit
+// headline summaries (plus their raw streaming/placement records),
+// the others derive points from their numeric table cells, so the
+// file accumulates a plottable perf history across commits. -gate takes a comma-separated list of
 // acceptance gates to enforce: "streaming" exits non-zero unless E14's
 // cursor mode beats eager evaluation on time-to-first-row at the
 // largest measured size; "placement" exits non-zero unless E15's
@@ -150,7 +153,17 @@ func main() {
 				sizes = bench.QuickStreamingSizes
 			}
 			pts, t, err := bench.E14Streaming(sizes)
+			if err != nil {
+				return t, err
+			}
 			streaming = pts
+			for _, p := range pts {
+				label := fmt.Sprintf("%d", p.Size)
+				t.AddPoint("cursor_first_row_ms", label, p.CursorFirstRowMs)
+				t.AddPoint("eager_first_row_ms", label, p.EagerFirstRowMs)
+				t.AddPoint("first_row_gain", label, p.FirstRowGain)
+				t.AddPoint("cursor_rows_per_sec", label, p.CursorRowsPerSec)
+			}
 			return t, err
 		}},
 		{"E15", func(q bool) (*bench.Table, error) {
@@ -162,7 +175,18 @@ func main() {
 			} else {
 				pt, t, err = bench.E15AdaptivePlacement(400, 4, 12, 10)
 			}
+			if err != nil {
+				return t, err
+			}
 			placementPt = pt
+			label := fmt.Sprintf("%d clients", pt.Clients)
+			t.AddPoint("adaptive_bytes", label, float64(pt.AdaptiveBytes))
+			t.AddPoint("static_bytes", label, float64(pt.StaticBytes))
+			t.AddPoint("bytes_gain", label, pt.BytesGain)
+			t.AddPoint("adaptive_median_ms", label, pt.AdaptiveMedianMs)
+			t.AddPoint("static_median_ms", label, pt.StaticMedianMs)
+			t.AddPoint("latency_gain", label, pt.LatencyGain)
+			t.AddPoint("last_action_round", label, float64(pt.LastActionRound))
 			return t, err
 		}},
 	}
@@ -193,6 +217,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "axmlbench: %s: %v\n", exp.id, err)
 			os.Exit(1)
 		}
+		// Every experiment emits trajectory points: explicit headline
+		// points where the experiment added them, numeric table cells
+		// otherwise — BENCH_*.json never carries an empty trajectory.
+		t.FillPoints()
 		tables = append(tables, t)
 		t.Print(os.Stdout)
 	}

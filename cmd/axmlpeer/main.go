@@ -17,14 +17,28 @@
 // -doc and -service may be repeated. Service files contain a query in
 // the FLWR language; the query body is visible to clients (the paper's
 // declarative-service model).
+//
+// A -doc spec may carry a trailing @peer (catalog=catalog.xml@data):
+// the document is installed at that peer of the same simulated system
+// instead of the served one, so queries over it delegate across the
+// simulated network — which is what axmlq -explain-analyze traces and
+// STATS/-metrics account. Absent peers are created on first use.
+//
+// Observability: -log-level selects the slog threshold for the
+// process's structured logs (debug shows per-round placement
+// telemetry); -metrics :9090 serves the unified metrics registry as
+// JSON over HTTP GET /metrics — the same counters the STATS wire verb
+// reports.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -52,14 +66,29 @@ func main() {
 		"adaptive-placement step interval (0 disables the controller)")
 	budget := flag.Int64("view-budget", 0,
 		"byte budget for view placements on this peer (0 = unlimited; implies the placement controller)")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
+	metricsAddr := flag.String("metrics", "",
+		"serve the metrics registry as JSON on this address (GET /metrics)")
 	var docs, services pairList
-	flag.Var(&docs, "doc", "name=file of a document to install (repeatable)")
+	flag.Var(&docs, "doc", "name=file[@peer] of a document to install (repeatable)")
 	flag.Var(&services, "service", "name=file of a declarative service body (repeatable)")
 	flag.Parse()
 
-	// The peer lives inside a single-peer system so that materialized
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmlpeer: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
+	// The peer lives inside a simulated system so that materialized
 	// views (wire DEFVIEW, axmlq -view) have an evaluator and a
-	// generics catalog behind them.
+	// generics catalog behind them; -doc specs with @peer populate
+	// further peers of the same system, giving queries something to
+	// delegate to.
 	sys := core.NewSystem(netsim.New())
 	p := sys.MustAddPeer(netsim.PeerID(*id))
 	views := view.NewManager(sys)
@@ -67,40 +96,49 @@ func main() {
 	for _, spec := range docs {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("axmlpeer: bad -doc %q (want name=file)", spec)
+			fatal("bad -doc (want name=file[@peer])", "spec", spec)
+		}
+		file, at, _ := strings.Cut(file, "@")
+		target := p
+		if at != "" && at != *id {
+			existing, ok := sys.Peer(netsim.PeerID(at))
+			if !ok {
+				existing = sys.MustAddPeer(netsim.PeerID(at))
+			}
+			target = existing
 		}
 		data, err := os.ReadFile(file)
 		if err != nil {
-			log.Fatalf("axmlpeer: %v", err)
+			fatal("reading document", "file", file, "err", err)
 		}
 		root, err := xmltree.Parse(string(data))
 		if err != nil {
-			log.Fatalf("axmlpeer: parsing %s: %v", file, err)
+			fatal("parsing document", "file", file, "err", err)
 		}
-		if err := p.InstallDocument(name, root); err != nil {
-			log.Fatalf("axmlpeer: %v", err)
+		if err := target.InstallDocument(name, root); err != nil {
+			fatal("installing document", "name", name, "err", err)
 		}
-		fmt.Printf("installed document %q from %s\n", name, file)
+		logger.Info("installed document", "name", name, "file", file, "peer", string(target.ID))
 	}
 	for _, spec := range services {
 		name, file, ok := strings.Cut(spec, "=")
 		if !ok {
-			log.Fatalf("axmlpeer: bad -service %q (want name=file)", spec)
+			fatal("bad -service (want name=file)", "spec", spec)
 		}
 		data, err := os.ReadFile(file)
 		if err != nil {
-			log.Fatalf("axmlpeer: %v", err)
+			fatal("reading service", "file", file, "err", err)
 		}
 		q, err := xquery.Parse(string(data))
 		if err != nil {
-			log.Fatalf("axmlpeer: parsing %s: %v", file, err)
+			fatal("parsing service", "file", file, "err", err)
 		}
 		if err := p.RegisterService(&service.Service{
 			Name: name, Provider: p.ID, Body: q,
 		}); err != nil {
-			log.Fatalf("axmlpeer: %v", err)
+			fatal("registering service", "name", name, "err", err)
 		}
-		fmt.Printf("registered service %q from %s\n", name, file)
+		logger.Info("registered service", "name", name, "file", file)
 	}
 
 	srv := &wire.Server{Peer: p, Views: views}
@@ -109,7 +147,11 @@ func main() {
 		// controller still enforces the byte budget (benefit-weighted
 		// eviction) and PLACEMENTS exposes its decision log; multi-peer
 		// systems embed the same controller through the axml facade.
-		ctrl := placement.New(views, placement.Config{DefaultBudget: *budget})
+		ctrl := placement.New(views, placement.Config{
+			DefaultBudget: *budget,
+			Logger:        logger.With("component", "placement"),
+			Metrics:       srv.MetricsRegistry(),
+		})
 		srv.Placements = ctrl
 		srv.SessionOptions = []session.LocalOption{session.WithTrafficSink(ctrl.Observer())}
 		if *adaptive <= 0 {
@@ -117,25 +159,63 @@ func main() {
 			// explicit cadence still needs the ticker, or the limit
 			// would silently never apply.
 			*adaptive = 5 * time.Second
-			fmt.Printf("view budget set without -adaptive; stepping the controller every %s\n", *adaptive)
+			logger.Info("view budget set without -adaptive; stepping the controller",
+				"interval", *adaptive)
 		}
 		go func() {
 			for range time.Tick(*adaptive) {
-				decisions, err := ctrl.Step(context.Background())
-				if err != nil {
-					log.Printf("axmlpeer: placement step: %v", err)
-				}
-				for _, d := range decisions {
-					fmt.Printf("placement: %s\n", d)
+				if _, err := ctrl.Step(context.Background()); err != nil {
+					logger.Warn("placement step", "err", err)
 				}
 			}
 		}()
 	}
 
+	if *metricsAddr != "" {
+		go serveMetrics(*metricsAddr, srv, logger)
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("axmlpeer: %v", err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
-	fmt.Printf("peer %q listening on %s\n", *id, l.Addr())
-	log.Fatal(srv.Serve(l))
+	logger.Info("peer listening", "id", *id, "addr", l.Addr().String())
+	fatal("serve", "err", srv.Serve(l))
+}
+
+// newLogger builds the process logger at the requested threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// serveMetrics exposes the server's metrics registry over HTTP:
+// GET /metrics returns the snapshot as JSON — the same counters,
+// gauges and histograms the STATS wire verb reports.
+func serveMetrics(addr string, srv *wire.Server, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(srv.MetricsRegistry().Snapshot()); err != nil {
+			logger.Warn("metrics encode", "err", err)
+		}
+	})
+	logger.Info("metrics endpoint", "addr", addr, "path", "/metrics")
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("metrics endpoint failed", "err", err)
+	}
 }

@@ -9,6 +9,8 @@
 //	axmlq -addr localhost:7012 -call bargains
 //	axmlq -addr localhost:7012 -list
 //	axmlq -addr localhost:7012 -placements
+//	axmlq -addr localhost:7012 -query '…' -explain-analyze
+//	axmlq -addr localhost:7012 -stats
 //	axmlq -addr localhost:7012 \
 //	      -view 'cheap=for $i in doc("catalog")/item where $i/price < 100 return $i@store'
 //	axmlq -addr localhost:7012 -delete 'doc("catalog")/item[price > 900]'
@@ -34,6 +36,13 @@
 // each selected node for the -with tree. Both drive the peer's typed
 // update stream, so materialized views over the touched documents
 // retract or re-derive exactly the affected rows.
+//
+// -explain-analyze runs -query traced: the server records a span for
+// every phase of the evaluation — parse, plan (cache hit/miss), each
+// delegation hop with its per-link bytes, ships, service calls — and
+// axmlq fetches the trace afterwards (the TRACE verb) and prints the
+// span tree. -stats prints the server's unified metrics snapshot (the
+// STATS verb): plan-cache counters, streaming gauges, network totals.
 package main
 
 import (
@@ -45,6 +54,8 @@ import (
 	"strings"
 	"time"
 
+	"axml/internal/obs"
+	"axml/internal/session"
 	"axml/internal/wire"
 	"axml/internal/xmltree"
 )
@@ -64,6 +75,8 @@ func main() {
 	list := flag.Bool("list", false, "list remote documents, services and views")
 	placements := flag.Bool("placements", false, "print the view-placement map and recent adaptive-placement decisions")
 	firstRow := flag.Bool("first-row", false, "print first-row and total latency for -query")
+	explain := flag.Bool("explain-analyze", false, "trace -query on the server and print the span tree")
+	stats := flag.Bool("stats", false, "print the server's metrics snapshot")
 	del := flag.String("delete", "", "path query whose matches to delete")
 	replace := flag.String("replace", "", "path query whose matches to replace (requires -with)")
 	with := flag.String("with", "", "replacement tree for -replace")
@@ -102,6 +115,14 @@ func main() {
 	}
 
 	switch {
+	case *stats:
+		snap, err := c.Stats(ctx)
+		if err != nil {
+			log.Fatalf("axmlq: %v", err)
+		}
+		fmt.Print(obs.RenderSnapshot(snap))
+	case *query != "" && *explain:
+		runExplain(ctx, c, *query, *compact)
 	case *placements:
 		lines, err := c.Placements(ctx)
 		if err != nil {
@@ -192,6 +213,33 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// runExplain runs the query traced server-side, prints the rows, then
+// fetches the recorded trace and draws its span tree: per-phase wall
+// and virtual time, delegation hops with per-link bytes, cache
+// verdicts.
+func runExplain(ctx context.Context, c *wire.Client, query string, compact bool) {
+	id := fmt.Sprintf("axmlq-%d", time.Now().UnixNano())
+	rows, err := c.Query(ctx, query, session.WithTraceID(id))
+	if err != nil {
+		log.Fatalf("axmlq: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		printNode(rows.Node(), compact)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatalf("axmlq: after %d row(s): %v", n, err)
+	}
+	_ = rows.Close()
+	spans, err := c.Trace(ctx, id)
+	if err != nil {
+		log.Fatalf("axmlq: fetching trace: %v", err)
+	}
+	fmt.Printf("\nEXPLAIN ANALYZE (%d span(s), %d row(s)):\n", len(spans), n)
+	fmt.Print(obs.Render(spans))
 }
 
 // runPrepared drives one prepared statement repeatedly: the server

@@ -13,6 +13,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 
 	"axml/internal/core"
@@ -29,6 +31,58 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  string
+	// Points are the experiment's numeric trajectory samples — what
+	// BENCH_*.json accumulates across commits so perf history is
+	// plottable without re-parsing rendered table strings. Experiments
+	// add headline points explicitly; FillPoints derives the rest from
+	// the numeric table cells so every experiment always emits some.
+	Points []Point `json:"Points,omitempty"`
+}
+
+// Point is one numeric sample: a metric (normally a table column) at
+// one parameter setting (normally the row's first cell).
+type Point struct {
+	Metric string  `json:"metric"`
+	Label  string  `json:"label,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// AddPoint appends one named trajectory sample.
+func (t *Table) AddPoint(metric, label string, value float64) {
+	t.Points = append(t.Points, Point{Metric: metric, Label: label, Value: value})
+}
+
+// FillPoints derives trajectory points from the table's numeric cells
+// when the experiment added none explicitly: each row contributes one
+// point per numeric column, labeled by the row's first cell. Cells
+// like "3.1x" count (speedup factors); non-numeric cells are skipped.
+func (t *Table) FillPoints() {
+	if len(t.Points) > 0 {
+		return
+	}
+	for _, row := range t.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		label := row[0]
+		for i := 1; i < len(row) && i < len(t.Header); i++ {
+			if v, ok := cellValue(row[i]); ok {
+				t.AddPoint(t.Header[i], label, v)
+			}
+		}
+	}
+}
+
+// cellValue parses a rendered table cell as a number, accepting a
+// trailing "x" (factor columns). "inf" and non-numeric text are not
+// points.
+func cellValue(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
 }
 
 // Print renders the table with aligned columns.

@@ -6,6 +6,7 @@ import (
 	"strconv"
 
 	"axml/internal/netsim"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/service"
 	"axml/internal/xmltree"
@@ -93,7 +94,7 @@ func (s *System) delegate(ctx context.Context, from, remote netsim.PeerID, e Exp
 	}
 	s.tracef("delegate %s→%s: %s", from, remote, e.String())
 	body := SerializeExpr(e)
-	reply, kind, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
+	reply, kind, doneVT, err := s.tracedCall(ctx, "delegate", e.String(), netsim.Message{
 		From: from, To: remote, Kind: "eval", Body: body, VT: vt,
 	})
 	if err != nil {
@@ -107,6 +108,36 @@ func (s *System) delegate(ctx context.Context, from, remote netsim.PeerID, e Exp
 		return nil, err
 	}
 	return &Result{Forest: forest, VT: doneVT}, nil
+}
+
+// tracedCall is Net.CallCtx under a tracing span: when the context
+// carries an obs.Trace, the call gets a span named after its phase,
+// attributed to the from→to link, covering the call's virtual-time
+// interval and — for cross-peer calls that succeed — carrying exactly
+// the byte totals netsim accounted for the two legs (request out,
+// reply in, each payload plus envelope overhead). Local calls and
+// failed calls record no bytes, mirroring netsim's own accounting, so
+// span bytes always reconcile with netsim.Stats per-link deltas. The
+// span's context is what travels into the handler, which is how
+// handler-side spans become children of this one across delegation
+// hops. Without a trace the overhead is one context value lookup.
+func (s *System) tracedCall(ctx context.Context, phase, name string, msg netsim.Message) (body []byte, kind string, vt float64, err error) {
+	sctx, sp := obs.StartSpan(ctx, phase, name)
+	if sp == nil {
+		return s.Net.CallCtx(ctx, msg)
+	}
+	defer sp.End()
+	sp.SetNet(string(msg.From), string(msg.To), msg.VT)
+	body, kind, vt, err = s.Net.CallCtx(sctx, msg)
+	if err != nil {
+		sp.Fail(err)
+		return body, kind, vt, err
+	}
+	sp.EndVTAt(vt)
+	if msg.From != msg.To {
+		sp.AddBytes(int64(msg.Size()), int64(len(body))+netsim.EnvelopeOverhead)
+	}
+	return body, kind, vt, err
 }
 
 // evalTree implements definitions (1), (5) and the sc-activation part
@@ -242,7 +273,7 @@ func (s *System) prepareQuery(ctx context.Context, p *peer.Peer, q *Query, vt fl
 		// the reply carries the query text, charging its transfer.
 		fetchBody := xmltree.E("x:fetchq")
 		fetchBody.AppendChild(xmltree.E("x:text", xmltree.T(q.Q.String())))
-		_, _, fetchVT, err := s.Net.CallCtx(ctx, netsim.Message{
+		_, _, fetchVT, err := s.tracedCall(ctx, "fetchq", string(q.At), netsim.Message{
 			From: p.ID, To: q.At, Kind: "fetchq",
 			Body: []byte(xmltree.Serialize(fetchBody)), VT: vt,
 		})
@@ -351,7 +382,7 @@ func (s *System) evalSend(ctx context.Context, p *peer.Peer, snd *Send, vt float
 			name = fmt.Sprintf("sent-q-%s", p.ID)
 		}
 		body := xmltree.E("x:deploy", xmltree.A("name", name), xmltree.T(qv.Q.String()))
-		_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
+		_, _, doneVT, err := s.tracedCall(ctx, "deploy", name, netsim.Message{
 			From: p.ID, To: dp.P, Kind: "deploy",
 			Body: []byte(xmltree.Serialize(body)), VT: vt,
 		})
@@ -417,7 +448,7 @@ func (s *System) evalSend(ctx context.Context, p *peer.Peer, snd *Send, vt float
 		// destination (the payload is local there, so the install is
 		// the local branch above). The x:raw carrier prevents embedded
 		// service calls from activating in transit.
-		_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
+		_, _, doneVT, err := s.tracedCall(ctx, "ship", "install "+d.Name, netsim.Message{
 			From: p.ID, To: d.At, Kind: "eval",
 			Body: SerializeExpr(&Send{
 				Dest:    DestDoc{Name: d.Name, At: d.At},
@@ -545,7 +576,7 @@ func (s *System) shipData(ctx context.Context, from netsim.PeerID, ref peer.Node
 	// The "ship" kind marks the transfer as data landing (view
 	// maintenance, forwarded results) in the per-link accounting, so
 	// traffic observers can tell it apart from delegated evaluation.
-	_, _, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
+	_, _, doneVT, err := s.tracedCall(ctx, "ship", string(ref.Peer), netsim.Message{
 		From: from, To: ref.Peer, Kind: "ship",
 		Body: SerializeExpr(&Send{
 			Dest:    DestNodes{Refs: []peer.NodeRef{ref}},
@@ -704,7 +735,7 @@ func (s *System) evalServiceCall(ctx context.Context, p *peer.Peer, call *Servic
 	for _, ref := range call.Forward {
 		body.AppendChild(xmltree.E("x:forw", xmltree.A("ref", ref.String())))
 	}
-	reply, kind, doneVT, err := s.Net.CallCtx(ctx, netsim.Message{
+	reply, kind, doneVT, err := s.tracedCall(ctx, "call", svcName, netsim.Message{
 		From: p.ID, To: provider, Kind: "call",
 		Body: []byte(xmltree.Serialize(body)), VT: maxVT,
 	})

@@ -7,6 +7,7 @@ import (
 
 	"axml/internal/gendoc"
 	"axml/internal/netsim"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/service"
 	"axml/internal/xmltree"
@@ -203,10 +204,21 @@ func (h *peerHandler) HandleCallCtx(ctx context.Context, msg netsim.Message, arr
 		if err != nil {
 			return nil, "", 0, err
 		}
-		res, err := h.sys.eval(ctx, h.peer.ID, expr, arriveVT)
+		// The handler-side span: the context arrived through
+		// netsim.CallCtx carrying the caller's trace and current span,
+		// so this span is a child of the remote "delegate"/"ship" span —
+		// the hop boundary in the rendered tree.
+		sctx, sp := obs.StartSpan(ctx, "eval", "")
+		sp.SetNet("", string(h.peer.ID), arriveVT)
+		res, err := h.sys.eval(sctx, h.peer.ID, expr, arriveVT)
 		if err != nil {
+			sp.Fail(err)
+			sp.End()
 			return nil, "", 0, err
 		}
+		sp.EndVTAt(res.VT)
+		sp.AddRows(int64(len(res.Forest)))
+		sp.End()
 		return serializeForest(res.Forest), "result", res.VT, nil
 	case "call":
 		return h.handleServiceCall(ctx, msg, arriveVT)

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"axml/internal/netsim"
+	"axml/internal/obs"
+	"axml/internal/peer"
+	"axml/internal/xmltree"
+	"axml/internal/xquery"
+)
+
+// threePeerChain builds p1 (client) → p2 (relay) → p3 (data peer with
+// "catalog"), so a query over the catalog delegated through p2 crosses
+// two hops.
+func threePeerChain(t *testing.T) *System {
+	t.Helper()
+	sys := NewSystem(netsim.New())
+	sys.MustAddPeer("p1")
+	sys.MustAddPeer("p2")
+	p3 := sys.MustAddPeer("p3")
+	if err := p3.InstallDocument("catalog", xmltree.MustParse(catalogXML)); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestTracePropagationTwoHops delegates a query p1 → p2 → p3 under a
+// trace and checks the span tree: shape and parent links across both
+// hops, and per-hop byte attribution exactly matching the netsim
+// per-link accounting.
+func TestTracePropagationTwoHops(t *testing.T) {
+	sys := threePeerChain(t)
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price < 100 return $i/name`)
+	expr := &EvalAt{At: "p2", E: &EvalAt{At: "p3", E: &Query{Q: q, At: "p3"}}}
+
+	tr := obs.NewTrace("twohop")
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := sys.EvalContext(ctx, "p1", expr)
+	if err != nil {
+		t.Fatalf("EvalContext: %v", err)
+	}
+	if len(res.Forest) != 2 {
+		t.Fatalf("results = %d, want 2", len(res.Forest))
+	}
+
+	spans := tr.Spans()
+	// Expected shape:
+	//   delegate p1→p2
+	//   └─ eval @p2
+	//      └─ delegate p2→p3
+	//         └─ eval @p3
+	type key struct{ phase, from, to string }
+	byKey := map[key]obs.Span{}
+	for _, sp := range spans {
+		byKey[key{sp.Phase, sp.From, sp.To}] = sp
+	}
+	d12, ok := byKey[key{"delegate", "p1", "p2"}]
+	if !ok {
+		t.Fatalf("no delegate p1→p2 span in %+v", spans)
+	}
+	e2, ok := byKey[key{"eval", "", "p2"}]
+	if !ok {
+		t.Fatalf("no eval@p2 span")
+	}
+	d23, ok := byKey[key{"delegate", "p2", "p3"}]
+	if !ok {
+		t.Fatalf("no delegate p2→p3 span")
+	}
+	e3, ok := byKey[key{"eval", "", "p3"}]
+	if !ok {
+		t.Fatalf("no eval@p3 span")
+	}
+	if d12.Parent != 0 {
+		t.Errorf("delegate p1→p2 should be a root span, parent=%d", d12.Parent)
+	}
+	if e2.Parent != d12.ID {
+		t.Errorf("eval@p2 parent = %d, want delegate p1→p2 (%d)", e2.Parent, d12.ID)
+	}
+	if d23.Parent != e2.ID {
+		t.Errorf("delegate p2→p3 parent = %d, want eval@p2 (%d)", d23.Parent, e2.ID)
+	}
+	if e3.Parent != d23.ID {
+		t.Errorf("eval@p3 parent = %d, want delegate p2→p3 (%d)", e3.Parent, d23.ID)
+	}
+	if e3.Rows != 2 {
+		t.Errorf("eval@p3 rows = %d, want 2", e3.Rows)
+	}
+
+	// Byte attribution: each hop's span bytes must equal the netsim
+	// per-link byte totals — the only traffic on those links is this
+	// query's request and reply legs.
+	st := sys.Net.Stats()
+	if got, want := d12.BytesOut, st.PerLink["p1"]["p2"].Bytes; got != want {
+		t.Errorf("delegate p1→p2 bytesOut = %d, netsim p1→p2 = %d", got, want)
+	}
+	if got, want := d12.BytesIn, st.PerLink["p2"]["p1"].Bytes; got != want {
+		t.Errorf("delegate p1→p2 bytesIn = %d, netsim p2→p1 = %d", got, want)
+	}
+	if got, want := d23.BytesOut, st.PerLink["p2"]["p3"].Bytes; got != want {
+		t.Errorf("delegate p2→p3 bytesOut = %d, netsim p2→p3 = %d", got, want)
+	}
+	if got, want := d23.BytesIn, st.PerLink["p3"]["p2"].Bytes; got != want {
+		t.Errorf("delegate p2→p3 bytesIn = %d, netsim p3→p2 = %d", got, want)
+	}
+	// And the sum of span bytes accounts for every byte the network saw.
+	spanTotal := d12.BytesOut + d12.BytesIn + d23.BytesOut + d23.BytesIn
+	if spanTotal != st.Bytes {
+		t.Errorf("span byte total %d != netsim total %d", spanTotal, st.Bytes)
+	}
+
+	// VT ordering: the inner hop completes before the outer hop's reply.
+	if !(d23.EndVT > d23.StartVT) || !(d12.EndVT >= d23.EndVT) {
+		t.Errorf("VT ordering wrong: d12=[%v,%v] d23=[%v,%v]",
+			d12.StartVT, d12.EndVT, d23.StartVT, d23.EndVT)
+	}
+}
+
+// TestTraceDisabledNoSpans: without a trace in the context the same
+// evaluation records nothing and behaves identically.
+func TestTraceDisabledNoSpans(t *testing.T) {
+	sys := threePeerChain(t)
+	q := xquery.MustParse(`for $i in doc("catalog")/item where $i/price < 100 return $i/name`)
+	expr := &EvalAt{At: "p2", E: &EvalAt{At: "p3", E: &Query{Q: q, At: "p3"}}}
+	res, err := sys.EvalContext(context.Background(), "p1", expr)
+	if err != nil {
+		t.Fatalf("EvalContext: %v", err)
+	}
+	if len(res.Forest) != 2 {
+		t.Fatalf("results = %d, want 2", len(res.Forest))
+	}
+}
+
+// TestTraceShipSpan: a cross-peer data ship records a "ship" span whose
+// bytes match the link accounting.
+func TestTraceShipSpan(t *testing.T) {
+	sys, p1, p2 := twoPeerSystem(t)
+	_ = p2
+	tr := obs.NewTrace("ship")
+	ctx := obs.WithTrace(context.Background(), tr)
+	forest := []*xmltree.Node{xmltree.MustParse(`<note>hello</note>`)}
+	anchor := p1.FreshAnchor("x:inbox")
+	// Ship from p2 → p1 (cross-peer).
+	if _, err := sys.ShipForest(ctx, "p2", peer.NodeRef{Peer: "p1", Node: anchor.ID}, forest, 0); err != nil {
+		t.Fatalf("ShipForest: %v", err)
+	}
+	var ship *obs.Span
+	for _, sp := range tr.Spans() {
+		if sp.Phase == "ship" {
+			cp := sp
+			ship = &cp
+		}
+	}
+	if ship == nil {
+		t.Fatalf("no ship span recorded: %+v", tr.Spans())
+	}
+	st := sys.Net.Stats()
+	if got, want := ship.BytesOut, st.PerLink["p2"]["p1"].Bytes; got != want {
+		t.Errorf("ship bytesOut = %d, netsim p2→p1 = %d", got, want)
+	}
+}

@@ -40,10 +40,13 @@ type Message struct {
 
 // Size returns the accounted size of the message in bytes, including a
 // fixed per-message envelope overhead.
-func (m *Message) Size() int { return len(m.Body) + envelopeOverhead }
+func (m *Message) Size() int { return len(m.Body) + EnvelopeOverhead }
 
-// envelopeOverhead models per-message protocol framing (headers etc.).
-const envelopeOverhead = 64
+// EnvelopeOverhead models per-message protocol framing (headers etc.).
+// It is exported so observers (tracing spans, byte-reconciliation
+// tests) can reproduce the exact accounted size of a transfer from its
+// payload length.
+const EnvelopeOverhead = 64
 
 // Handler is implemented by peers to receive traffic.
 type Handler interface {
@@ -400,6 +403,14 @@ type Stats struct {
 }
 
 // Stats returns a copy of the current counters.
+//
+// Snapshot-consistency contract: the copy is taken in one critical
+// section of the network's lock — the same lock every account() holds —
+// so it is a consistent cut of all netsim counters: Messages, Bytes,
+// MaxVT and every PerLink entry reflect exactly the same set of
+// completed transfers. A transfer is accounted atomically when its leg
+// completes (arrival for sends, each leg of a call); aborted legs are
+// never accounted. All counters are monotone between ResetStats calls.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -420,6 +431,16 @@ func (n *Network) Stats() Stats {
 		out.PerLink[from] = cp
 	}
 	return out
+}
+
+// Totals returns the scalar counters without copying the per-link
+// maps — the cheap form metrics gauges sample on every snapshot. Same
+// consistency contract as Stats: one critical section, a consistent
+// cut.
+func (n *Network) Totals() (messages, bytes int64, maxVT float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats.Messages, n.stats.Bytes, n.stats.MaxVT
 }
 
 // ResetStats zeroes the counters (links and peers are kept).

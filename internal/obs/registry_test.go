@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammer drives the registry from many
+// goroutines acting like concurrent sessions — counters, histograms,
+// gauges, trace recording — interleaved with snapshot readers, and
+// checks the exact final totals. Run under -race this is the
+// data-race gate for the whole metrics layer.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 500
+	)
+	r := NewRegistry()
+	r.Gauge("static", func() int64 { return 7 })
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Snapshot readers running for the duration of the writes.
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if v := snap.Gauges["static"]; v != 7 {
+					t.Errorf("gauge read %d, want 7", v)
+					return
+				}
+				r.TraceIDs()
+				r.TraceByID("hammer-3")
+			}
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared").Inc()
+				r.Counter(fmt.Sprintf("per-goroutine.%d", g)).Add(2)
+				r.Histogram("lat", []float64{1, 10, 100}).Observe(float64(i % 200))
+				if i%100 == 0 {
+					tr := NewTrace(fmt.Sprintf("hammer-%d", g))
+					ctx := WithTrace(context.Background(), tr)
+					_, sp := StartSpan(ctx, "query", "q")
+					sp.AddRows(1)
+					sp.End()
+					r.RecordTrace(tr)
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["shared"]; got != goroutines*iters {
+		t.Errorf("shared counter = %d, want %d", got, goroutines*iters)
+	}
+	for g := 0; g < goroutines; g++ {
+		name := fmt.Sprintf("per-goroutine.%d", g)
+		if got := snap.Counters[name]; got != iters*2 {
+			t.Errorf("%s = %d, want %d", name, got, iters*2)
+		}
+	}
+	h := snap.Histograms["lat"]
+	if h.Count != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, goroutines*iters)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	if got := len(r.TraceIDs()); got == 0 || got > defaultTraceCap {
+		t.Errorf("trace ring holds %d, want 1..%d", got, defaultTraceCap)
+	}
+}
+
+// TestConcurrentSpansOneTrace has parallel fragments of one query
+// appending spans to a shared trace while a reader snapshots it —
+// the shape of concurrent delegated evaluation.
+func TestConcurrentSpansOneTrace(t *testing.T) {
+	tr := NewTrace("shared")
+	ctx := WithTrace(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "query", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_, sp := StartSpan(ctx, "delegate", fmt.Sprintf("frag-%d", i))
+				sp.AddBytes(10, 20)
+				sp.AddRows(1)
+				sp.End()
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				for _, sp := range tr.Spans() {
+					_ = sp.ID
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 1+8*100 {
+		t.Fatalf("got %d spans, want %d", len(spans), 1+8*100)
+	}
+	for _, sp := range spans[1:] {
+		if sp.Parent != root.ID {
+			t.Fatalf("span %d parent = %d, want %d", sp.ID, sp.Parent, root.ID)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws a span snapshot as an indented tree — the body of
+// axmlq -explain-analyze. Children sort by start time (then span ID,
+// for sub-millisecond ties), roots likewise; orphaned spans (parent
+// missing from the snapshot) render as roots so a truncated trace
+// still shows everything it has.
+//
+//	query for $i in doc("catalog")/item …  wall=1.8ms vt=42.0 rows=3
+//	├─ parse  wall=0.1ms
+//	├─ plan [cache=miss]  wall=0.4ms
+//	└─ delegate p1→p2 eval@p2(…)  wall=0.9ms vt=10.0→42.0 bytes=210/1841
+//	   └─ eval @p2  vt=12.5→40.0 rows=3
+func Render(spans []Span) string {
+	if len(spans) == 0 {
+		return "(empty trace)\n"
+	}
+	children := map[uint64][]Span{}
+	ids := map[uint64]bool{}
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	var roots []Span
+	for _, sp := range spans {
+		if sp.Parent != 0 && ids[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	order := func(s []Span) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].StartMs != s[j].StartMs {
+				return s[i].StartMs < s[j].StartMs
+			}
+			return s[i].ID < s[j].ID
+		})
+	}
+	order(roots)
+	for _, c := range children {
+		order(c)
+	}
+
+	var sb strings.Builder
+	var draw func(sp Span, prefix string, last bool, root bool)
+	draw = func(sp Span, prefix string, last, root bool) {
+		if root {
+			sb.WriteString(spanLine(sp))
+		} else {
+			sb.WriteString(prefix)
+			if last {
+				sb.WriteString("└─ ")
+			} else {
+				sb.WriteString("├─ ")
+			}
+			sb.WriteString(spanLine(sp))
+		}
+		sb.WriteByte('\n')
+		kids := children[sp.ID]
+		childPrefix := prefix
+		if !root {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		for i, c := range kids {
+			draw(c, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	for _, sp := range roots {
+		draw(sp, "", true, true)
+	}
+	return sb.String()
+}
+
+// spanLine formats one span as a single line.
+func spanLine(sp Span) string {
+	var sb strings.Builder
+	sb.WriteString(sp.Phase)
+	if sp.From != "" || sp.To != "" {
+		sb.WriteByte(' ')
+		if sp.From != "" && sp.From != sp.To {
+			sb.WriteString(sp.From)
+			sb.WriteString("→")
+		} else {
+			sb.WriteString("@")
+		}
+		sb.WriteString(sp.To)
+	}
+	if sp.Attrs != nil {
+		keys := make([]string, 0, len(sp.Attrs))
+		for k := range sp.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(" [")
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s=%s", k, sp.Attrs[k])
+		}
+		sb.WriteByte(']')
+	}
+	if sp.Name != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(sp.Name)
+	}
+	fmt.Fprintf(&sb, "  wall=%.1fms", sp.WallMs)
+	switch {
+	case sp.EndVT != 0:
+		fmt.Fprintf(&sb, " vt=%.1f→%.1f", sp.StartVT, sp.EndVT)
+	case sp.StartVT != 0:
+		fmt.Fprintf(&sb, " vt=%.1f", sp.StartVT)
+	}
+	if sp.BytesOut != 0 || sp.BytesIn != 0 {
+		fmt.Fprintf(&sb, " bytes=%d/%d", sp.BytesOut, sp.BytesIn)
+	}
+	if sp.Rows != 0 {
+		fmt.Fprintf(&sb, " rows=%d", sp.Rows)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(&sb, " err=%q", sp.Err)
+	}
+	return sb.String()
+}
+
+// RenderSnapshot formats a metrics snapshot as sorted "name value"
+// lines grouped into counters / gauges / histograms — the body of
+// axmlq -stats.
+func RenderSnapshot(s Snapshot) string {
+	var sb strings.Builder
+	section := func(title string, m map[string]int64) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %-40s %d\n", k, m[k])
+		}
+	}
+	section("counters:", s.Counters)
+	section("gauges:", s.Gauges)
+	if len(s.Histograms) > 0 {
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("histograms:\n")
+		for _, k := range keys {
+			h := s.Histograms[k]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = h.Sum / float64(h.Count)
+			}
+			fmt.Fprintf(&sb, "  %-40s count=%d mean=%.2f\n", k, h.Count, mean)
+		}
+	}
+	if sb.Len() == 0 {
+		return "(no metrics)\n"
+	}
+	return sb.String()
+}

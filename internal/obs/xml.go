@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"axml/internal/xmltree"
+)
+
+// XML codecs for the wire surface: the STATS verb replies with
+// SnapshotToXML, TRACE with SpansToXML, and wire clients decode with
+// the matching From functions. The shapes are attribute-dense single
+// elements so they fit the protocol's one-line reply discipline:
+//
+//	<x:stats><counter name="…" value="…"/><gauge …/><hist …/></x:stats>
+//	<x:trace id="…"><span id="…" phase="…" …><attr k="…" v="…"/></span>…</x:trace>
+
+// SnapshotToXML encodes a metrics snapshot. Entries are emitted in
+// sorted name order so the reply is deterministic.
+func SnapshotToXML(s Snapshot) *xmltree.Node {
+	root := xmltree.E("x:stats")
+	for _, name := range sortedKeys(s.Counters) {
+		root.AppendChild(xmltree.E("counter",
+			xmltree.A("name", name),
+			xmltree.A("value", strconv.FormatInt(s.Counters[name], 10))))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		root.AppendChild(xmltree.E("gauge",
+			xmltree.A("name", name),
+			xmltree.A("value", strconv.FormatInt(s.Gauges[name], 10))))
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		root.AppendChild(xmltree.E("hist",
+			xmltree.A("name", name),
+			xmltree.A("count", strconv.FormatInt(h.Count, 10)),
+			xmltree.A("sum", formatFloat(h.Sum))))
+	}
+	return root
+}
+
+// SnapshotFromXML decodes an <x:stats> reply. Histogram bucket detail
+// is not carried over the wire — only count and sum survive.
+func SnapshotFromXML(root *xmltree.Node) (Snapshot, error) {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	if root == nil || root.Label != "x:stats" {
+		return s, fmt.Errorf("obs: expected <x:stats>, got %v", labelOf(root))
+	}
+	for _, c := range root.ChildElements() {
+		name, _ := c.Attr("name")
+		switch c.Label {
+		case "counter":
+			s.Counters[name] = attrInt(c, "value")
+		case "gauge":
+			s.Gauges[name] = attrInt(c, "value")
+		case "hist":
+			if s.Histograms == nil {
+				s.Histograms = map[string]HistogramSnapshot{}
+			}
+			s.Histograms[name] = HistogramSnapshot{
+				Count: attrInt(c, "count"),
+				Sum:   attrFloat(c, "sum"),
+			}
+		}
+	}
+	return s, nil
+}
+
+// SpansToXML encodes a trace's span snapshot.
+func SpansToXML(traceID string, spans []Span) *xmltree.Node {
+	root := xmltree.E("x:trace", xmltree.A("id", traceID))
+	for _, sp := range spans {
+		el := xmltree.E("span",
+			xmltree.A("id", strconv.FormatUint(sp.ID, 10)),
+			xmltree.A("phase", sp.Phase))
+		if sp.Parent != 0 {
+			el.SetAttr("parent", strconv.FormatUint(sp.Parent, 10))
+		}
+		if sp.Name != "" {
+			el.SetAttr("name", sp.Name)
+		}
+		if sp.From != "" {
+			el.SetAttr("from", sp.From)
+		}
+		if sp.To != "" {
+			el.SetAttr("to", sp.To)
+		}
+		el.SetAttr("startMs", formatFloat(sp.StartMs))
+		el.SetAttr("wallMs", formatFloat(sp.WallMs))
+		if sp.StartVT != 0 || sp.EndVT != 0 {
+			el.SetAttr("startVT", formatFloat(sp.StartVT))
+			el.SetAttr("endVT", formatFloat(sp.EndVT))
+		}
+		if sp.BytesOut != 0 {
+			el.SetAttr("bytesOut", strconv.FormatInt(sp.BytesOut, 10))
+		}
+		if sp.BytesIn != 0 {
+			el.SetAttr("bytesIn", strconv.FormatInt(sp.BytesIn, 10))
+		}
+		if sp.Rows != 0 {
+			el.SetAttr("rows", strconv.FormatInt(sp.Rows, 10))
+		}
+		if sp.Err != "" {
+			el.SetAttr("err", sp.Err)
+		}
+		for _, k := range sortedKeysS(sp.Attrs) {
+			el.AppendChild(xmltree.E("attr",
+				xmltree.A("k", k), xmltree.A("v", sp.Attrs[k])))
+		}
+		root.AppendChild(el)
+	}
+	return root
+}
+
+// SpansFromXML decodes an <x:trace> reply into its trace ID and span
+// snapshot.
+func SpansFromXML(root *xmltree.Node) (string, []Span, error) {
+	if root == nil || root.Label != "x:trace" {
+		return "", nil, fmt.Errorf("obs: expected <x:trace>, got %v", labelOf(root))
+	}
+	id, _ := root.Attr("id")
+	var spans []Span
+	for _, el := range root.ChildElementsByLabel("span") {
+		sp := Span{
+			ID:       uint64(attrInt(el, "id")),
+			Parent:   uint64(attrInt(el, "parent")),
+			StartMs:  attrFloat(el, "startMs"),
+			WallMs:   attrFloat(el, "wallMs"),
+			StartVT:  attrFloat(el, "startVT"),
+			EndVT:    attrFloat(el, "endVT"),
+			BytesOut: attrInt(el, "bytesOut"),
+			BytesIn:  attrInt(el, "bytesIn"),
+			Rows:     attrInt(el, "rows"),
+		}
+		sp.Phase, _ = el.Attr("phase")
+		sp.Name, _ = el.Attr("name")
+		sp.From, _ = el.Attr("from")
+		sp.To, _ = el.Attr("to")
+		sp.Err, _ = el.Attr("err")
+		for _, a := range el.ChildElementsByLabel("attr") {
+			k, _ := a.Attr("k")
+			v, _ := a.Attr("v")
+			if sp.Attrs == nil {
+				sp.Attrs = map[string]string{}
+			}
+			sp.Attrs[k] = v
+		}
+		spans = append(spans, sp)
+	}
+	return id, spans, nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysS(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func labelOf(n *xmltree.Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.Label
+}
+
+func attrInt(n *xmltree.Node, name string) int64 {
+	s, ok := n.Attr(name)
+	if !ok {
+		return 0
+	}
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}
+
+func attrFloat(n *xmltree.Node, name string) float64 {
+	s, ok := n.Attr(name)
+	if !ok {
+		return 0
+	}
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -38,11 +38,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
 	"axml/internal/core"
 	"axml/internal/netsim"
+	"axml/internal/obs"
 	"axml/internal/opt"
 	"axml/internal/view"
 )
@@ -84,6 +86,12 @@ type Config struct {
 	Weights opt.Weights
 	// LogSize bounds the retained decision log (default 64).
 	LogSize int
+	// Logger receives structured decision events (one Info record per
+	// executed action, a Debug record per round). Nil discards.
+	Logger *slog.Logger
+	// Metrics receives controller counters (placement.rounds,
+	// placement.actions.<kind>, placement.errors). Nil disables.
+	Metrics *obs.Registry
 }
 
 func (c Config) filled() Config {
@@ -113,6 +121,9 @@ func (c Config) filled() Config {
 	}
 	if c.LogSize <= 0 {
 		c.LogSize = 64
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -247,7 +258,29 @@ func (c *Controller) Step(ctx context.Context) ([]Decision, error) {
 		c.log = append([]Decision(nil), c.log[over:]...)
 	}
 	c.obs.Decay(c.cfg.Decay)
-	return made, errors.Join(errs...)
+	err = errors.Join(errs...)
+	c.record(made, err)
+	return made, err
+}
+
+// record emits the round's telemetry: one structured log record per
+// executed action, a per-round debug summary, and registry counters.
+func (c *Controller) record(made []Decision, err error) {
+	for _, d := range made {
+		c.cfg.Logger.Info("placement action",
+			"round", d.Round, "action", d.Action, "view", d.View,
+			"from", string(d.From), "to", string(d.To),
+			"gain_per_round", d.GainPerRound, "one_time", d.OneTime,
+			"reason", d.Reason)
+		c.cfg.Metrics.Counter("placement.actions." + d.Action).Inc()
+	}
+	c.cfg.Logger.Debug("placement round", "round", c.round,
+		"actions", len(made), "views", len(c.views.Views()))
+	c.cfg.Metrics.Counter("placement.rounds").Inc()
+	if err != nil {
+		c.cfg.Logger.Warn("placement round errors", "round", c.round, "err", err)
+		c.cfg.Metrics.Counter("placement.errors").Inc()
+	}
 }
 
 // enforceBudgets evicts placements from peers whose view bytes exceed

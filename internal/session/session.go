@@ -42,6 +42,7 @@ import (
 
 	"axml/internal/core"
 	"axml/internal/netsim"
+	"axml/internal/obs"
 	"axml/internal/opt"
 	"axml/internal/peer"
 	"axml/internal/rewrite"
@@ -120,6 +121,12 @@ type Config struct {
 	// Benchmarks use it as the latency baseline; it is also the escape
 	// hatch if a workload prefers throughput over first-row latency.
 	Eager bool
+	// TraceID asks the backend to record a query trace under this ID.
+	// A wire client frames it as +trace=<id> so the server builds the
+	// span tree on its side (fetch it back with TRACE <id>); local
+	// sessions trace through the context instead (obs.WithTrace), which
+	// carries the whole trace object, not just an ID.
+	TraceID string
 }
 
 // Option is a functional option of Session.Query/Exec and Stmt.Query.
@@ -148,6 +155,11 @@ func WithMaxPlans(n int) Option { return func(c *Config) { c.MaxPlans = n } }
 // forest. Use when the consumer will drain everything anyway and wants
 // the evaluation done in one burst.
 func WithEagerEval() Option { return func(c *Config) { c.Eager = true } }
+
+// WithTraceID asks the backend to trace this call under the given ID
+// (wire sessions; local sessions pass a trace in the context via
+// obs.WithTrace instead).
+func WithTraceID(id string) Option { return func(c *Config) { c.TraceID = id } }
 
 // BuildConfig folds options into a Config. Backends (wire) use it to
 // interpret the shared option vocabulary.
@@ -213,10 +225,11 @@ const DefaultPlanCacheSize = 256
 // the one query pipeline the facade, the wire server and the bench
 // experiments all share.
 type Local struct {
-	sys   *core.System
-	views *view.Manager
-	at    netsim.PeerID
-	sink  TrafficSink
+	sys     *core.System
+	views   *view.Manager
+	at      netsim.PeerID
+	sink    TrafficSink
+	metrics *obs.Registry
 
 	mu      sync.Mutex
 	plans   map[string]*list.Element // shape key → element of order
@@ -261,6 +274,21 @@ func WithTrafficSink(sink TrafficSink) LocalOption {
 	return func(s *Local) { s.sink = sink }
 }
 
+// WithMetrics attaches a metrics registry: the session then mirrors
+// its plan-cache counters into session.plan_cache.* and observes
+// per-query first-row latency, so a deployment-wide obs.Registry sees
+// the same numbers Stats reports.
+func WithMetrics(reg *obs.Registry) LocalOption {
+	return func(s *Local) { s.metrics = reg }
+}
+
+// count bumps a registry counter, when a registry is attached.
+func (s *Local) count(name string) {
+	if s.metrics != nil {
+		s.metrics.Counter(name).Inc()
+	}
+}
+
 // NewLocal opens a session evaluating at peer `at` of the given
 // system. The view manager supplies view-aware optimization and the
 // cache-invalidation generation; it may not be nil (pass a fresh
@@ -292,6 +320,12 @@ func (s *Local) PlanCacheLen() int {
 func (s *Local) At() netsim.PeerID { return s.at }
 
 // Stats returns a snapshot of the plan-cache counters.
+//
+// Snapshot-consistency contract: the struct is copied in one critical
+// section of the session lock — the same lock every counter update
+// holds — so the four counters form a consistent cut: Hits + Misses
+// is exactly the number of planned calls that reached a verdict at
+// snapshot time. All counters are monotone.
 func (s *Local) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -333,16 +367,98 @@ func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, e
 		return nil, fmt.Errorf("%w: %v", ErrCanceled, err)
 	}
 	cfg := BuildConfig(opts)
+	start := time.Now()
+	// The root span of the query's trace (when the context carries
+	// one): parse and plan become its first children, every network
+	// hop of the evaluation nests below, and the span closes when the
+	// stream ends.
+	ctx, root := obs.StartSpan(ctx, "query", src)
+	s.count("session.queries")
+
+	_, psp := obs.StartSpan(ctx, "parse", "")
 	q, err := parseQuery(src)
 	if err != nil {
+		psp.Fail(err)
+		psp.End()
+		root.Fail(err)
+		root.End()
 		return nil, err
 	}
-	expr, err := s.plan(q, &cfg)
+	psp.End()
+
+	_, plsp := obs.StartSpan(ctx, "plan", "")
+	expr, hit, err := s.plan(q, &cfg)
 	if err != nil {
+		plsp.Fail(err)
+		plsp.End()
+		root.Fail(err)
+		root.End()
 		return nil, err
 	}
+	if !cfg.NoOptimize {
+		if hit {
+			plsp.Set("cache", "hit")
+		} else {
+			plsp.Set("cache", "miss")
+		}
+	}
+	plsp.End()
+
 	s.observe(q, expr)
-	return s.rowsFor(ctx, expr, &cfg)
+	rows, err := s.rowsFor(ctx, expr, &cfg)
+	if err != nil {
+		root.Fail(err)
+		root.End()
+		return nil, err
+	}
+	if s.metrics != nil {
+		s.metrics.Histogram("session.query.first_row_ms", []float64{0.1, 1, 10, 100, 1000}).
+			Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+	return traceRows(rows, root), nil
+}
+
+// traceRows ties a query's root span to its result stream: each
+// pulled tree counts as a row, the stream's virtual completion time
+// becomes the span's EndVT, and the span closes when the stream ends
+// (exhaustion, failure, or Close — End is idempotent).
+func traceRows(rows *Rows, root *obs.Span) *Rows {
+	if root == nil {
+		return rows
+	}
+	pull := rows.pull
+	rows.pull = func() (*xmltree.Node, error) {
+		n, err := pull()
+		switch {
+		case err != nil:
+			root.Fail(err)
+			finishSpan(rows, root)
+		case n == nil:
+			finishSpan(rows, root)
+		default:
+			root.AddRows(1)
+		}
+		return n, err
+	}
+	closeFn := rows.closeFn
+	rows.closeFn = func() error {
+		var err error
+		if closeFn != nil {
+			err = closeFn()
+		}
+		finishSpan(rows, root)
+		return err
+	}
+	return rows
+}
+
+// finishSpan stamps the stream's virtual completion time and ends the
+// root span.
+func finishSpan(rows *Rows, root *obs.Span) {
+	if rows.vtFn != nil {
+		root.EndVTAt(rows.vtFn())
+	}
+	root.End()
 }
 
 // observe reports one execution to the traffic sink, if any.
@@ -589,7 +705,7 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 	// Plan eagerly so the first Query pays nothing extra and syntax or
 	// planning errors surface at Prepare time, where they belong.
 	warm := Config{}
-	if _, err := s.plan(q, &warm); err != nil {
+	if _, _, err := s.plan(q, &warm); err != nil {
 		return nil, err
 	}
 	run := func(ctx context.Context, opts ...Option) (*Rows, error) {
@@ -597,7 +713,7 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 			return nil, err
 		}
 		cfg := BuildConfig(opts)
-		expr, err := s.plan(q, &cfg)
+		expr, _, err := s.plan(q, &cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -609,24 +725,25 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 
 // plan resolves the expression to evaluate: the naive plan when the
 // optimizer is off, else a cached or freshly optimized plan keyed by
-// the normalized query shape and the view-catalog generation. An
+// the normalized query shape and the view-catalog generation. The
+// second return reports whether the plan came from the cache. An
 // optimizer failure while the view catalog changed underneath the
 // search (a placement migrating away mid-estimate) is retried once
 // against the new catalog before it surfaces.
-func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, error) {
+func (s *Local) plan(q *xquery.Query, cfg *Config) (core.Expr, bool, error) {
 	for attempt := 0; ; attempt++ {
 		gen := s.views.Generation()
-		expr, err := s.planOnce(q, cfg)
+		expr, hit, err := s.planOnce(q, cfg)
 		if err == nil || attempt == 1 || s.views.Generation() == gen {
-			return expr, err
+			return expr, hit, err
 		}
 	}
 }
 
-func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, error) {
+func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, bool, error) {
 	naive := &core.Query{Q: q, At: s.at}
 	if cfg.NoOptimize {
-		return naive, nil
+		return naive, false, nil
 	}
 	key := view.QueryKey(q)
 	gen := s.views.Generation()
@@ -638,17 +755,20 @@ func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, error) {
 			s.order.Remove(elem)
 			delete(s.plans, key)
 			s.stats.Invalidations++
+			s.count("session.plan_cache.invalidations")
 		} else if !cfg.NoPlanCache {
 			s.stats.Hits++
 			cp.uses++
 			s.order.MoveToFront(elem)
 			expr := cp.expr
 			s.mu.Unlock()
-			return expr, nil
+			s.count("session.plan_cache.hits")
+			return expr, true, nil
 		}
 	}
 	s.stats.Misses++
 	s.mu.Unlock()
+	s.count("session.plan_cache.misses")
 
 	o := opt.Options{
 		MaxPlans:   cfg.MaxPlans,
@@ -656,7 +776,7 @@ func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, error) {
 	}
 	plan, _, err := opt.Optimize(s.sys, s.at, naive, o)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// The retention weight of the cost-aware eviction policy: how much
 	// the optimizer thinks this plan saves over the naive one.
@@ -667,7 +787,7 @@ func (s *Local) planOnce(q *xquery.Query, cfg *Config) (core.Expr, error) {
 	s.mu.Lock()
 	s.storePlan(&cachedPlan{key: key, expr: plan.Expr, gen: gen, benefit: benefit})
 	s.mu.Unlock()
-	return plan.Expr, nil
+	return plan.Expr, false, nil
 }
 
 // storePlan inserts (or refreshes) a cache entry as most-recently-used
@@ -709,6 +829,7 @@ func (s *Local) evictOne() {
 	s.order.Remove(worst)
 	delete(s.plans, worst.Value.(*cachedPlan).key)
 	s.stats.Evictions++
+	s.count("session.plan_cache.evictions")
 }
 
 // run evaluates a planned expression under the call's context rules.

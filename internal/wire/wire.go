@@ -17,6 +17,8 @@
 //	DEFVIEW <name>[@<peer>] <xquery on one line>
 //	LIST
 //	PLACEMENTS
+//	STATS
+//	TRACE <trace-id>
 //
 // Single-line replies: <x:forest>…</x:forest>, <x:ok/> (update verbs
 // report the touched node count as <x:ok n="K"/>), <x:info>…</x:info>
@@ -30,7 +32,15 @@
 // <x:end>. A client that hangs up mid-stream makes the next row write
 // fail, which abandons the server-side cursor — no further evaluation
 // happens for a stream nobody is reading. Flags: +noopt (evaluate as
-// written), +nocache (re-plan even on a cache hit).
+// written), +nocache (re-plan even on a cache hit), +trace=<id>
+// (record a span tree for this query, retrievable with TRACE <id>).
+// EXEC accepts the same flag token.
+//
+// STATS returns the server's unified metrics snapshot (<x:stats>):
+// session plan-cache counters, wire streaming gauges, netsim totals.
+// TRACE <id> returns the span tree (<x:trace>) recorded for a query
+// that was sent with +trace=<id> — the wire face of distributed
+// EXPLAIN ANALYZE (axmlq -explain-analyze renders it).
 //
 // Error replies carry a machine-readable code — canceled, no-such-doc,
 // no-such-service, peer-down, bad-query, view-moved, internal — which
@@ -75,6 +85,7 @@ import (
 	"time"
 
 	"axml/internal/core"
+	"axml/internal/obs"
 	"axml/internal/peer"
 	"axml/internal/placement"
 	"axml/internal/session"
@@ -100,10 +111,19 @@ type Server struct {
 	// SessionOptions configure the server's shared query session (for
 	// example session.WithTrafficSink to feed the placement observer).
 	SessionOptions []session.LocalOption
+	// Metrics optionally supplies the unified metrics registry the
+	// STATS verb serves. When nil, the server creates one on first use;
+	// either way the registry carries the wire streaming counters (as
+	// gauges), the shared session's plan-cache counters, the network
+	// totals, and the ring of recent query traces (+trace=<id> on
+	// QUERYX/EXEC; fetched back with TRACE <id>).
+	Metrics *obs.Registry
 
 	sessOnce sync.Once
 	sess     *session.Local
 	sessErr  error
+
+	metricsOnce sync.Once
 
 	rowsStreamed   atomic.Uint64
 	streamsStarted atomic.Uint64
@@ -124,13 +144,56 @@ type ServerStats struct {
 }
 
 // Stats returns a snapshot of the streaming counters.
+//
+// Snapshot-consistency contract: the three counters are independent
+// atomics, so the snapshot is not a single consistent cut — but the
+// load order below preserves the causal invariants between them.
+// RowsStreamed and StreamsAborted are loaded first and StreamsStarted
+// last: a stream increments StreamsStarted before it can stream a row
+// or abort, so the returned snapshot always satisfies
+// StreamsStarted ≥ "streams that produced the rows/aborts seen".
+// (Loading StreamsStarted first could return rows attributed to
+// streams the snapshot doesn't count as started.) All three counters
+// are monotone.
 func (s *Server) Stats() ServerStats {
+	rows := s.rowsStreamed.Load()
+	aborted := s.streamsAborted.Load()
 	return ServerStats{
 		StreamsStarted: s.streamsStarted.Load(),
-		RowsStreamed:   s.rowsStreamed.Load(),
-		StreamsAborted: s.streamsAborted.Load(),
+		RowsStreamed:   rows,
+		StreamsAborted: aborted,
 	}
 }
+
+// metrics returns the server's registry, creating and wiring it on
+// first use: streaming counters and network totals become gauges (the
+// atomics/netsim stay the owners; the registry samples them), and the
+// session pipeline mirrors its plan-cache counters in (see
+// Server.session). Gauge registration is idempotent, so sharing one
+// registry across servers of one deployment is safe.
+func (s *Server) metrics() *obs.Registry {
+	s.metricsOnce.Do(func() {
+		if s.Metrics == nil {
+			s.Metrics = obs.NewRegistry()
+		}
+		s.Metrics.Gauge("wire.streams_started", func() int64 { return int64(s.streamsStarted.Load()) })
+		s.Metrics.Gauge("wire.rows_streamed", func() int64 { return int64(s.rowsStreamed.Load()) })
+		s.Metrics.Gauge("wire.streams_aborted", func() int64 { return int64(s.streamsAborted.Load()) })
+		if s.Views != nil {
+			net := s.Views.System().Net
+			s.Metrics.Gauge("net.messages_total", func() int64 { m, _, _ := net.Totals(); return m })
+			s.Metrics.Gauge("net.bytes_total", func() int64 { _, b, _ := net.Totals(); return b })
+			s.Metrics.Gauge("net.max_vt_ms", func() int64 { _, _, vt := net.Totals(); return int64(vt) })
+		}
+	})
+	return s.Metrics
+}
+
+// MetricsRegistry returns the server's metrics registry, creating and
+// wiring it on first use — the registry behind the STATS verb. Hand it
+// to cooperating components (placement.Config.Metrics, an HTTP
+// exporter) so the deployment reports through one registry.
+func (s *Server) MetricsRegistry() *obs.Registry { return s.metrics() }
 
 // session returns the server's shared query session (one plan cache
 // across all connections). A view-serving peer that cannot build its
@@ -143,7 +206,11 @@ func (s *Server) session() (*session.Local, error) {
 		return nil, nil
 	}
 	s.sessOnce.Do(func() {
-		s.sess, s.sessErr = session.NewLocal(s.Views.System(), s.Views, s.Peer.ID, s.SessionOptions...)
+		// The shared session always feeds the server's registry, so a
+		// STATS snapshot's session.plan_cache.* counters are exactly the
+		// session's Stats() values.
+		opts := append([]session.LocalOption{session.WithMetrics(s.metrics())}, s.SessionOptions...)
+		s.sess, s.sessErr = session.NewLocal(s.Views.System(), s.Views, s.Peer.ID, opts...)
 	})
 	return s.sess, s.sessErr
 }
@@ -256,14 +323,19 @@ func (s *Server) dispatch(line string, w *bufio.Writer) {
 		reply = s.doList()
 	case "PLACEMENTS":
 		reply = s.doPlacements()
+	case "STATS":
+		reply = s.doStats()
+	case "TRACE":
+		reply = s.doTrace(rest)
 	default:
 		reply = errReply(fmt.Errorf("unknown command %q", cmd))
 	}
 	fmt.Fprintln(w, reply)
 }
 
-// parseFlags strips a leading "+flag+flag" token off a QUERYX request
-// and folds it into session options.
+// parseFlags strips a leading "+flag+flag" token off a QUERYX/EXEC
+// request and folds it into session options. Valued flags use
+// "name=value" (e.g. +trace=q42).
 func parseFlags(rest string) (string, []session.Option) {
 	if !strings.HasPrefix(rest, "+") {
 		return rest, nil
@@ -271,14 +343,31 @@ func parseFlags(rest string) (string, []session.Option) {
 	token, src, _ := strings.Cut(rest, " ")
 	var opts []session.Option
 	for _, f := range strings.Split(token, "+") {
-		switch f {
+		name, value, _ := strings.Cut(f, "=")
+		switch name {
 		case "noopt":
 			opts = append(opts, session.WithNoOptimize())
 		case "nocache":
 			opts = append(opts, session.WithNoPlanCache())
+		case "trace":
+			if value != "" {
+				opts = append(opts, session.WithTraceID(value))
+			}
 		}
 	}
 	return src, opts
+}
+
+// traceContext arms a context for a request that asked to be traced
+// (+trace=<id>): the returned done func records the finished trace in
+// the registry's ring, where TRACE <id> finds it.
+func (s *Server) traceContext(ctx context.Context, cfg session.Config) (context.Context, func()) {
+	if cfg.TraceID == "" {
+		return ctx, func() {}
+	}
+	tr := obs.NewTrace(cfg.TraceID)
+	reg := s.metrics()
+	return obs.WithTrace(ctx, tr), func() { reg.RecordTrace(tr) }
 }
 
 // evalQuery answers a query through the session pipeline (view-aware,
@@ -323,8 +412,10 @@ func (s *Server) doQuery(src string) string {
 // aborted.
 func (s *Server) doQueryStream(rest string, w *bufio.Writer) {
 	src, opts := parseFlags(rest)
+	ctx, traceDone := s.traceContext(context.Background(), session.BuildConfig(opts))
+	defer traceDone()
 	s.streamsStarted.Add(1)
-	rows, err := s.streamRows(src, opts)
+	rows, err := s.streamRows(ctx, src, opts)
 	if err != nil {
 		fmt.Fprintln(w, errReply(err))
 		return
@@ -356,14 +447,14 @@ func (s *Server) doQueryStream(rest string, w *bufio.Writer) {
 // session pipeline when this peer serves views (rows are produced as
 // evaluation proceeds), else a direct eager evaluation wrapped as rows
 // (system-less peers keep the old materialize-then-stream behavior).
-func (s *Server) streamRows(src string, opts []session.Option) (*session.Rows, error) {
+func (s *Server) streamRows(ctx context.Context, src string, opts []session.Option) (*session.Rows, error) {
 	sess, err := s.session()
 	if err != nil {
 		return nil, err
 	}
 	if sess != nil {
 		opts = append(opts, session.WithConsistentView())
-		return sess.Query(context.Background(), src, opts...)
+		return sess.Query(ctx, src, opts...)
 	}
 	q, err := xquery.Parse(src)
 	if err != nil {
@@ -378,13 +469,16 @@ func (s *Server) streamRows(src string, opts []session.Option) (*session.Rows, e
 
 // doExec runs an update statement (or a query whose results are
 // discarded) and reports the touched-node count.
-func (s *Server) doExec(src string) string {
+func (s *Server) doExec(rest string) string {
+	src, opts := parseFlags(rest)
 	sess, err := s.session()
 	if err != nil {
 		return errReply(err)
 	}
 	if sess != nil {
-		n, err := sess.Exec(context.Background(), src)
+		ctx, traceDone := s.traceContext(context.Background(), session.BuildConfig(opts))
+		defer traceDone()
+		n, err := sess.Exec(ctx, src, opts...)
 		if err != nil {
 			return errReply(err)
 		}
@@ -563,6 +657,31 @@ func (s *Server) doPlacements() string {
 		}
 	}
 	return xmltree.Serialize(root)
+}
+
+// doStats answers STATS with the registry snapshot: wire streaming
+// gauges, session plan-cache counters, network totals, and whatever
+// else the deployment feeds the shared registry (placement decisions,
+// query latency histograms).
+func (s *Server) doStats() string {
+	// Touch the session first so its counters exist in the snapshot
+	// even before the first query.
+	_, _ = s.session()
+	return xmltree.Serialize(obs.SnapshotToXML(s.metrics().Snapshot()))
+}
+
+// doTrace answers TRACE <id> with the span tree recorded for a
+// +trace=<id> query, if it is still in the recent-traces ring.
+func (s *Server) doTrace(rest string) string {
+	id := strings.TrimSpace(rest)
+	if id == "" {
+		return errReply(fmt.Errorf("TRACE requires a trace id"))
+	}
+	tr := s.metrics().TraceByID(id)
+	if tr == nil {
+		return errReply(fmt.Errorf("trace: no trace %q (traced queries use +trace=<id>; the ring keeps the most recent)", id))
+	}
+	return xmltree.Serialize(obs.SpansToXML(tr.ID, tr.Spans()))
 }
 
 func forestReply(out []*xmltree.Node) string {
@@ -798,6 +917,9 @@ func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) 
 	if cfg.NoPlanCache {
 		flags = append(flags, "nocache")
 	}
+	if cfg.TraceID != "" {
+		flags = append(flags, "trace="+cfg.TraceID)
+	}
 	line := "QUERYX "
 	if len(flags) > 0 {
 		line += "+" + strings.Join(flags, "+") + " "
@@ -884,11 +1006,37 @@ func (c *Client) Exec(ctx context.Context, src string, opts ...session.Option) (
 		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 	}
-	root, err := c.roundTrip(ctx, "EXEC "+src)
+	line := "EXEC "
+	if cfg.TraceID != "" {
+		line += "+trace=" + cfg.TraceID + " "
+	}
+	root, err := c.roundTrip(ctx, line+src)
 	if err != nil {
 		return 0, err
 	}
 	return countOf(root)
+}
+
+// Stats fetches the server's metrics-registry snapshot (STATS verb):
+// plan-cache counters, streaming gauges, network totals, latency
+// histograms — the wire face of axmlq -stats.
+func (c *Client) Stats(ctx context.Context) (obs.Snapshot, error) {
+	root, err := c.roundTrip(ctx, "STATS")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	return obs.SnapshotFromXML(root)
+}
+
+// Trace fetches the span tree the server recorded for a query sent
+// with session.WithTraceID(id). Render it with obs.Render.
+func (c *Client) Trace(ctx context.Context, id string) ([]obs.Span, error) {
+	root, err := c.roundTrip(ctx, "TRACE "+id)
+	if err != nil {
+		return nil, err
+	}
+	_, spans, err := obs.SpansFromXML(root)
+	return spans, err
 }
 
 // Prepare validates the statement on the server and warms its plan

@@ -81,6 +81,12 @@ func WithTimeout(d time.Duration) QueryOption { return session.WithTimeout(d) }
 // WithMaxPlans caps the optimizer's plan search for this call.
 func WithMaxPlans(n int) QueryOption { return session.WithMaxPlans(n) }
 
+// WithTraceID asks a wire session to trace this query server-side
+// under the given ID, retrievable afterwards over the TRACE verb.
+// Local sessions trace through a context instead — see NewTrace and
+// WithTrace.
+func WithTraceID(id string) QueryOption { return session.WithTraceID(id) }
+
 // Dial options.
 
 // WithDialTimeout bounds TCP connection establishment (default 10s).
@@ -111,7 +117,7 @@ func (s *System) MustSession(at PeerID) Session {
 // LocalSession is Session returning the concrete local type, which
 // additionally exposes plan-cache Stats.
 func (s *System) LocalSession(at PeerID) (*session.Local, error) {
-	var opts []session.LocalOption
+	opts := []session.LocalOption{session.WithMetrics(s.metrics)}
 	if s.placement != nil {
 		opts = append(opts, session.WithTrafficSink(s.placement.Observer()))
 	}
