@@ -1,0 +1,133 @@
+// Package analysis is a self-contained, stdlib-only re-implementation
+// of the golang.org/x/tools/go/analysis surface this repo needs. The
+// container that builds axml has no module proxy access, so instead of
+// depending on x/tools we mirror its core shape — Analyzer, Pass,
+// Diagnostic — over go/ast + go/types, with a module-aware loader
+// (load.go) and an analysistest-style fixture runner (analysistest.go).
+//
+// Analyzers encode repo invariants that reviews kept rediscovering by
+// hand (see cmd/axmlvet):
+//
+//	atomicfield  mixed atomic/plain access to the same struct field
+//	ctxflow      ctx-taking functions that drop ctx or pass Background()
+//	lockedcall   network calls / channel sends while holding a mutex
+//	spanend      obs.StartSpan results that are not End()ed on all paths
+//	closeguard   session Rows / cursors that are never Closed
+//	senterr      sentinel errors compared with == instead of errors.Is
+//
+// Deliberate violations are annotated in source with
+//
+//	//axmlvet:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line directly above it (see ignore.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. It mirrors
+// x/tools/go/analysis.Analyzer minus the dependency machinery (facts,
+// requires) that axml's checks do not need.
+type Analyzer struct {
+	Name string // short lowercase identifier, used by //axmlvet:ignore
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is a single finding at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// typeOf is a nil-safe shorthand for the type of an expression.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// objectOf resolves an identifier to its object (may be nil).
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// RunAnalyzers applies each analyzer to pkg, filters findings through
+// the //axmlvet:ignore comments in the package's files, and returns the
+// surviving diagnostics sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ign := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if ign.suppressed(a.Name, d.Pos) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		CtxFlow,
+		LockedCall,
+		SpanEnd,
+		CloseGuard,
+		SentErr,
+	}
+}

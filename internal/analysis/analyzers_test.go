@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+)
+
+// One loader for the whole suite: the expensive part of a fixture run
+// is type-checking the stdlib (and axml packages) from source, and the
+// cache makes that a one-time cost.
+var sharedLoader = sync.OnceValues(func() (*Loader, error) {
+	return NewLoader("testdata/src")
+})
+
+func testFixture(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFixtureWith(loader, "testdata", a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Unmatched {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, msg := range res.Unwanted {
+		t.Errorf("%s", msg)
+	}
+}
+
+func TestAtomicField(t *testing.T) { testFixture(t, AtomicField, "atomicfield") }
+func TestCtxFlow(t *testing.T)     { testFixture(t, CtxFlow, "ctxflow") }
+func TestLockedCall(t *testing.T)  { testFixture(t, LockedCall, "lockedcall") }
+func TestSpanEnd(t *testing.T)     { testFixture(t, SpanEnd, "spanend") }
+func TestCloseGuard(t *testing.T)  { testFixture(t, CloseGuard, "closeguard") }
+func TestSentErr(t *testing.T)     { testFixture(t, SentErr, "senterr") }
+
+// TestAnalyzerNames pins the published names: //axmlvet:ignore comments
+// in the tree reference them, so renames are breaking changes.
+func TestAnalyzerNames(t *testing.T) {
+	want := []string{"atomicfield", "ctxflow", "lockedcall", "spanend", "closeguard", "senterr"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseGuard checks that streaming results created inside a function —
+// session.Rows, core.RowCursor, xquery.Cursor — are closed before the
+// function ends or handed off (returned, passed to a callee, or stored
+// somewhere that outlives the frame). An abandoned cursor pins its
+// underlying evaluation and, for wire-backed Rows, leaks the
+// connection's in-flight stream.
+//
+// session.Rows.Collect() closes the rows itself and counts as closing.
+var CloseGuard = &Analyzer{
+	Name: "closeguard",
+	Doc:  "session Rows / cursors created in a function must be Closed or handed off",
+	Run:  runCloseGuard,
+}
+
+// closeableTypes are the qualified names of tracked streaming types.
+var closeableTypes = map[string]bool{
+	"axml/internal/session.Rows":   true,
+	"axml/internal/core.RowCursor": true,
+	"axml/internal/xquery.Cursor":  true,
+	"axml.Rows":                    true,
+}
+
+// closingMethods are methods on the value that release it.
+var closingMethods = map[string]bool{
+	"Close":   true,
+	"Collect": true, // session.Rows.Collect drains and closes
+	"All":     true, // session.Rows.All's iterator defers Close
+}
+
+func runCloseGuard(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		checkCloseables(pass, fd)
+	}
+	return nil
+}
+
+func checkCloseables(pass *Pass, fd *ast.FuncDecl) {
+	// Creation sites: `x, ... := f(...)` or `x := f(...)` where x has a
+	// tracked type and f is not a method on x itself.
+	type created struct {
+		obj  types.Object
+		node ast.Node
+	}
+	var sites []created
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures own their cursors
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" {
+			return true
+		}
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil || !closeableTypes[namedTypeName(obj.Type())] {
+				continue
+			}
+			sites = append(sites, created{obj, as})
+		}
+		return true
+	})
+
+	for _, site := range sites {
+		if closedOrEscapes(pass, fd, site.obj, site.node) {
+			continue
+		}
+		pass.Reportf(site.node.Pos(), "%s %s is never Closed and does not escape this function",
+			namedTypeName(site.obj.Type()), site.obj.Name())
+	}
+}
+
+// closedOrEscapes reports whether obj is closed (Close/Collect, plain
+// or deferred) or handed off (returned, passed as an argument, stored
+// in a variable/field/slice/map/channel, or address-taken).
+func closedOrEscapes(pass *Pass, fd *ast.FuncDecl, obj types.Object, creation ast.Node) bool {
+	done := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if done || n == creation {
+			return !done
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if isMethodCallOn(pass, v, obj) {
+				sel := v.Fun.(*ast.SelectorExpr)
+				if closingMethods[sel.Sel.Name] {
+					done = true
+				}
+				return !done // other methods on obj are plain uses
+			}
+			for _, arg := range v.Args {
+				if identUses(pass.TypesInfo, arg, obj) {
+					done = true // handed to a callee
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range v.Results {
+				// `return rows.Err()` uses rows but does not hand the
+				// value itself to the caller; only the method-call
+				// branch above decides what a call on obj means.
+				if !isMethodCallOn(pass, res, obj) && identUses(pass.TypesInfo, res, obj) {
+					done = true
+				}
+			}
+		case *ast.AssignStmt:
+			if v == creation {
+				return true
+			}
+			for _, rhs := range v.Rhs {
+				if !isMethodCallOn(pass, rhs, obj) && identUses(pass.TypesInfo, rhs, obj) {
+					done = true // stored elsewhere
+				}
+			}
+		case *ast.CompositeLit:
+			if identUses(pass.TypesInfo, v, obj) {
+				done = true
+			}
+		case *ast.SendStmt:
+			if identUses(pass.TypesInfo, v.Value, obj) {
+				done = true
+			}
+		case *ast.UnaryExpr:
+			if v.Op.String() == "&" && identUses(pass.TypesInfo, v.X, obj) {
+				done = true
+			}
+		}
+		return !done
+	})
+	return done
+}
+
+// isMethodCallOn reports whether e is a call of the form obj.Method(...).
+func isMethodCallOn(pass *Pass, e ast.Node, obj types.Object) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}

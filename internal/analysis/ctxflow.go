@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context plumbing in functions that already receive a
+// context.Context:
+//
+//  1. they must not call a ctx-taking callee with context.Background()
+//     or context.TODO() — that silently detaches the callee from the
+//     caller's cancellation, the dropped-ctx class PR 3 hardened; and
+//  2. a named ctx parameter must actually be used when the body calls
+//     functions that accept a Context (an unused ctx with ctx-taking
+//     callees means cancellation stops propagating at this frame).
+//
+// Functions without a Context parameter are never flagged: servers and
+// interface adapters legitimately root new contexts.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function receiving a context.Context must thread it, not replace or drop it",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		ctxParams := contextParams(pass, fd)
+		if len(ctxParams) == 0 {
+			continue
+		}
+
+		// Rule 1: Background()/TODO() in argument position.
+		detached := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := calleeOf(pass.TypesInfo, inner)
+				name := fullName(fn)
+				if name == "context.Background" || name == "context.TODO" {
+					detached = true
+					pass.Reportf(inner.Pos(), "%s called with %s() despite receiving a ctx; pass the caller's ctx", funcLabel(fd), fn.Name())
+				}
+			}
+			return true
+		})
+		if detached {
+			// Rule 1 already names the precise call site; piling the
+			// dropped-ctx report on top would be noise.
+			continue
+		}
+
+		// Rule 2: ctx parameter dropped while callees accept one.
+		used := false
+		for _, p := range ctxParams {
+			if identUses(pass.TypesInfo, fd.Body, p) {
+				used = true
+				break
+			}
+		}
+		if !used && callsCtxTaker(pass, fd.Body) {
+			pass.Reportf(fd.Name.Pos(), "%s receives a ctx it never uses, but calls functions that accept one", funcLabel(fd))
+		}
+	}
+	return nil
+}
+
+// contextParams returns the named (non-underscore) Context parameters
+// declared by fd.
+func contextParams(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.typeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// callsCtxTaker reports whether body contains a call to a function
+// whose signature includes a context.Context parameter.
+func callsCtxTaker(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && hasContextParam(sig) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func funcLabel(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		return "method " + fd.Name.Name
+	}
+	return "function " + fd.Name.Name
+}

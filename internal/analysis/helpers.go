@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeOf resolves a call expression to the called function or method,
+// or nil for calls through function values, conversions, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcDecls returns all function declarations with bodies.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// fullName is types.Func.FullName with a nil guard:
+// "(*axml/internal/netsim.Network).CallCtx", "axml/internal/obs.StartSpan".
+func fullName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// isModulePath reports whether pkg belongs to this module.
+func isModulePath(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "axml" || strings.HasPrefix(pkg.Path(), "axml/"))
+}
+
+// namedTypeName returns "pkgpath.Name" for a (possibly pointer-wrapped)
+// named or interface type, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		if ptr, ok := t.(*types.Pointer); ok {
+			named, ok = ptr.Elem().(*types.Named)
+			if !ok {
+				return ""
+			}
+		} else {
+			return ""
+		}
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedTypeName(t) == "context.Context"
+}
+
+// hasContextParam reports whether sig takes a context.Context anywhere.
+func hasContextParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// identUses reports whether obj is referenced anywhere under n.
+func identUses(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedCall flags blocking network operations and channel sends made
+// while a sync.Mutex/RWMutex is held — the cross-hop deadlock class: a
+// peer that calls into netsim (or real wire I/O) under a lock can be
+// re-entered by the remote side needing that same lock, and under
+// virtual time a blocked send under a lock stalls the whole step.
+//
+// "Network operation" means a direct call to one of the seed
+// entrypoints below, or to a function in the same package that
+// (transitively, within the package) reaches one. Cross-package
+// propagation is intentionally limited to the named seeds: the high
+// fan-in session/core surfaces would otherwise poison every caller.
+//
+// The analyzer tracks lock regions lexically: a region opens at
+// mu.Lock()/mu.RLock() and closes at the matching Unlock in the same
+// block; `defer mu.Unlock()` keeps the region open to the end of the
+// function. Function literals are not entered — a goroutine launched
+// under a lock runs after the caller releases it.
+var LockedCall = &Analyzer{
+	Name: "lockedcall",
+	Doc:  "no netsim/wire network calls or channel sends while holding a mutex",
+	Run:  runLockedCall,
+}
+
+// NetworkEntrypoints are the cross-package functions treated as
+// blocking network operations. Matched against types.Func.FullName;
+// entries ending in "." match every method of that receiver.
+var NetworkEntrypoints = []string{
+	"(*axml/internal/netsim.Network).Call",
+	"(*axml/internal/netsim.Network).CallCtx",
+	"(*axml/internal/netsim.Network).Send",
+	"(*axml/internal/wire.Client).",
+	"(*axml/internal/core.System).ShipForest",
+	"(*axml/internal/view.Manager).Migrate",
+	"(*axml/internal/view.Manager).AddPlacement",
+	"(*axml/internal/view.Manager).Define",
+	"(*axml/internal/view.Manager).DefineQuery",
+	"(*axml/internal/view.Manager).Refresh",
+	"(*axml/internal/view.Manager).RefreshContext",
+	"(*axml/internal/view.Manager).RefreshAll",
+	"(*axml/internal/view.Manager).RefreshAllContext",
+	"(*axml/internal/view.Manager).RefreshFull",
+	"(net.Conn).",
+	"(*net.TCPConn).",
+	"net.Dial",
+	"net.DialTimeout",
+	"net.Listen",
+}
+
+func runLockedCall(pass *Pass) error {
+	// Intra-package closure: which declared functions reach a network
+	// entrypoint?
+	decls := funcDecls(pass.Files)
+	netcalling := make(map[*types.Func]bool)
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	for _, fd := range decls {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			declOf[fn] = fd
+		}
+	}
+	reaches := func(fd *ast.FuncDecl) bool {
+		found := false
+		inspectNoFuncLit(fd.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				fn := calleeOf(pass.TypesInfo, call)
+				if fn != nil && (isNetEntrypoint(fn) || netcalling[fn]) {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range declOf {
+			if !netcalling[fn] && reaches(fd) {
+				netcalling[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		lc := &lockedChecker{pass: pass, netcalling: netcalling}
+		lc.stmts(fd.Body.List, map[string]token.Pos{})
+	}
+	return nil
+}
+
+func isNetEntrypoint(fn *types.Func) bool {
+	name := fullName(fn)
+	for _, pat := range NetworkEntrypoints {
+		if strings.HasSuffix(pat, ".") {
+			// Wildcard receivers: every method except Close — closing
+			// your own connection under your own mutex does not block
+			// on the remote side.
+			if strings.HasPrefix(name, pat) && fn.Name() != "Close" {
+				return true
+			}
+		} else if name == pat {
+			return true
+		}
+	}
+	return false
+}
+
+type lockedChecker struct {
+	pass       *Pass
+	netcalling map[*types.Func]bool
+}
+
+// stmts walks a statement list tracking the set of held locks (keyed by
+// the receiver expression text). Nested blocks get a copy of the held
+// set: a lock transition inside a branch does not leak past it, which
+// trades a missed conditional-unlock for zero false positives on
+// branch-local locking.
+func (lc *lockedChecker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if op, key, ok := lc.lockOp(call); ok {
+					if op == "Lock" || op == "RLock" {
+						held[key] = call.Pos()
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+			lc.check(s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open until return;
+			// other deferred calls run at exit, possibly after the
+			// unlock, so they are not checked.
+			continue
+		case *ast.BlockStmt:
+			lc.stmts(s.List, copyHeld(held))
+		case *ast.IfStmt:
+			lc.checkEach(held, s.Init, s.Cond)
+			lc.stmts(s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				lc.stmts([]ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			lc.checkEach(held, s.Init, s.Cond, s.Post)
+			lc.stmts(s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			lc.checkEach(held, s.X)
+			lc.stmts(s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			lc.checkEach(held, s.Init, s.Tag)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					lc.stmts(c.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			lc.checkEach(held, s.Init, s.Assign)
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CaseClause); ok {
+					lc.stmts(c.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cc := range s.Body.List {
+				if c, ok := cc.(*ast.CommClause); ok {
+					if c.Comm != nil {
+						lc.checkEach(held, c.Comm)
+					}
+					lc.stmts(c.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			lc.stmts([]ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The goroutine body runs outside the lock region.
+			continue
+		default:
+			lc.check(st, held)
+		}
+	}
+}
+
+func (lc *lockedChecker) checkEach(held map[string]token.Pos, nodes ...ast.Node) {
+	for _, n := range nodes {
+		if n != nil && !isNilNode(n) {
+			lc.check(n, held)
+		}
+	}
+}
+
+func isNilNode(n ast.Node) bool {
+	switch v := n.(type) {
+	case ast.Expr:
+		return v == nil
+	case ast.Stmt:
+		return v == nil
+	}
+	return false
+}
+
+// check flags channel sends and netcalling calls under n while any lock
+// is held.
+func (lc *lockedChecker) check(n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	inspectNoFuncLit(n, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			lc.pass.Reportf(v.Pos(), "channel send while holding %s", heldNames(held))
+		case *ast.CallExpr:
+			fn := calleeOf(lc.pass.TypesInfo, v)
+			if fn != nil && (isNetEntrypoint(fn) || lc.netcalling[fn]) {
+				lc.pass.Reportf(v.Pos(), "network call %s while holding %s", fn.Name(), heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync mutexes and
+// returns the operation and a key identifying the lock expression.
+func (lc *lockedChecker) lockOp(call *ast.CallExpr) (op, key string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := lc.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	switch fullName(fn) {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+		return fn.Name(), types.ExprString(sel.X), true
+	}
+	return "", "", false
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func heldNames(held map[string]token.Pos) string {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// inspectNoFuncLit is ast.Inspect that does not descend into function
+// literals.
+func inspectNoFuncLit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}

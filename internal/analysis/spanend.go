@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd checks that every span returned by obs.StartSpan is ended on
+// every return path of the function that started it. Spans that escape
+// — returned, stored, or passed to another function — become that
+// code's responsibility and are not tracked.
+//
+// Coverage is lexical-dominance based rather than full CFG: a return
+// statement is considered covered when a sp.End() call appears before
+// it in the same or an enclosing block (or when any defer sp.End()
+// exists). An End in a sibling branch does not cover a return in
+// another branch. This is exactly strong enough for the repo's span
+// discipline (end-before-early-return or defer) without a dataflow
+// engine.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.StartSpan result must be End()ed on all paths",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		parents := buildParents(fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || fullName(calleeOf(pass.TypesInfo, call)) != "axml/internal/obs.StartSpan" {
+				return true
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			checkSpan(pass, fd, parents, obj, as)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSpan(pass *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node, span types.Object, start *ast.AssignStmt) {
+	var (
+		escapes  bool
+		deferred bool
+		ends     []ast.Node // non-deferred obj.End() calls
+		returns  []*ast.ReturnStmt
+	)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if endsSpan(pass, v.Call, span) || deferredLitEnds(pass, v.Call, span) {
+				deferred = true
+			}
+			return true
+		case *ast.CallExpr:
+			if endsSpan(pass, v, span) {
+				ends = append(ends, v)
+				return false
+			}
+			for _, arg := range v.Args {
+				if usesObj(pass, arg, span) {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			if v.Pos() > start.Pos() {
+				returns = append(returns, v)
+			}
+			for _, res := range v.Results {
+				if usesObj(pass, res, span) {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			if v == start {
+				return true
+			}
+			for _, rhs := range v.Rhs {
+				if usesObj(pass, rhs, span) {
+					escapes = true
+				}
+			}
+		case *ast.CompositeLit:
+			if usesObj(pass, v, span) {
+				escapes = true
+			}
+		case *ast.SendStmt:
+			if usesObj(pass, v.Value, span) {
+				escapes = true
+			}
+		}
+		return true
+	})
+	if escapes || deferred {
+		return
+	}
+	if len(ends) == 0 {
+		pass.Reportf(start.Pos(), "span %s is started but never ended", span.Name())
+		return
+	}
+	// Only returns reachable from the branch that started the span
+	// matter: a return in a sibling switch case or else-branch follows
+	// the StartSpan lexically but can never execute after it.
+	startScope := scopeOf(parents, start)
+	for _, ret := range returns {
+		if !scopeInChain(parents, startScope, ret) {
+			continue
+		}
+		if !dominatedByEnd(parents, ends, ret) {
+			pass.Reportf(ret.Pos(), "return without ending span %s (started at line %d)",
+				span.Name(), pass.Fset.Position(start.Pos()).Line)
+		}
+	}
+	// A function that can fall off the end (no result values) needs an
+	// End in the top-level body chain too — but only for spans started
+	// at the top level: a span started and ended inside a nested scope
+	// (a loop body, say) is already fully handled there.
+	if (fd.Type.Results == nil || len(fd.Type.Results.List) == 0) &&
+		scopeOf(parents, start) == ast.Node(fd.Body) {
+		if last := lastStmt(fd.Body); last != nil {
+			if _, isRet := last.(*ast.ReturnStmt); !isRet {
+				covered := false
+				for _, e := range ends {
+					if scopeOf(parents, e) == ast.Node(fd.Body) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					pass.Reportf(start.Pos(), "span %s may not be ended when %s falls off the end", span.Name(), fd.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// endsSpan reports whether call is span.End().
+func endsSpan(pass *Pass, call *ast.CallExpr, span types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == span
+}
+
+// deferredLitEnds handles `defer func() { ...; sp.End() }()`.
+func deferredLitEnds(pass *Pass, call *ast.CallExpr, span types.Object) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && endsSpan(pass, c, span) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func usesObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	return identUses(pass.TypesInfo, n, obj)
+}
+
+// buildParents maps each node under fd to its parent.
+func buildParents(fd *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// scopeOf returns the nearest enclosing scope node (block, case clause,
+// or comm clause) of n.
+func scopeOf(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			return p
+		}
+	}
+	return nil
+}
+
+// scopeInChain reports whether scope is in n's enclosing-scope chain.
+func scopeInChain(parents map[ast.Node]ast.Node, scope ast.Node, n ast.Node) bool {
+	for p := ast.Node(n); p != nil; p = parents[p] {
+		if p == scope {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedByEnd reports whether some End call lexically precedes ret
+// from the same or an enclosing scope.
+func dominatedByEnd(parents map[ast.Node]ast.Node, ends []ast.Node, ret *ast.ReturnStmt) bool {
+	chain := make(map[ast.Node]bool)
+	for p := ast.Node(ret); p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			chain[p] = true
+		}
+	}
+	for _, e := range ends {
+		if e.Pos() < ret.Pos() && chain[scopeOf(parents, e)] {
+			return true
+		}
+	}
+	return false
+}
+
+func lastStmt(body *ast.BlockStmt) ast.Stmt {
+	if len(body.List) == 0 {
+		return nil
+	}
+	return body.List[len(body.List)-1]
+}

@@ -1,0 +1,40 @@
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	m    int64
+	safe atomic.Int64 // typed atomics carry their own discipline: never flagged
+}
+
+func newCounter() *counter {
+	return &counter{n: 1} // composite-literal init happens before sharing: fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	c.safe.Add(1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) tornRead() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) tornWrite() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) plainOnly() int64 {
+	c.m++ // m is never touched atomically: fine
+	return c.m
+}
+
+func (c *counter) deliberate() int64 {
+	//axmlvet:ignore atomicfield monotonic stats read, staleness is acceptable
+	return c.n
+}

@@ -1,0 +1,42 @@
+package closeguard
+
+import (
+	"axml/internal/session"
+	"axml/internal/xmltree"
+)
+
+func forest() []*xmltree.Node { return nil }
+
+func leak() bool {
+	rows := session.FromForest(forest()) // want `session\.Rows rows is never Closed`
+	return rows.Next()
+}
+
+func deferredClose() error {
+	rows := session.FromForest(forest())
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+func collected() ([]*xmltree.Node, error) {
+	rows := session.FromForest(forest())
+	return rows.Collect() // Collect drains and closes: fine
+}
+
+func handedOff() *session.Rows {
+	rows := session.FromForest(forest())
+	return rows // caller owns the stream now: fine
+}
+
+func passedAlong(drain func(*session.Rows)) {
+	rows := session.FromForest(forest())
+	drain(rows) // callee owns it: fine
+}
+
+func deliberate() bool {
+	//axmlvet:ignore closeguard harness closes it via finalizer table
+	rows := session.FromForest(forest())
+	return rows.Next()
+}

@@ -1,0 +1,37 @@
+package ctxflow
+
+import "context"
+
+var bg = context.Background()
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+func threads(ctx context.Context) error {
+	return doWork(ctx) // ctx passed through: fine
+}
+
+func detaches(ctx context.Context) error {
+	return doWork(context.Background()) // want `function detaches called with Background\(\) despite receiving a ctx`
+}
+
+func todos(ctx context.Context) error {
+	_ = ctx.Err()
+	return doWork(context.TODO()) // want `function todos called with TODO\(\) despite receiving a ctx`
+}
+
+func drops(ctx context.Context) error { // want `function drops receives a ctx it never uses`
+	return doWork(bg)
+}
+
+func root() error {
+	return doWork(context.Background()) // no ctx parameter: servers root new contexts, fine
+}
+
+func leaf(ctx context.Context) int {
+	return 42 // unused ctx but no ctx-taking callee: fine
+}
+
+func deliberate(ctx context.Context) error {
+	//axmlvet:ignore ctxflow background sweep must outlive the request
+	return doWork(context.Background())
+}

@@ -1,0 +1,62 @@
+package lockedcall
+
+import (
+	"sync"
+
+	"axml/internal/netsim"
+)
+
+type node struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	net *netsim.Network
+	ch  chan int
+	n   int
+}
+
+// ship reaches the network; intra-package callers inherit the taint.
+func (s *node) ship() {
+	_, _, _, _ = s.net.Call(netsim.Message{})
+}
+
+func (s *node) callUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _, _, _ = s.net.Call(netsim.Message{}) // want `network call Call while holding s\.mu`
+}
+
+func (s *node) sendUnderLock() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *node) transitive() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.ship() // want `network call ship while holding s\.rw`
+}
+
+func (s *node) unlockFirst() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n // lock already released: fine
+}
+
+func (s *node) asyncUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.ship() // goroutine runs after the caller releases: fine
+}
+
+func (s *node) lockFreePath() {
+	s.ship() // no lock held: fine
+}
+
+func (s *node) deliberate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//axmlvet:ignore lockedcall remote handler cannot re-enter s.mu
+	s.ship()
+}

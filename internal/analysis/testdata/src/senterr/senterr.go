@@ -1,0 +1,46 @@
+package senterr
+
+import (
+	"errors"
+
+	"axml/internal/core"
+	"axml/internal/session"
+)
+
+var errLocal = errors.New("not a module sentinel")
+
+func identity(err error) bool {
+	return err == core.ErrCanceled // want `sentinel ErrCanceled compared with ==`
+}
+
+func negated(err error) bool {
+	return err != session.ErrViewMoved // want `sentinel ErrViewMoved compared with !=`
+}
+
+func switched(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case core.ErrCanceled: // want `sentinel ErrCanceled in switch case`
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+func wrapped(err error) bool {
+	return errors.Is(err, core.ErrCanceled) // errors.Is survives wrapping: fine
+}
+
+func nilCompare(err error) bool {
+	return err == nil // nil comparison: fine
+}
+
+func foreign(err error) bool {
+	return err == errLocal // not a module sentinel: fine
+}
+
+func deliberate(err error) bool {
+	//axmlvet:ignore senterr wire layer reconstructs the exact sentinel value
+	return err == session.ErrViewMoved
+}

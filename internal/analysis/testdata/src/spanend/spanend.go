@@ -1,0 +1,61 @@
+package spanend
+
+import (
+	"context"
+
+	"axml/internal/obs"
+)
+
+func deferred(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	defer sp.End()
+	sp.AddRows(1)
+}
+
+func neverEnded(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "query", "q") // want `span sp is started but never ended`
+	sp.AddRows(1)
+}
+
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	if fail {
+		return nil // want `return without ending span sp`
+	}
+	sp.End()
+	return nil
+}
+
+func allBranches(ctx context.Context, fail bool) error {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	if fail {
+		sp.Fail(nil)
+		sp.End()
+		return nil
+	}
+	sp.End()
+	return nil // every path ends the span: fine
+}
+
+func escapes(ctx context.Context) *obs.Span {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	return sp // handed to the caller: their responsibility
+}
+
+func siblingCase(ctx context.Context, kind string) error {
+	switch kind {
+	case "eval":
+		_, sp := obs.StartSpan(ctx, "eval", "")
+		sp.End()
+		return nil
+	case "other":
+		return nil // unreachable from the span's branch: fine
+	}
+	return nil
+}
+
+func deliberate(ctx context.Context) {
+	//axmlvet:ignore spanend span handed to the trace sink open by design
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	sp.AddRows(1)
+}

@@ -170,6 +170,7 @@ func TestEvalCursorContextCanceled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cur.Close()
 	if n, err := cur.Next(); n == nil || err != nil {
 		t.Fatalf("first pull: %v %v", n, err)
 	}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"testing"
+
+	"axml/internal/xmltree"
+)
+
+// The obs XML codecs decode STATS and TRACE replies that arrive off the
+// wire, so they see attacker-shaped trees, not just SnapshotToXML /
+// SpansToXML output. The property both targets assert is decode→encode
+// stability: whatever FromXML accepts, re-encoding and re-decoding it
+// must converge after one round (unparsable numbers collapse to zero on
+// the first decode and must stay there). A non-convergent codec would
+// make relayed stats drift hop by hop.
+
+func FuzzSnapshotFromXML(f *testing.F) {
+	seeds := []string{
+		`<x:stats/>`,
+		`<x:stats><counter name="wire.queries" value="12"/><gauge name="view.placements" value="3"/></x:stats>`,
+		`<x:stats><hist name="eval.vt" count="4" sum="13.25"/></x:stats>`,
+		`<x:stats><counter name="dup" value="1"/><counter name="dup" value="2"/></x:stats>`,
+		`<x:stats><counter value="7"/><bogus name="x"/></x:stats>`,
+		`<x:stats><counter name="n" value="not-a-number"/></x:stats>`,
+		`<x:stats><hist name="h" count="1" sum="NaN"/></x:stats>`,
+		`<x:stats><hist name="h" count="-1" sum="-0"/></x:stats>`,
+		`<x:trace id="wrong-root"/>`,
+		`not xml`,
+		`<x:stats><counter name="big" value="99999999999999999999"/></x:stats>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		root, err := xmltree.Parse(input)
+		if err != nil {
+			return
+		}
+		s1, err := SnapshotFromXML(root)
+		if err != nil {
+			return
+		}
+		r1 := xmltree.Serialize(SnapshotToXML(s1))
+		s2, err := SnapshotFromXML(xmltree.MustParse(r1))
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, r1)
+		}
+		if r2 := xmltree.Serialize(SnapshotToXML(s2)); r2 != r1 {
+			t.Fatalf("stats codec not stable:\n first: %s\nsecond: %s", r1, r2)
+		}
+	})
+}
+
+func FuzzSpansFromXML(f *testing.F) {
+	seeds := []string{
+		`<x:trace id="t1"/>`,
+		`<x:trace id="t1"><span id="1" phase="eval" name="q" startMs="0.5" wallMs="2"/></x:trace>`,
+		`<x:trace id="t1"><span id="2" parent="1" phase="ship" from="a" to="b" startVT="1" endVT="3.5" bytesOut="120" rows="4"/></x:trace>`,
+		`<x:trace id="t1"><span id="3" phase="eval" err="peer down"><attr k="doc" v="catalog"/><attr k="doc" v="dup"/></span></x:trace>`,
+		`<x:trace><span/></x:trace>`,
+		`<x:trace id="t"><span id="18446744073709551615" phase="overflow"/></x:trace>`,
+		`<x:trace id="t"><span id="-1" rows="-2" wallMs="NaN"/></x:trace>`,
+		`<x:trace id="t"><notaspan/><span id="1"><attr v="no-key"/></span></x:trace>`,
+		`<x:stats/>`,
+		`garbage`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		root, err := xmltree.Parse(input)
+		if err != nil {
+			return
+		}
+		id1, spans1, err := SpansFromXML(root)
+		if err != nil {
+			return
+		}
+		r1 := xmltree.Serialize(SpansToXML(id1, spans1))
+		id2, spans2, err := SpansFromXML(xmltree.MustParse(r1))
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, r1)
+		}
+		if id2 != id1 {
+			t.Fatalf("trace id drifted: %q -> %q", id1, id2)
+		}
+		if r2 := xmltree.Serialize(SpansToXML(id2, spans2)); r2 != r1 {
+			t.Fatalf("trace codec not stable:\n first: %s\nsecond: %s", r1, r2)
+		}
+	})
+}

@@ -84,6 +84,7 @@ func TestSpansSnapshotIsolation(t *testing.T) {
 	tr := NewTrace("t")
 	ctx := WithTrace(context.Background(), tr)
 	_, sp := StartSpan(ctx, "query", "")
+	defer sp.End()
 	sp.Set("k", "v1")
 	snap := tr.Spans()
 	snap[0].Attrs["k"] = "mutated"

@@ -128,8 +128,8 @@ func SpansFromXML(root *xmltree.Node) (string, []Span, error) {
 	var spans []Span
 	for _, el := range root.ChildElementsByLabel("span") {
 		sp := Span{
-			ID:       uint64(attrInt(el, "id")),
-			Parent:   uint64(attrInt(el, "parent")),
+			ID:       attrUint(el, "id"),
+			Parent:   attrUint(el, "parent"),
 			StartMs:  attrFloat(el, "startMs"),
 			WallMs:   attrFloat(el, "wallMs"),
 			StartVT:  attrFloat(el, "startVT"),
@@ -181,12 +181,31 @@ func labelOf(n *xmltree.Node) string {
 	return n.Label
 }
 
+// attrInt and friends treat a malformed attribute as zero. Discarding
+// the partial value strconv returns on range errors matters: MaxInt64
+// would re-encode as a different (now parseable) number, so a decode→
+// encode cycle over a hostile input would never converge.
 func attrInt(n *xmltree.Node, name string) int64 {
 	s, ok := n.Attr(name)
 	if !ok {
 		return 0
 	}
-	v, _ := strconv.ParseInt(s, 10, 64)
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func attrUint(n *xmltree.Node, name string) uint64 {
+	s, ok := n.Attr(name)
+	if !ok {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
 	return v
 }
 

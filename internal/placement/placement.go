@@ -214,14 +214,23 @@ func (c *Controller) Placements() []view.PlacementInfo { return c.views.Placemen
 // Step runs one observe→decide→act round: sample the network, decide
 // and execute at most one action per view, enforce the byte budgets,
 // decay the demand window. It returns the actions executed this round.
+//
+// The round runs in three phases. Observation and planning hold c.mu;
+// actuation releases it, because migrate/replicate ship the view's
+// bytes across the network and holding the controller lock across that
+// transfer would stall every Rounds()/Decisions() reader for the whole
+// ship — and deadlock outright if the receiving peer's traffic ever
+// fed back into this controller (found by cmd/axmlvet's lockedcall
+// analyzer). Rounds themselves are not re-entrant: the controller is
+// deliberately synchronous and driven by one caller (see the type
+// comment), so interleaved Steps are a caller bug, not a data race —
+// all shared state stays under c.mu.
 func (c *Controller) Step(ctx context.Context) ([]Decision, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.round++
+	round := c.round
 	c.obs.SampleNetwork(c.sys.Net.Stats())
 
-	var made []Decision
-	var errs []error
 	byView := map[string][]view.PlacementInfo{}
 	usage := map[netsim.PeerID]int64{}
 	for _, pi := range c.views.Placements() {
@@ -233,22 +242,37 @@ func (c *Controller) Step(ctx context.Context) ([]Decision, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var planned []*Decision
 	for _, name := range names {
 		if c.cool[name] > 0 {
 			c.cool[name]--
 			continue
 		}
-		d, err := c.decide(ctx, name, byView[name], usage)
-		if err != nil {
-			errs = append(errs, fmt.Errorf("view %q: %w", name, err))
-			continue
-		}
-		if d != nil {
-			c.cool[name] = c.cfg.Cooldown
-			made = append(made, *d)
+		if d := c.plan(round, name, byView[name], usage); d != nil {
+			planned = append(planned, d)
 		}
 	}
-	evicted, err := c.enforceBudgets()
+	c.mu.Unlock()
+
+	// Phase 2, unlocked: ship.
+	var made []Decision
+	var errs []error
+	for _, d := range planned {
+		if err := c.apply(ctx, d); err != nil {
+			errs = append(errs, fmt.Errorf("view %q: %w", d.View, err))
+			continue
+		}
+		made = append(made, *d)
+	}
+
+	// Phase 3: bookkeeping. Budget eviction stays under c.mu — it only
+	// drops local placements, no network — and cooldowns apply to the
+	// actions that actually executed, as before.
+	c.mu.Lock()
+	for _, d := range made {
+		c.cool[d.View] = c.cfg.Cooldown
+	}
+	evicted, err := c.enforceBudgets(round)
 	if err != nil {
 		errs = append(errs, err)
 	}
@@ -258,14 +282,16 @@ func (c *Controller) Step(ctx context.Context) ([]Decision, error) {
 		c.log = append([]Decision(nil), c.log[over:]...)
 	}
 	c.obs.Decay(c.cfg.Decay)
+	c.mu.Unlock()
+
 	err = errors.Join(errs...)
-	c.record(made, err)
+	c.record(round, made, err)
 	return made, err
 }
 
 // record emits the round's telemetry: one structured log record per
 // executed action, a per-round debug summary, and registry counters.
-func (c *Controller) record(made []Decision, err error) {
+func (c *Controller) record(round int, made []Decision, err error) {
 	for _, d := range made {
 		c.cfg.Logger.Info("placement action",
 			"round", d.Round, "action", d.Action, "view", d.View,
@@ -274,11 +300,11 @@ func (c *Controller) record(made []Decision, err error) {
 			"reason", d.Reason)
 		c.cfg.Metrics.Counter("placement.actions." + d.Action).Inc()
 	}
-	c.cfg.Logger.Debug("placement round", "round", c.round,
+	c.cfg.Logger.Debug("placement round", "round", round,
 		"actions", len(made), "views", len(c.views.Views()))
 	c.cfg.Metrics.Counter("placement.rounds").Inc()
 	if err != nil {
-		c.cfg.Logger.Warn("placement round errors", "round", c.round, "err", err)
+		c.cfg.Logger.Warn("placement round errors", "round", round, "err", err)
 		c.cfg.Metrics.Counter("placement.errors").Inc()
 	}
 }
@@ -287,7 +313,7 @@ func (c *Controller) record(made []Decision, err error) {
 // their budget, lowest benefit-per-byte first. Evicting the last copy
 // of a view drops the view (queries fall back to the base — correct,
 // just slower), which is exactly what a hard storage limit means.
-func (c *Controller) enforceBudgets() ([]Decision, error) {
+func (c *Controller) enforceBudgets(round int) ([]Decision, error) {
 	var out []Decision
 	var errs []error
 	for guard := 0; guard < 64; guard++ {
@@ -316,7 +342,7 @@ func (c *Controller) enforceBudgets() ([]Decision, error) {
 			break
 		}
 		out = append(out, Decision{
-			Round: c.round, View: victim.View, Action: "evict", From: peer,
+			Round: round, View: victim.View, Action: "evict", From: peer,
 			Reason: fmt.Sprintf("budget %d bytes exceeded at %s", c.budgetFor(peer), peer),
 		})
 	}

@@ -152,19 +152,21 @@ func (c *Controller) evictionBenefit(name string, placed []view.PlacementInfo, v
 	return benefit
 }
 
-// decide scores the candidate actions for one view and executes the
-// best one when it clears the hysteresis margin. At most one action
-// per view per round keeps every move attributable and the system
-// analyzable for convergence. usage (current view bytes per peer)
-// filters candidates up front: a peer whose budget cannot hold the
-// view is never a move target — without this, a tight budget would
-// ship the view in decide and evict it in enforceBudgets every round.
-func (c *Controller) decide(ctx context.Context, name string, placed []view.PlacementInfo,
-	usage map[netsim.PeerID]int64) (*Decision, error) {
+// plan scores the candidate actions for one view and returns the best
+// one when it clears the hysteresis margin, without executing it — the
+// caller actuates via apply with the controller lock released, because
+// migrate/replicate ship the view's bytes over the network. At most
+// one action per view per round keeps every move attributable and the
+// system analyzable for convergence. usage (current view bytes per
+// peer) filters candidates up front: a peer whose budget cannot hold
+// the view is never a move target — without this, a tight budget would
+// plan the ship here and evict it in enforceBudgets every round.
+func (c *Controller) plan(round int, name string, placed []view.PlacementInfo,
+	usage map[netsim.PeerID]int64) *Decision {
 	doc := view.DocPrefix + name
 	demand := c.obs.Demand(doc)
 	if len(demand) == 0 {
-		return nil, nil
+		return nil
 	}
 	sites := make([]netsim.PeerID, len(placed))
 	viewBytes := int64(0)
@@ -254,24 +256,30 @@ func (c *Controller) decide(ctx context.Context, name string, placed []view.Plac
 	}
 
 	if best == nil || best.gain <= c.cfg.MinGainFrac*(cur+curMaint)+1e-9 {
-		return nil, nil
-	}
-	var err error
-	switch best.action {
-	case "migrate":
-		err = c.views.Migrate(ctx, name, best.from, best.to)
-	case "replicate":
-		err = c.views.AddPlacement(name, best.to)
-	case "drop":
-		err = c.views.DropPlacement(name, best.from)
-	}
-	if err != nil {
-		return nil, err
+		return nil
 	}
 	return &Decision{
-		Round: c.round, View: name, Action: best.action,
+		Round: round, View: name, Action: best.action,
 		From: best.from, To: best.to,
 		GainPerRound: best.gain, OneTime: best.oneTime,
 		Reason: fmt.Sprintf("demand-weighted serve cost %.1f/round", cur),
-	}, nil
+	}
+}
+
+// apply executes a planned action. Callers must NOT hold c.mu: migrate
+// and replicate ship the view's contents across the network (the
+// lockedcall invariant — a reader of Rounds()/Decisions() must never
+// block behind a multi-megabyte transfer, and the remote side of the
+// ship must be free to feed traffic back into this controller's
+// observer).
+func (c *Controller) apply(ctx context.Context, d *Decision) error {
+	switch d.Action {
+	case "migrate":
+		return c.views.Migrate(ctx, d.View, d.From, d.To)
+	case "replicate":
+		return c.views.AddPlacement(d.View, d.To)
+	case "drop":
+		return c.views.DropPlacement(d.View, d.From)
+	}
+	return fmt.Errorf("placement: unknown action %q", d.Action)
 }

@@ -177,6 +177,7 @@ func TestErrViewMovedOnDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer rows.Close()
 	if err := views.Drop("cheap"); err != nil {
 		t.Fatal(err)
 	}

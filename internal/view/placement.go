@@ -243,6 +243,13 @@ func (m *Manager) Migrate(ctx context.Context, name string, from, to netsim.Peer
 	oldKids, _ := source.ChildIDs(old.root)
 	if len(oldRoot.Children) > 0 {
 		ref := peer.NodeRef{Peer: to, Node: newRoot.ID}
+		// Shipping under st.mu is deliberate: the lock is what makes
+		// the staging-doc swap atomic against concurrent refresh and
+		// placement surgery on this one view, and the receiving peer's
+		// handler lands data without ever touching view state, so the
+		// hop cannot re-enter st.mu. Cross-view work is unaffected —
+		// the lock is per-view, not manager-wide.
+		//axmlvet:ignore lockedcall staging swap must be atomic vs refresh; remote side never re-enters st.mu
 		if _, err := m.sys.ShipForest(ctx, from, ref, oldRoot.Children, 0); err != nil {
 			// The move failed in transit; the old placement is intact.
 			// On a lost ack the rows may have landed, but the half-built

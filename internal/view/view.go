@@ -203,6 +203,12 @@ func (m *Manager) DefineQuery(name string, q *xquery.Query, at netsim.PeerID) er
 			return fmt.Errorf("view %q: already placed at %s", name, at)
 		}
 	}
+	// Materializing ships the view's contents while st.mu is held —
+	// deliberate, same discipline as Migrate: the lock makes the
+	// placement visible-or-absent atomically against refresh, and the
+	// receiving peer lands data without touching view state, so the
+	// hop cannot re-enter st.mu.
+	//axmlvet:ignore lockedcall placement must appear atomically vs refresh; remote side never re-enters st.mu
 	p, err := m.materialize(m.ctx, st, at)
 	if err != nil {
 		// A view with no materialized placement must not linger: its

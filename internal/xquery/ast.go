@@ -11,7 +11,6 @@
 package xquery
 
 import (
-	"fmt"
 	"strings"
 
 	"axml/internal/xpath"
@@ -232,7 +231,10 @@ func rewriteRender(e xpath.Expr) string {
 	switch v := e.(type) {
 	case xpath.VarRef:
 		if name, ok := strings.CutPrefix(string(v), docVarPrefix); ok {
-			return fmt.Sprintf("doc(%q)", name)
+			// Quote like xpath.StringLit, not %q: the lexer has no
+			// backslash escapes, so Go-style \xNN renderings of odd
+			// bytes would not survive a reparse.
+			return "doc(" + xpath.StringLit(name).String() + ")"
 		}
 		return v.String()
 	case *xpath.PathExpr:

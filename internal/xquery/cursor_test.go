@@ -177,6 +177,7 @@ func TestCursorContextCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cur.Close()
 	for i := 0; i < 2; i++ {
 		if n, err := cur.Next(); n == nil || err != nil {
 			t.Fatalf("pull %d: %v %v", i, n, err)
@@ -220,6 +221,7 @@ func TestCursorLateError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cur.Close()
 	for i := 0; i < 2; i++ {
 		if n, err := cur.Next(); n == nil || err != nil {
 			t.Fatalf("row %d: %v %v", i, n, err)
