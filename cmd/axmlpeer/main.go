@@ -163,7 +163,9 @@ func main() {
 				"interval", *adaptive)
 		}
 		go func() {
-			for range time.Tick(*adaptive) {
+			t := time.NewTicker(*adaptive)
+			defer t.Stop()
+			for range t.C {
 				if _, err := ctrl.Step(context.Background()); err != nil {
 					logger.Warn("placement step", "err", err)
 				}

@@ -6,26 +6,34 @@
 //
 //	axmlvet [flags] [dir]
 //
-//	-run  names   comma-separated analyzer subset (default: all)
-//	-json         emit findings as a JSON array on stdout (skips go vet;
-//	              pair with a separate `go vet ./...` in CI)
-//	-tests        include in-package _test.go files in the analysis
-//	-novet        skip the stock `go vet ./...` pass
-//	-list         print the analyzer suite and exit
+//	-run  names     comma-separated analyzer subset (default: all)
+//	-json           emit findings as a JSON array on stdout (skips go vet;
+//	                pair with a separate `go vet ./...` in CI)
+//	-tests          include in-package _test.go files in the analysis
+//	-novet          skip the stock `go vet ./...` pass
+//	-list           print the analyzer suite and exit
+//	-baseline mode  "write" snapshots current findings to the baseline
+//	                file; "check" fails only on findings not in it
+//	-baseline-file  baseline location (default <module>/analysis_baseline.json)
+//	-fix            apply suggested fixes (currently senterr rewrites)
+//	                and exit; does not report
 //
 // The optional dir argument (default ".") selects the module to check:
 // axmlvet finds the enclosing go.mod and analyzes every package under
-// it. Deliberate violations are suppressed in source with
-// `//axmlvet:ignore <analyzer> reason` on the offending line or the
-// line above; see internal/analysis.
+// it. Module-wide analyzers (lockorder) see all packages at once; the
+// rest run per package. Deliberate violations are suppressed in source
+// with `//axmlvet:ignore <analyzer> reason` on the offending line or
+// the line above; see internal/analysis.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"axml/internal/analysis"
@@ -39,6 +47,13 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// listAnalyzers writes the suite, one analyzer per line, to w.
+func listAnalyzers(w io.Writer, suite []*analysis.Analyzer) {
+	for _, a := range suite {
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, a.Doc)
+	}
+}
+
 func main() {
 	var (
 		runNames = flag.String("run", "", "comma-separated analyzer names to run (default all)")
@@ -46,15 +61,19 @@ func main() {
 		tests    = flag.Bool("tests", false, "include in-package _test.go files")
 		noVet    = flag.Bool("novet", false, "skip the stock `go vet ./...` pass")
 		list     = flag.Bool("list", false, "list analyzers and exit")
+		baseMode = flag.String("baseline", "", `baseline mode: "write" or "check"`)
+		baseFile = flag.String("baseline-file", "", "baseline file (default <module>/"+analysis.BaselineFile+")")
+		fix      = flag.Bool("fix", false, "apply suggested fixes and exit")
 	)
 	flag.Parse()
 
 	suite := analysis.All()
 	if *list {
-		for _, a := range suite {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout, suite)
 		return
+	}
+	if *baseMode != "" && *baseMode != "write" && *baseMode != "check" {
+		fatalf(`-baseline must be "write" or "check", got %q`, *baseMode)
 	}
 	if *runNames != "" {
 		keep := make(map[string]bool)
@@ -89,23 +108,53 @@ func main() {
 		fatalf("load: %v", err)
 	}
 
-	var findings []jsonFinding
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, suite)
-		if err != nil {
-			fatalf("%v", err)
+	diags, err := analysis.RunModuleAnalyzers(pkgs, suite)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	modRoot := loader.ModuleRoot()
+
+	if *fix {
+		changed, err := analysis.ApplyFixes(diags)
+		for _, f := range changed {
+			fmt.Println("fixed:", f)
 		}
-		for _, d := range diags {
-			findings = append(findings, jsonFinding{
-				Analyzer: d.Analyzer,
-				File:     d.Pos.Filename,
-				Line:     d.Pos.Line,
-				Col:      d.Pos.Column,
-				Message:  d.Message,
-			})
-			if !*jsonOut {
-				fmt.Println(d)
-			}
+		if err != nil {
+			fatalf("fix: %v", err)
+		}
+		return
+	}
+
+	bpath := *baseFile
+	if bpath == "" {
+		bpath = filepath.Join(modRoot, analysis.BaselineFile)
+	}
+	switch *baseMode {
+	case "write":
+		if err := analysis.NewBaseline(modRoot, diags).Save(bpath); err != nil {
+			fatalf("baseline write: %v", err)
+		}
+		fmt.Printf("axmlvet: wrote %d finding(s) to %s\n", len(diags), bpath)
+		return
+	case "check":
+		base, err := analysis.LoadBaseline(bpath)
+		if err != nil {
+			fatalf("baseline: %v", err)
+		}
+		diags = base.New(modRoot, diags)
+	}
+
+	var findings []jsonFinding
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		})
+		if !*jsonOut {
+			fmt.Println(d)
 		}
 	}
 
@@ -127,7 +176,7 @@ func main() {
 	vetFailed := false
 	if !*noVet {
 		cmd := exec.Command("go", "vet", "./...")
-		cmd.Dir = loader.ModuleRoot()
+		cmd.Dir = modRoot
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Run(); err != nil {
@@ -137,7 +186,11 @@ func main() {
 	}
 
 	if len(findings) > 0 || vetFailed {
-		fmt.Fprintf(os.Stderr, "axmlvet: %d finding(s)\n", len(findings))
+		word := "finding(s)"
+		if *baseMode == "check" {
+			word = "new finding(s) over baseline"
+		}
+		fmt.Fprintf(os.Stderr, "axmlvet: %d %s\n", len(findings), word)
 		os.Exit(1)
 	}
 }

@@ -11,9 +11,18 @@
 //	atomicfield  mixed atomic/plain access to the same struct field
 //	ctxflow      ctx-taking functions that drop ctx or pass Background()
 //	lockedcall   network calls / channel sends while holding a mutex
+//	lockorder    inconsistent mutex acquisition order across the module
 //	spanend      obs.StartSpan results that are not End()ed on all paths
 //	closeguard   session Rows / cursors that are never Closed
+//	goleak       goroutines that can block forever (chans, tickers, locks)
 //	senterr      sentinel errors compared with == instead of errors.Is
+//
+// The path-sensitive checks share a CFG layer: cfg.go builds
+// per-function control-flow graphs, dataflow.go solves forward and
+// backward may/must problems over them, and callgraph.go summarizes
+// static calls for the interprocedural passes (lockorder). baseline.go
+// ratchets findings through a committed snapshot, and fix.go applies
+// the mechanical rewrites some diagnostics suggest.
 //
 // Deliberate violations are annotated in source with
 //
@@ -32,11 +41,33 @@ import (
 
 // An Analyzer describes one invariant check. It mirrors
 // x/tools/go/analysis.Analyzer minus the dependency machinery (facts,
-// requires) that axml's checks do not need.
+// requires) that axml's checks do not need. Per-package analyzers set
+// Run; whole-module analyzers (lockorder needs the cross-package call
+// graph) set RunModule instead and see every loaded package at once.
 type Analyzer struct {
-	Name string // short lowercase identifier, used by //axmlvet:ignore
-	Doc  string // one-paragraph description of the invariant
-	Run  func(*Pass) error
+	Name      string // short lowercase identifier, used by //axmlvet:ignore
+	Doc       string // one-paragraph description of the invariant
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
+}
+
+// A ModulePass provides a module-wide analyzer with every loaded
+// package of the module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.diags = append(mp.diags, Diagnostic{
+		Analyzer: mp.Analyzer.Name,
+		Pos:      mp.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -50,11 +81,27 @@ type Pass struct {
 	diags []Diagnostic
 }
 
-// A Diagnostic is a single finding at a source position.
+// A Diagnostic is a single finding at a source position. Fixes, when
+// present, describe a mechanical rewrite that resolves the finding;
+// axmlvet applies them under -fix.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []Fix
+}
+
+// A Fix is one byte-range replacement in a single file. Offsets are
+// fset offsets within File; NewText replaces the half-open range
+// [StartOff, EndOff).
+type Fix struct {
+	File     string
+	StartOff int
+	EndOff   int
+	NewText  string
+	// AddImport names a package the replacement text requires; the
+	// applier inserts the import if the file lacks it.
+	AddImport string
 }
 
 func (d Diagnostic) String() string {
@@ -67,6 +114,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFixf records a finding at pos together with a suggested fix.
+func (p *Pass) ReportFixf(pos token.Pos, fixes []Fix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
 }
 
@@ -85,27 +142,67 @@ func (p *Pass) objectOf(id *ast.Ident) types.Object {
 
 // RunAnalyzers applies each analyzer to pkg, filters findings through
 // the //axmlvet:ignore comments in the package's files, and returns the
-// surviving diagnostics sorted by position.
+// surviving diagnostics sorted by position. Module-wide analyzers see a
+// single-package module view — the fixture runner uses exactly that.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	ign := collectIgnores(pkg.Fset, pkg.Files)
-	var out []Diagnostic
+	return RunModuleAnalyzers([]*Package{pkg}, analyzers)
+}
+
+// RunModuleAnalyzers applies each analyzer across pkgs: per-package
+// analyzers to every package, module-wide analyzers once over the
+// whole set. Findings are filtered through //axmlvet:ignore comments,
+// deduplicated, and returned sorted by position.
+func RunModuleAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	fset := pkgs[0].Fset
+	var allFiles []*ast.File
+	for _, pkg := range pkgs {
+		allFiles = append(allFiles, pkg.Files...)
+	}
+	ign := collectIgnores(fset, allFiles)
+
+	var raw []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-		}
-		if err := a.Run(pass); err != nil {
-			return out, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
-		}
-		for _, d := range pass.diags {
-			if ign.suppressed(a.Name, d.Pos) {
-				continue
+		switch {
+		case a.RunModule != nil:
+			mp := &ModulePass{Analyzer: a, Fset: fset, Pkgs: pkgs}
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
 			}
-			out = append(out, d)
+			raw = append(raw, mp.diags...)
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+				}
+				raw = append(raw, pass.diags...)
+			}
 		}
+	}
+
+	type diagKey struct {
+		analyzer string
+		pos      token.Position
+		message  string
+	}
+	seen := make(map[diagKey]bool, len(raw))
+	var out []Diagnostic
+	for _, d := range raw {
+		k := diagKey{d.Analyzer, d.Pos, d.Message}
+		if ign.suppressed(d.Analyzer, d.Pos) || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -115,7 +212,10 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Column < b.Column
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Message < out[j].Message
 	})
 	return out, nil
 }
@@ -126,8 +226,10 @@ func All() []*Analyzer {
 		AtomicField,
 		CtxFlow,
 		LockedCall,
+		LockOrder,
 		SpanEnd,
 		CloseGuard,
+		GoLeak,
 		SentErr,
 	}
 }

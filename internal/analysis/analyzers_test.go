@@ -33,24 +33,36 @@ func testFixture(t *testing.T, a *Analyzer, pkg string) {
 func TestAtomicField(t *testing.T) { testFixture(t, AtomicField, "atomicfield") }
 func TestCtxFlow(t *testing.T)     { testFixture(t, CtxFlow, "ctxflow") }
 func TestLockedCall(t *testing.T)  { testFixture(t, LockedCall, "lockedcall") }
+func TestLockOrder(t *testing.T)   { testFixture(t, LockOrder, "lockorder") }
 func TestSpanEnd(t *testing.T)     { testFixture(t, SpanEnd, "spanend") }
 func TestCloseGuard(t *testing.T)  { testFixture(t, CloseGuard, "closeguard") }
+func TestGoLeak(t *testing.T)      { testFixture(t, GoLeak, "goleak") }
 func TestSentErr(t *testing.T)     { testFixture(t, SentErr, "senterr") }
 
 // TestAnalyzerNames pins the published names: //axmlvet:ignore comments
-// in the tree reference them, so renames are breaking changes.
+// in the tree reference them, so renames are breaking changes. Names
+// must also be unique — the -run filter, baseline keys, and ignore
+// comments all key on them.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"atomicfield", "ctxflow", "lockedcall", "spanend", "closeguard", "senterr"}
+	want := []string{"atomicfield", "ctxflow", "lockedcall", "lockorder", "spanend", "closeguard", "goleak", "senterr"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
 	}
+	seen := make(map[string]bool)
 	for i, a := range got {
 		if a.Name != want[i] {
 			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
 		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
 		if a.Doc == "" {
 			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil && a.RunModule == nil {
+			t.Errorf("analyzer %q has neither Run nor RunModule", a.Name)
 		}
 	}
 }

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// baseline.go gives axmlvet a ratchet: `-baseline write` snapshots the
+// current findings to a JSON file committed at the module root, and
+// `-baseline check` fails only on findings NOT in the snapshot. That
+// lets a new analyzer land with pre-existing debt recorded instead of
+// blocking CI, while still catching every newly introduced instance.
+// Entries are keyed (analyzer, file, message) with a count, not line
+// numbers — unrelated edits move lines constantly, and a moved finding
+// is not a new finding.
+
+// BaselineFile is the conventional snapshot location, relative to the
+// module root.
+const BaselineFile = "analysis_baseline.json"
+
+// A BaselineEntry accepts Count findings with this analyzer, file, and
+// message. File paths are module-root-relative with forward slashes.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// A Baseline is a set of accepted findings.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// baselineFileKey normalizes a diagnostic's filename for keying.
+func baselineFileKey(modRoot, filename string) string {
+	if rel, err := filepath.Rel(modRoot, filename); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline snapshots diags into a baseline, with filenames made
+// relative to modRoot.
+func NewBaseline(modRoot string, diags []Diagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, baselineFileKey(modRoot, d.Pos.Filename), d.Message}
+		counts[k]++
+	}
+	b := &Baseline{}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error — check mode then fails on every finding,
+// which is the right default for a repo that has never written one.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Save(path string) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// New returns the diagnostics in diags that exceed the baseline: for
+// each (analyzer, file, message) key, the first baselined-Count
+// findings are accepted and the rest returned, preserving order.
+func (b *Baseline) New(modRoot string, diags []Diagnostic) []Diagnostic {
+	budget := make(map[baselineKey]int, len(b.Entries))
+	for _, e := range b.Entries {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, baselineFileKey(modRoot, d.Pos.Filename), d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func bdiag(root, file, analyzer, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(file)), Line: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	old := []Diagnostic{
+		bdiag(root, "a/a.go", "goleak", "leak one"),
+		bdiag(root, "a/a.go", "goleak", "leak one"), // same key twice: count 2
+		bdiag(root, "b/b.go", "senterr", "use errors.Is"),
+	}
+	path := filepath.Join(root, "base.json")
+	if err := NewBaseline(root, old).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(b.Entries), b.Entries)
+	}
+
+	// The same findings check clean; a third instance of a counted key
+	// and a brand-new key are both reported.
+	if new := b.New(root, old); len(new) != 0 {
+		t.Errorf("unchanged findings reported as new: %v", new)
+	}
+	cur := append(append([]Diagnostic{}, old...),
+		bdiag(root, "a/a.go", "goleak", "leak one"),
+		bdiag(root, "c/c.go", "lockorder", "cycle"),
+	)
+	new := b.New(root, cur)
+	if len(new) != 2 {
+		t.Fatalf("got %d new findings, want 2: %v", len(new), new)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	d := []Diagnostic{bdiag(root, "x.go", "goleak", "m")}
+	if new := b.New(root, d); len(new) != 1 {
+		t.Errorf("empty baseline should report everything, got %v", new)
+	}
+}
+
+func TestBaselineKeyIsLineInsensitive(t *testing.T) {
+	root := t.TempDir()
+	d := bdiag(root, "x.go", "goleak", "m")
+	b := NewBaseline(root, []Diagnostic{d})
+	d.Pos.Line = 99 // finding moved by an unrelated edit
+	if new := b.New(root, []Diagnostic{d}); len(new) != 0 {
+		t.Errorf("moved finding reported as new: %v", new)
+	}
+}

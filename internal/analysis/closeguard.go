@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -12,7 +13,18 @@ import (
 // underlying evaluation and, for wire-backed Rows, leaks the
 // connection's in-flight stream.
 //
-// session.Rows.Collect() closes the rows itself and counts as closing.
+// Like spanend, the check is a forward may-dataflow problem on the
+// CFG: the fact "cursor open" is generated at the creation site,
+// killed by Close/Collect/All (directly or in a deferred closure —
+// defers run on every exit), and reported wherever an open cursor can
+// reach a return on some path. PR 7's version accepted a Close
+// anywhere in the function, so a cursor closed in one branch but
+// leaked in another went unreported; the CFG version catches exactly
+// that path. Two deliberate outs keep the check quiet on idiomatic
+// code: the error branch of `rows, err := ...; if err != nil` is
+// exempt (there is no stream to close when the constructor failed),
+// and panic-like terminators (panic, t.Fatal) end their path without
+// demanding a Close.
 var CloseGuard = &Analyzer{
 	Name: "closeguard",
 	Doc:  "session Rows / cursors created in a function must be Closed or handed off",
@@ -35,33 +47,42 @@ var closingMethods = map[string]bool{
 }
 
 func runCloseGuard(pass *Pass) error {
-	for _, fd := range funcDecls(pass.Files) {
-		checkCloseables(pass, fd)
+	for _, fs := range funcScopes(pass.Files) {
+		checkCloseScope(pass, fs)
 	}
 	return nil
 }
 
-func checkCloseables(pass *Pass, fd *ast.FuncDecl) {
-	// Creation sites: `x, ... := f(...)` or `x := f(...)` where x has a
-	// tracked type and f is not a method on x itself.
-	type created struct {
-		obj  types.Object
-		node ast.Node
-	}
-	var sites []created
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false // closures own their cursors
-		}
+// closeSite is one cursor creation tracked within a scope.
+type closeSite struct {
+	obj    types.Object
+	stmt   *ast.AssignStmt
+	errObj types.Object // error result of the same assignment, if any
+}
+
+func checkCloseScope(pass *Pass, fs funcScope) {
+	var sites []closeSite
+	forEachSkippingFuncLit(fs.body, func(n ast.Node) {
 		as, ok := n.(*ast.AssignStmt)
-		if !ok || as.Tok.String() != ":=" {
-			return true
-		}
-		if len(as.Rhs) != 1 {
-			return true
+		if !ok || as.Tok != token.DEFINE || len(as.Rhs) != 1 {
+			return
 		}
 		if _, isCall := as.Rhs[0].(*ast.CallExpr); !isCall {
-			return true
+			return
+		}
+		var errObj types.Object
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				// := redeclares: an err already in scope resolves through
+				// Uses, not Defs.
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj != nil && isErrorType(obj.Type()) {
+					errObj = obj
+				}
+			}
 		}
 		for _, lhs := range as.Lhs {
 			id, ok := lhs.(*ast.Ident)
@@ -72,77 +93,271 @@ func checkCloseables(pass *Pass, fd *ast.FuncDecl) {
 			if obj == nil || !closeableTypes[namedTypeName(obj.Type())] {
 				continue
 			}
-			sites = append(sites, created{obj, as})
+			sites = append(sites, closeSite{obj: obj, stmt: as, errObj: errObj})
 		}
-		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(fs.body, func(call *ast.CallExpr) bool {
+		return terminalCall(pass.TypesInfo, call)
 	})
 
 	for _, site := range sites {
-		if closedOrEscapes(pass, fd, site.obj, site.node) {
-			continue
-		}
-		pass.Reportf(site.node.Pos(), "%s %s is never Closed and does not escape this function",
-			namedTypeName(site.obj.Type()), site.obj.Name())
+		checkCloseFlow(pass, fs, cfg, site)
 	}
 }
 
-// closedOrEscapes reports whether obj is closed (Close/Collect, plain
-// or deferred) or handed off (returned, passed as an argument, stored
-// in a variable/field/slice/map/channel, or address-taken).
-func closedOrEscapes(pass *Pass, fd *ast.FuncDecl, obj types.Object, creation ast.Node) bool {
-	done := false
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if done || n == creation {
-			return !done
+func checkCloseFlow(pass *Pass, fs funcScope, cfg *CFG, site closeSite) {
+	use := classifyCloseableUses(pass, fs.body, site)
+	if use.escapes || use.deferredClose {
+		return
+	}
+	if use.closeCount == 0 {
+		pass.Reportf(site.stmt.Pos(), "%s %s is never Closed and does not escape this function",
+			namedTypeName(site.obj.Type()), site.obj.Name())
+		return
+	}
+
+	const open = "open"
+	const errStale = "errstale"
+	step := func(facts FactSet, n ast.Node) FactSet {
+		if n == ast.Node(site.stmt) {
+			facts = facts.Clone()
+			facts[open] = true
+			delete(facts, errStale) // the creation refreshed err
+			return facts
 		}
+		if facts[open] && nodeClosesCursor(pass, n, site.obj) {
+			facts = facts.Clone()
+			delete(facts, open)
+		}
+		// A later assignment to the shared err variable invalidates the
+		// error-branch exemption: `if err != nil` no longer speaks about
+		// this constructor.
+		if site.errObj != nil && !facts[errStale] && nodeAssignsObj(pass, n, site.errObj) {
+			facts = facts.Clone()
+			facts[errStale] = true
+		}
+		return facts
+	}
+	transfer := func(b *Block, in FactSet) FactSet {
+		out := in
+		for _, n := range b.Nodes {
+			out = step(out, n)
+		}
+		return out
+	}
+	// Error-branch exemption: on the edge into the `err != nil` branch
+	// the constructor failed and there is no stream to close.
+	edge := func(from, to *Block, facts FactSet) FactSet {
+		if site.errObj == nil || !facts[open] || facts[errStale] || from.Cond == nil {
+			return facts
+		}
+		if errBranch := errGuardBranch(pass, from, site.errObj); errBranch == to {
+			out := facts.Clone()
+			delete(out, open)
+			return out
+		}
+		return facts
+	}
+	flow := cfg.Solve(Forward, May, FactSet{}, transfer, edge)
+
+	createdLine := pass.Fset.Position(site.stmt.Pos()).Line
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
+			continue
+		}
+		in, ok := flow.In[b]
+		if !ok {
+			continue
+		}
+		facts := in
+		for _, n := range b.Nodes {
+			if ret, isRet := n.(*ast.ReturnStmt); isRet && facts[open] {
+				// A return whose results close the cursor (return
+				// rows.Collect()) is handled by the kill below — check
+				// the closing call first.
+				if nodeClosesCursor(pass, ret, site.obj) {
+					facts = step(facts, n)
+					continue
+				}
+				pass.Reportf(ret.Pos(), "return without closing %s %s (created at line %d)",
+					namedTypeName(site.obj.Type()), site.obj.Name(), createdLine)
+			}
+			facts = step(facts, n)
+		}
+		if facts[open] && succContains(b, cfg.Exit) && !endsWithReturn(b) {
+			pass.Reportf(site.stmt.Pos(), "%s %s may not be Closed when %s falls off the end",
+				namedTypeName(site.obj.Type()), site.obj.Name(), fs.shortName)
+		}
+	}
+}
+
+// errGuardBranch returns the successor of cond-block b taken when
+// site's err result is non-nil, or nil when b's condition is not an
+// err-nil test on that object.
+func errGuardBranch(pass *Pass, b *Block, errObj types.Object) *Block {
+	bin, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil
+	}
+	var other ast.Expr
+	if isObjExpr(pass, bin.X, errObj) {
+		other = bin.Y
+	} else if isObjExpr(pass, bin.Y, errObj) {
+		other = bin.X
+	} else {
+		return nil
+	}
+	if !isNilExpr(other) {
+		return nil
+	}
+	if bin.Op == token.NEQ {
+		return b.TrueSucc // err != nil → true branch is the failure path
+	}
+	return b.FalseSucc // err == nil → false branch is the failure path
+}
+
+func isObjExpr(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// closeableUses classifies how a cursor object is used in its scope.
+type closeableUses struct {
+	escapes       bool
+	deferredClose bool
+	closeCount    int
+}
+
+func classifyCloseableUses(pass *Pass, body *ast.BlockStmt, site closeSite) closeableUses {
+	var u closeableUses
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
+		case *ast.FuncLit:
+			// A non-deferred closure referencing the cursor owns it
+			// (or at least shares it) — out of this scope's hands.
+			if identUses(pass.TypesInfo, v.Body, site.obj) {
+				u.escapes = true
+			}
+			return false
+		case *ast.DeferStmt:
+			if isClosingCall(pass, v.Call, site.obj) || deferredLitCloses(pass, v.Call, site.obj) {
+				u.deferredClose = true
+				return false
+			}
+			return true
 		case *ast.CallExpr:
-			if isMethodCallOn(pass, v, obj) {
+			if isMethodCallOn(pass, v, site.obj) {
 				sel := v.Fun.(*ast.SelectorExpr)
 				if closingMethods[sel.Sel.Name] {
-					done = true
+					u.closeCount++
 				}
-				return !done // other methods on obj are plain uses
+				return true // other methods on obj are plain uses
 			}
 			for _, arg := range v.Args {
-				if identUses(pass.TypesInfo, arg, obj) {
-					done = true // handed to a callee
+				if identUses(pass.TypesInfo, arg, site.obj) {
+					u.escapes = true // handed to a callee
 				}
 			}
 		case *ast.ReturnStmt:
 			for _, res := range v.Results {
 				// `return rows.Err()` uses rows but does not hand the
-				// value itself to the caller; only the method-call
-				// branch above decides what a call on obj means.
-				if !isMethodCallOn(pass, res, obj) && identUses(pass.TypesInfo, res, obj) {
-					done = true
+				// value itself to the caller.
+				if !isMethodCallOn(pass, res, site.obj) && identUses(pass.TypesInfo, res, site.obj) {
+					u.escapes = true
 				}
 			}
 		case *ast.AssignStmt:
-			if v == creation {
+			if v == site.stmt {
 				return true
 			}
 			for _, rhs := range v.Rhs {
-				if !isMethodCallOn(pass, rhs, obj) && identUses(pass.TypesInfo, rhs, obj) {
-					done = true // stored elsewhere
+				if !isMethodCallOn(pass, rhs, site.obj) && identUses(pass.TypesInfo, rhs, site.obj) {
+					u.escapes = true // stored elsewhere
 				}
 			}
 		case *ast.CompositeLit:
-			if identUses(pass.TypesInfo, v, obj) {
-				done = true
+			if identUses(pass.TypesInfo, v, site.obj) {
+				u.escapes = true
 			}
 		case *ast.SendStmt:
-			if identUses(pass.TypesInfo, v.Value, obj) {
-				done = true
+			if identUses(pass.TypesInfo, v.Value, site.obj) {
+				u.escapes = true
 			}
 		case *ast.UnaryExpr:
-			if v.Op.String() == "&" && identUses(pass.TypesInfo, v.X, obj) {
-				done = true
+			if v.Op == token.AND && identUses(pass.TypesInfo, v.X, site.obj) {
+				u.escapes = true
 			}
 		}
-		return !done
+		return true
 	})
-	return done
+	return u
+}
+
+// nodeAssignsObj reports whether CFG node n assigns to obj (plain or
+// short-form assignment outside any nested function literal).
+func nodeAssignsObj(pass *Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	forEachSkippingFuncLit(n, func(m ast.Node) {
+		as, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		for _, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// nodeClosesCursor reports whether CFG node n contains a direct
+// closing call (obj.Close/Collect/All) on obj.
+func nodeClosesCursor(pass *Pass, n ast.Node, obj types.Object) bool {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return false
+	}
+	found := false
+	forEachSkippingFuncLit(n, func(m ast.Node) {
+		if c, ok := m.(*ast.CallExpr); ok && isClosingCall(pass, c, obj) {
+			found = true
+		}
+	})
+	return found
+}
+
+// isClosingCall reports whether call is obj.Close(), obj.Collect(), or
+// obj.All().
+func isClosingCall(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	if !isMethodCallOn(pass, call, obj) {
+		return false
+	}
+	sel := call.Fun.(*ast.SelectorExpr)
+	return closingMethods[sel.Sel.Name]
+}
+
+// deferredLitCloses handles `defer func() { ...; rows.Close() }()`.
+func deferredLitCloses(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isClosingCall(pass, c, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // isMethodCallOn reports whether e is a call of the form obj.Method(...).

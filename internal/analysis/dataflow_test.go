@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// genKillTransfer builds a transfer over a single fact: blocks
+// referencing ident genName add it, blocks referencing killName remove
+// it.
+func genKillTransfer(fact, genName, killName string) TransferFunc {
+	touches := func(b *Block, name string) bool {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	return func(b *Block, in FactSet) FactSet {
+		out := in
+		if genName != "" && touches(b, genName) && !out[fact] {
+			out = out.Clone()
+			out[fact] = true
+		}
+		if killName != "" && touches(b, killName) && out[fact] {
+			out = out.Clone()
+			delete(out, fact)
+		}
+		return out
+	}
+}
+
+func TestSolveMayVsMustAtMerge(t *testing.T) {
+	c := BuildCFG(parseBody(t, `func f(c bool) { if c { gen() }; use() }`), nil)
+	use := blockCalling(c, "use")
+
+	may := c.Solve(Forward, May, FactSet{}, genKillTransfer("gen", "gen", ""), nil)
+	if !may.In[use]["gen"] {
+		t.Errorf("May: fact from one branch should survive the merge")
+	}
+	must := c.Solve(Forward, Must, FactSet{}, genKillTransfer("gen", "gen", ""), nil)
+	if must.In[use]["gen"] {
+		t.Errorf("Must: fact missing on the false path should not survive the merge")
+	}
+}
+
+func TestSolveLoopConvergence(t *testing.T) {
+	c := BuildCFG(parseBody(t, `func f(c bool) { for c { gen() }; use() }`), nil)
+	use := blockCalling(c, "use")
+
+	may := c.Solve(Forward, May, FactSet{}, genKillTransfer("gen", "gen", ""), nil)
+	if !may.In[use]["gen"] {
+		t.Errorf("May: loop-generated fact should reach the loop exit")
+	}
+	must := c.Solve(Forward, Must, FactSet{}, genKillTransfer("gen", "gen", ""), nil)
+	if must.In[use]["gen"] {
+		t.Errorf("Must: zero-iteration path should drop the fact")
+	}
+}
+
+func TestSolveKillOnPath(t *testing.T) {
+	c := BuildCFG(parseBody(t, `func f(c bool) { gen(); if c { kill() }; use() }`), nil)
+	use := blockCalling(c, "use")
+
+	may := c.Solve(Forward, May, FactSet{}, genKillTransfer("gen", "gen", "kill"), nil)
+	if !may.In[use]["gen"] {
+		t.Errorf("May: the kill-free path should still carry the fact")
+	}
+	must := c.Solve(Forward, Must, FactSet{}, genKillTransfer("gen", "gen", "kill"), nil)
+	if must.In[use]["gen"] {
+		t.Errorf("Must: the killed path should drop the fact at the merge")
+	}
+}
+
+func TestSolveBoundarySeedsEntry(t *testing.T) {
+	c := BuildCFG(parseBody(t, `func f() { use() }`), nil)
+	use := blockCalling(c, "use")
+	res := c.Solve(Forward, May, FactSet{"seed": true}, genKillTransfer("seed", "", ""), nil)
+	if !res.In[use]["seed"] {
+		t.Errorf("boundary fact should flow from entry")
+	}
+}
+
+func TestSolveBackward(t *testing.T) {
+	// Backward from the exits: "end" reaches the entry on the plain
+	// path but is killed on the kill() path.
+	c := BuildCFG(parseBody(t, `func f(c bool) { if c { kill(); return }; b() }`), nil)
+
+	may := c.Solve(Backward, May, FactSet{"end": true}, genKillTransfer("end", "", "kill"), nil)
+	if !may.Out[c.Entry]["end"] {
+		t.Errorf("May backward: fact should reach entry via the b() path")
+	}
+	must := c.Solve(Backward, Must, FactSet{"end": true}, genKillTransfer("end", "", "kill"), nil)
+	if must.Out[c.Entry]["end"] {
+		t.Errorf("Must backward: the killed path should drop the fact")
+	}
+}
+
+func TestSolveEdgeFunc(t *testing.T) {
+	// An edge transfer that kills the fact on the true branch only.
+	c := BuildCFG(parseBody(t, `func f(c bool) { gen(); if c { use() }; after() }`), nil)
+	use, after := blockCalling(c, "use"), blockCalling(c, "after")
+
+	edge := func(from, to *Block, facts FactSet) FactSet {
+		if from.Cond != nil && to == from.TrueSucc && facts["gen"] {
+			out := facts.Clone()
+			delete(out, "gen")
+			return out
+		}
+		return facts
+	}
+	res := c.Solve(Forward, May, FactSet{}, genKillTransfer("gen", "gen", ""), edge)
+	if res.In[use]["gen"] {
+		t.Errorf("edge transfer should kill the fact entering the true branch")
+	}
+	if !res.In[after]["gen"] {
+		t.Errorf("the false path should still carry the fact to the merge")
+	}
+}
+
+func TestSolveTerminalPathExcluded(t *testing.T) {
+	// A panic path never reaches Exit, so a backward boundary fact
+	// seeded at exits does not flow up through it... but the panic
+	// block itself IS a boundary (no successors), which is exactly how
+	// must-cleanup analyses excuse such paths.
+	c := BuildCFG(parseBody(t, `func f(c bool) { if c { panic("x") }; use() }`), nil)
+	pb := blockCalling(c, "panic")
+	res := c.Solve(Backward, Must, FactSet{"end": true}, genKillTransfer("seed", "", ""), nil)
+	if !res.In[pb]["end"] {
+		t.Errorf("zero-successor block should be seeded as a boundary")
+	}
+}
+
+func TestFactSetOps(t *testing.T) {
+	a := FactSet{"x": true, "y": true}
+	b := a.Clone()
+	delete(b, "y")
+	if !a["y"] {
+		t.Errorf("Clone should not alias")
+	}
+	if a.Equal(b) || !a.Equal(FactSet{"y": true, "x": true}) {
+		t.Errorf("Equal misbehaves")
+	}
+	keys := FactSet{"b": true, "a": true}.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("Keys not sorted: %v", keys)
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// fix.go applies the byte-range Fixes attached to diagnostics. Fixes
+// are grouped per file, spliced from highest offset down (so earlier
+// offsets stay valid), missing imports are inserted, and the result is
+// run through go/format before being written back. Overlapping fixes
+// in one file are rejected rather than guessed at.
+
+// ApplyFixes applies every fix attached to diags and returns the
+// rewritten file paths, sorted.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]Fix)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			byFile[f.File] = append(byFile[f.File], f)
+		}
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var changed []string
+	for _, file := range files {
+		ok, err := applyFileFixes(file, byFile[file])
+		if err != nil {
+			return changed, fmt.Errorf("%s: %w", file, err)
+		}
+		if ok {
+			changed = append(changed, file)
+		}
+	}
+	return changed, nil
+}
+
+func applyFileFixes(file string, fixes []Fix) (bool, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	sort.Slice(fixes, func(i, j int) bool { return fixes[i].StartOff > fixes[j].StartOff })
+	imports := map[string]bool{}
+	for i, f := range fixes {
+		if f.StartOff < 0 || f.EndOff > len(src) || f.StartOff > f.EndOff {
+			return false, fmt.Errorf("fix range [%d,%d) out of bounds", f.StartOff, f.EndOff)
+		}
+		if i > 0 && f.EndOff > fixes[i-1].StartOff {
+			return false, fmt.Errorf("overlapping fixes at offset %d", f.StartOff)
+		}
+		src = append(src[:f.StartOff], append([]byte(f.NewText), src[f.EndOff:]...)...)
+		if f.AddImport != "" {
+			imports[f.AddImport] = true
+		}
+	}
+	for path := range imports {
+		src, err = ensureImport(src, path)
+		if err != nil {
+			return false, err
+		}
+	}
+	out, err := format.Source(src)
+	if err != nil {
+		return false, fmt.Errorf("result does not format: %w", err)
+	}
+	if err := os.WriteFile(file, out, 0o644); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ensureImport adds `path` to the file's imports if absent. The line
+// is inserted at the top of the first import group (or as a new import
+// declaration after the package clause); format.Source re-sorts the
+// group afterwards.
+func ensureImport(src []byte, path string) ([]byte, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, fmt.Errorf("parse for import check: %w", err)
+	}
+	for _, imp := range f.Imports {
+		if p, _ := strconv.Unquote(imp.Path.Value); p == path {
+			return src, nil
+		}
+	}
+	text := string(src)
+	if i := strings.Index(text, "import ("); i >= 0 {
+		insert := i + len("import (")
+		return []byte(text[:insert] + "\n\t" + strconv.Quote(path) + text[insert:]), nil
+	}
+	// No grouped import: add a standalone one after the package clause.
+	nl := strings.Index(text, "\n")
+	if nl < 0 {
+		return nil, fmt.Errorf("no package clause line")
+	}
+	return []byte(text[:nl+1] + "\nimport " + strconv.Quote(path) + "\n" + text[nl+1:]), nil
+}

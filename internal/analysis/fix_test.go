@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestSentErrFixGolden runs senterr over its fixture, applies the
+// suggested fixes to a scratch copy, and compares against the golden
+// file. Regenerate with: go test ./internal/analysis -run FixGolden -update
+func TestSentErrFixGolden(t *testing.T) {
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "senterr"), "senterr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{SentErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := filepath.Join("testdata", "src", "senterr", "senterr.go")
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "senterr.go")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Point the fixes at the scratch copy (same bytes, same offsets).
+	nfix := 0
+	for i := range diags {
+		for j := range diags[i].Fixes {
+			if filepath.Base(diags[i].Fixes[j].File) == "senterr.go" {
+				diags[i].Fixes[j].File = tmp
+				nfix++
+			}
+		}
+	}
+	if nfix != 2 {
+		t.Fatalf("got %d fixes, want 2 (the == and != comparisons; switch cases are not auto-fixed)", nfix)
+	}
+
+	changed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 1 || changed[0] != tmp {
+		t.Fatalf("changed = %v, want just the scratch copy", changed)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := src + ".golden"
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fixed output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestApplyFixesInsertsImport(t *testing.T) {
+	src := `package x
+
+import "fmt"
+
+func f(err, sent error) bool { fmt.Println(); return err == sent }
+`
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "err == sent")
+	d := Diagnostic{Fixes: []Fix{{
+		File: file, StartOff: off, EndOff: off + len("err == sent"),
+		NewText: "errors.Is(err, sent)", AddImport: "errors",
+	}}}
+	if _, err := ApplyFixes([]Diagnostic{d}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "errors.Is(err, sent)") {
+		t.Errorf("replacement missing:\n%s", out)
+	}
+	if !strings.Contains(string(out), `"errors"`) {
+		t.Errorf("errors import not inserted:\n%s", out)
+	}
+}
+
+func TestApplyFixesRejectsOverlap(t *testing.T) {
+	src := "package x\n\nvar v = 12345\n"
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off := strings.Index(src, "12345")
+	d := Diagnostic{Fixes: []Fix{
+		{File: file, StartOff: off, EndOff: off + 3, NewText: "9"},
+		{File: file, StartOff: off + 2, EndOff: off + 5, NewText: "8"},
+	}}
+	if _, err := ApplyFixes([]Diagnostic{d}); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("want overlap error, got %v", err)
+	}
+}

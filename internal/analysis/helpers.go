@@ -94,6 +94,105 @@ func hasContextParam(sig *types.Signature) bool {
 	return false
 }
 
+// A funcScope is one analyzable function body: a declared function or
+// method, or a function literal. Analyzers that build CFGs treat each
+// scope independently — a literal's control flow is opaque to its
+// enclosing function.
+type funcScope struct {
+	shortName  string // "function f", "method Step", "function literal"
+	body       *ast.BlockStmt
+	hasResults bool
+	decl       *ast.FuncDecl // nil for literals
+}
+
+// funcScopes returns every function body in files: declarations first,
+// then function literals (at any nesting depth), each as its own scope.
+func funcScopes(files []*ast.File) []funcScope {
+	var out []funcScope
+	for _, fd := range funcDecls(files) {
+		out = append(out, funcScope{
+			shortName:  fd.Name.Name,
+			body:       fd.Body,
+			hasResults: fd.Type.Results != nil && len(fd.Type.Results.List) > 0,
+			decl:       fd,
+		})
+	}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcScope{
+					shortName:  "the function literal",
+					body:       lit.Body,
+					hasResults: lit.Type.Results != nil && len(lit.Type.Results.List) > 0,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// forEachSkippingFuncLit visits every node under n except the bodies
+// of nested function literals.
+func forEachSkippingFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			f(m)
+		}
+		return true
+	})
+}
+
+// terminalCall reports whether call never returns to its caller:
+// the builtin panic, os.Exit, runtime.Goexit, log.Fatal*, and the
+// testing Fatal/FailNow/Skip family (which call Goexit). CFG paths
+// ending in such a call never reach the function's exit, so must-style
+// checks do not demand cleanup on them (deferred calls still run).
+func terminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	switch name := fullName(calleeOf(info, call)); name {
+	case "os.Exit", "runtime.Goexit",
+		"log.Fatal", "log.Fatalf", "log.Fatalln",
+		"(*log.Logger).Fatal", "(*log.Logger).Fatalf", "(*log.Logger).Fatalln":
+		return true
+	default:
+		switch nameOnly := calleeName(info, call); nameOnly {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return isTestingHelperCall(info, call)
+		}
+	}
+	return false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeOf(info, call); fn != nil {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isTestingHelperCall reports whether call's receiver is one of the
+// testing harness types (*testing.T, *B, *F, or their common
+// interface).
+func isTestingHelperCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch namedTypeName(info.TypeOf(sel.X)) {
+	case "testing.T", "testing.B", "testing.F", "testing.TB", "testing.common":
+		return true
+	}
+	return false
+}
+
 // identUses reports whether obj is referenced anywhere under n.
 func identUses(info *types.Info, n ast.Node, obj types.Object) bool {
 	found := false

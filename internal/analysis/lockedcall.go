@@ -2,9 +2,7 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -19,12 +17,21 @@ import (
 // (transitively, within the package) reaches one. Cross-package
 // propagation is intentionally limited to the named seeds: the high
 // fan-in session/core surfaces would otherwise poison every caller.
+// (lockorder runs the full module-wide closure; this analyzer is the
+// cheap per-package guard.)
 //
-// The analyzer tracks lock regions lexically: a region opens at
-// mu.Lock()/mu.RLock() and closes at the matching Unlock in the same
-// block; `defer mu.Unlock()` keeps the region open to the end of the
-// function. Function literals are not entered — a goroutine launched
-// under a lock runs after the caller releases it.
+// Held locks are a forward may-dataflow fact on the CFG: mu.Lock()/
+// mu.RLock() generates "mu held", the matching Unlock kills it, and a
+// network call or channel send is flagged when any path reaches it
+// with a lock held. `defer mu.Unlock()` keeps the lock held to the end
+// of the function (it releases only at return). PR 7's lexical region
+// tracker copied the held set into each branch, which missed two real
+// shapes the CFG handles: a Lock taken inside a branch leaking into
+// the code after the merge (conditional lock), and the
+// defer-then-conditional-early-Unlock dance in placement.Controller.
+// Step-like code, where the early Unlock must actually release the
+// region on that path. Function literals are not entered — a goroutine
+// launched under a lock runs after the caller releases it.
 var LockedCall = &Analyzer{
 	Name: "lockedcall",
 	Doc:  "no netsim/wire network calls or channel sends while holding a mutex",
@@ -57,8 +64,16 @@ var NetworkEntrypoints = []string{
 }
 
 func runLockedCall(pass *Pass) error {
-	// Intra-package closure: which declared functions reach a network
-	// entrypoint?
+	netcalling := netcallingClosure(pass)
+	for _, fd := range funcDecls(pass.Files) {
+		checkLockedCalls(pass, fd, netcalling)
+	}
+	return nil
+}
+
+// netcallingClosure computes which declared functions of the package
+// reach a network entrypoint (intra-package transitive closure).
+func netcallingClosure(pass *Pass) map[*types.Func]bool {
 	decls := funcDecls(pass.Files)
 	netcalling := make(map[*types.Func]bool)
 	declOf := make(map[*types.Func]*ast.FuncDecl)
@@ -92,12 +107,7 @@ func runLockedCall(pass *Pass) error {
 			}
 		}
 	}
-
-	for _, fd := range decls {
-		lc := &lockedChecker{pass: pass, netcalling: netcalling}
-		lc.stmts(fd.Body.List, map[string]token.Pos{})
-	}
-	return nil
+	return netcalling
 }
 
 func isNetEntrypoint(fn *types.Func) bool {
@@ -117,130 +127,100 @@ func isNetEntrypoint(fn *types.Func) bool {
 	return false
 }
 
-type lockedChecker struct {
-	pass       *Pass
-	netcalling map[*types.Func]bool
-}
+func checkLockedCalls(pass *Pass, fd *ast.FuncDecl, netcalling map[*types.Func]bool) {
+	cfg := BuildCFG(fd.Body, func(call *ast.CallExpr) bool {
+		return terminalCall(pass.TypesInfo, call)
+	})
+	transfer := func(b *Block, in FactSet) FactSet {
+		out := in
+		for _, n := range b.Nodes {
+			out = lockTransfer(pass, n, out)
+		}
+		return out
+	}
+	flow := cfg.Solve(Forward, May, FactSet{}, transfer, nil)
 
-// stmts walks a statement list tracking the set of held locks (keyed by
-// the receiver expression text). Nested blocks get a copy of the held
-// set: a lock transition inside a branch does not leak past it, which
-// trades a missed conditional-unlock for zero false positives on
-// branch-local locking.
-func (lc *lockedChecker) stmts(list []ast.Stmt, held map[string]token.Pos) {
-	for _, st := range list {
-		switch s := st.(type) {
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				if op, key, ok := lc.lockOp(call); ok {
-					if op == "Lock" || op == "RLock" {
-						held[key] = call.Pos()
-					} else {
-						delete(held, key)
-					}
-					continue
-				}
-			}
-			lc.check(s, held)
-		case *ast.DeferStmt:
-			// defer mu.Unlock() keeps the region open until return;
-			// other deferred calls run at exit, possibly after the
-			// unlock, so they are not checked.
+	for _, b := range cfg.Blocks {
+		if !cfg.Reachable(b) {
 			continue
-		case *ast.BlockStmt:
-			lc.stmts(s.List, copyHeld(held))
-		case *ast.IfStmt:
-			lc.checkEach(held, s.Init, s.Cond)
-			lc.stmts(s.Body.List, copyHeld(held))
-			if s.Else != nil {
-				lc.stmts([]ast.Stmt{s.Else}, copyHeld(held))
-			}
-		case *ast.ForStmt:
-			lc.checkEach(held, s.Init, s.Cond, s.Post)
-			lc.stmts(s.Body.List, copyHeld(held))
-		case *ast.RangeStmt:
-			lc.checkEach(held, s.X)
-			lc.stmts(s.Body.List, copyHeld(held))
-		case *ast.SwitchStmt:
-			lc.checkEach(held, s.Init, s.Tag)
-			for _, cc := range s.Body.List {
-				if c, ok := cc.(*ast.CaseClause); ok {
-					lc.stmts(c.Body, copyHeld(held))
-				}
-			}
-		case *ast.TypeSwitchStmt:
-			lc.checkEach(held, s.Init, s.Assign)
-			for _, cc := range s.Body.List {
-				if c, ok := cc.(*ast.CaseClause); ok {
-					lc.stmts(c.Body, copyHeld(held))
-				}
-			}
-		case *ast.SelectStmt:
-			for _, cc := range s.Body.List {
-				if c, ok := cc.(*ast.CommClause); ok {
-					if c.Comm != nil {
-						lc.checkEach(held, c.Comm)
-					}
-					lc.stmts(c.Body, copyHeld(held))
-				}
-			}
-		case *ast.LabeledStmt:
-			lc.stmts([]ast.Stmt{s.Stmt}, held)
-		case *ast.GoStmt:
-			// The goroutine body runs outside the lock region.
+		}
+		in, ok := flow.In[b]
+		if !ok {
 			continue
-		default:
-			lc.check(st, held)
+		}
+		facts := in
+		for _, n := range b.Nodes {
+			if len(facts) > 0 {
+				reportLockedOps(pass, n, facts, netcalling)
+			}
+			facts = lockTransfer(pass, n, facts)
 		}
 	}
 }
 
-func (lc *lockedChecker) checkEach(held map[string]token.Pos, nodes ...ast.Node) {
-	for _, n := range nodes {
-		if n != nil && !isNilNode(n) {
-			lc.check(n, held)
+// lockTransfer folds the lock operations contained in node n into the
+// held set. Deferred unlocks keep the region open (they release at
+// return); goroutine bodies and function literals run outside it.
+func lockTransfer(pass *Pass, n ast.Node, facts FactSet) FactSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return facts
+	}
+	out := facts
+	forEachSkippingFuncLit(n, func(m ast.Node) {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return
 		}
-	}
+		if op, key, isLock := lockOp(pass, call); isLock {
+			switch op {
+			case "Lock", "RLock":
+				if !out[key] {
+					out = out.Clone()
+					out[key] = true
+				}
+			default: // Unlock, RUnlock
+				if out[key] {
+					out = out.Clone()
+					delete(out, key)
+				}
+			}
+		}
+	})
+	return out
 }
 
-func isNilNode(n ast.Node) bool {
-	switch v := n.(type) {
-	case ast.Expr:
-		return v == nil
-	case ast.Stmt:
-		return v == nil
-	}
-	return false
-}
-
-// check flags channel sends and netcalling calls under n while any lock
-// is held.
-func (lc *lockedChecker) check(n ast.Node, held map[string]token.Pos) {
-	if len(held) == 0 {
+// reportLockedOps flags channel sends and network calls in node n
+// while any lock is held. Lock operations contained in the same node
+// are folded in program order alongside the checks.
+func reportLockedOps(pass *Pass, n ast.Node, held FactSet, netcalling map[*types.Func]bool) {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at exit (possibly after unlock); goroutine
+		// bodies run outside the lock region.
 		return
 	}
-	inspectNoFuncLit(n, func(n ast.Node) bool {
-		switch v := n.(type) {
+	forEachSkippingFuncLit(n, func(m ast.Node) {
+		switch v := m.(type) {
 		case *ast.SendStmt:
-			lc.pass.Reportf(v.Pos(), "channel send while holding %s", heldNames(held))
+			pass.Reportf(v.Pos(), "channel send while holding %s", strings.Join(held.Keys(), ", "))
 		case *ast.CallExpr:
-			fn := calleeOf(lc.pass.TypesInfo, v)
-			if fn != nil && (isNetEntrypoint(fn) || lc.netcalling[fn]) {
-				lc.pass.Reportf(v.Pos(), "network call %s while holding %s", fn.Name(), heldNames(held))
+			fn := calleeOf(pass.TypesInfo, v)
+			if fn != nil && (isNetEntrypoint(fn) || netcalling[fn]) {
+				pass.Reportf(v.Pos(), "network call %s while holding %s", fn.Name(), strings.Join(held.Keys(), ", "))
 			}
 		}
-		return true
 	})
 }
 
 // lockOp recognizes mu.Lock/RLock/Unlock/RUnlock on sync mutexes and
 // returns the operation and a key identifying the lock expression.
-func (lc *lockedChecker) lockOp(call *ast.CallExpr) (op, key string, ok bool) {
+func lockOp(pass *Pass, call *ast.CallExpr) (op, key string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
 	}
-	fn, _ := lc.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	switch fullName(fn) {
 	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
 		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
@@ -248,23 +228,6 @@ func (lc *lockedChecker) lockOp(call *ast.CallExpr) (op, key string, ok bool) {
 		return fn.Name(), types.ExprString(sel.X), true
 	}
 	return "", "", false
-}
-
-func copyHeld(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
-}
-
-func heldNames(held map[string]token.Pos) string {
-	names := make([]string, 0, len(held))
-	for k := range held {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
 }
 
 // inspectNoFuncLit is ast.Inspect that does not descend into function

@@ -1,0 +1,194 @@
+// Package goleak fixtures exercise the goroutine-leak analyzer:
+// unpaired channel sends/receives, tickers that are never stopped,
+// time.Tick, and goroutines that exit holding a captured mutex.
+package goleak
+
+import (
+	"sync"
+	"time"
+)
+
+// --- channel pairing ---
+
+func blockedSend() {
+	ch := make(chan int)
+	go func() { // want `goroutine may block forever sending on ch`
+		ch <- 42
+	}()
+	// The receive was forgotten.
+}
+
+func received() int {
+	ch := make(chan int)
+	go func() {
+		ch <- 42
+	}()
+	return <-ch
+}
+
+func conditionalReceive(skip bool) int {
+	ch := make(chan int)
+	go func() { // want `goroutine may block forever sending on ch`
+		ch <- 42
+	}()
+	if skip {
+		return 0 // leaves the sender blocked forever
+	}
+	return <-ch
+}
+
+func buffered() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1 // buffered: completes without a receiver
+	}()
+}
+
+func selectDefault() {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- 1:
+		default: // non-blocking send: fine without a receiver
+		}
+	}()
+}
+
+func blockedRecv() {
+	ch := make(chan struct{})
+	go func() { // want `goroutine may block forever receiving on ch`
+		<-ch
+	}()
+}
+
+func closedAfter() {
+	ch := make(chan struct{})
+	go func() {
+		<-ch
+	}()
+	close(ch)
+}
+
+func rangeDrain() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	for v := range ch {
+		_ = v
+	}
+}
+
+func handedOff() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	drain(ch) // the callee owns the protocol now
+}
+
+func drain(ch chan int) {
+	<-ch
+}
+
+func pipelinePair() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	go func() {
+		<-ch
+	}()
+}
+
+func deliberateLeak() {
+	ch := make(chan int)
+	//axmlvet:ignore goleak fixture: leak is the point of this test
+	go func() {
+		ch <- 1
+	}()
+}
+
+// --- tickers ---
+
+func tickerLeak(done chan struct{}) {
+	t := time.NewTicker(time.Millisecond) // want `ticker t is never Stopped and leaks its goroutine`
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+func tickerStopped(done chan struct{}) {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-done:
+			return
+		}
+	}
+}
+
+func tickerConditional(n int) {
+	t := time.NewTicker(time.Millisecond) // want `ticker t may not be Stopped on all paths`
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			t.Stop()
+			return
+		}
+		<-t.C
+	}
+	// The loop can finish without ever reaching Stop.
+}
+
+func useTick(done chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second): // want `time.Tick leaks its Ticker`
+		case <-done:
+			return
+		}
+	}
+}
+
+// --- goroutine exits holding a mutex ---
+
+type worker struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (w *worker) exitsHolding(fail bool) {
+	go func() { // want `goroutine exits holding w.mu`
+		w.mu.Lock()
+		if fail {
+			return // forgets to unlock
+		}
+		w.n++
+		w.mu.Unlock()
+	}()
+}
+
+func (w *worker) deferredUnlock(fail bool) {
+	go func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if fail {
+			return
+		}
+		w.n++
+	}()
+}
+
+func localMutexOnly() {
+	go func() {
+		var mu sync.Mutex
+		mu.Lock() // goroutine-local: nobody else can block on it
+	}()
+}

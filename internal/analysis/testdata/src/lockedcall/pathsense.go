@@ -1,0 +1,71 @@
+package lockedcall
+
+// Path-sensitive cases the PR 8 CFG rewrite must get right. The old
+// lexical region tracker copied held sets into branches, which missed
+// a lock leaking past a merge and could not model an early Unlock
+// releasing just one path.
+
+// stepShape mirrors placement.Controller.Step's three phases: plan
+// under the lock, release, apply over the network, re-lock for
+// bookkeeping. The apply-phase call is not under the lock.
+func (s *node) stepShape() {
+	s.mu.Lock()
+	plan := s.n
+	s.mu.Unlock()
+	s.ship() // released for the apply phase: fine
+	s.mu.Lock()
+	s.n = plan + 1
+	s.mu.Unlock()
+}
+
+// stepShapeBroken skips the release on one path, so the apply can run
+// with the lock held — the may-held join catches what branch-local
+// tracking missed.
+func (s *node) stepShapeBroken(fast bool) {
+	s.mu.Lock()
+	if !fast {
+		s.mu.Unlock()
+	}
+	s.ship() // want `network call ship while holding s\.mu`
+	if fast {
+		s.mu.Unlock()
+	}
+}
+
+// conditionalLock: a lock taken inside a branch leaks into the code
+// after the merge.
+func (s *node) conditionalLock(lock bool) {
+	if lock {
+		s.mu.Lock()
+	}
+	s.ship() // want `network call ship while holding s\.mu`
+	if lock {
+		s.mu.Unlock()
+	}
+}
+
+// deferGuarded holds a pending deferred unlock, but the fast path
+// releases explicitly before shipping and re-takes the lock for the
+// defer. The explicit Unlock must end the region on that path — a
+// false positive here would force an ignore on correct code.
+func (s *node) deferGuarded(fast bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fast {
+		s.mu.Unlock()
+		s.ship()    // released on this path: fine
+		s.mu.Lock() // re-take so the deferred unlock balances
+		return
+	}
+	s.n++
+}
+
+// loopCarried: the lock taken on iteration N is still held when the
+// loop's next iteration sends — the back edge carries the fact.
+func (s *node) loopCarried(msgs []int) {
+	for range msgs {
+		s.ch <- 1 // want `channel send while holding s\.mu`
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+// Package lockorder fixtures exercise the module-wide acquisition-
+// order analyzer: a two-mutex cycle built from one direct edge and one
+// interprocedural edge, a consistent-order pair that must stay quiet,
+// and a suppressed deliberate inversion.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+// one acquires A.mu then B.mu — the deferred unlock keeps A.mu held.
+func (a *A) one() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.b.mu.Lock() // want `lock order cycle: lockorder.A.mu -> lockorder.B.mu -> lockorder.A.mu`
+	a.b.mu.Unlock()
+}
+
+// two acquires B.mu then, through lockA, A.mu — the reverse order. The
+// cycle is reported once, at one's acquisition of B.mu above.
+func (b *B) two() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA(b.a)
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// C and D are always locked in the same order: no finding.
+
+type C struct {
+	mu sync.Mutex
+	d  *D
+}
+
+type D struct {
+	mu sync.Mutex
+}
+
+func (c *C) first() {
+	c.mu.Lock()
+	c.d.mu.Lock()
+	c.d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func (c *C) second() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.d.mu.Lock()
+	defer c.d.mu.Unlock()
+}
+
+// unlockedHandoff releases C.mu before taking D... then the reverse
+// order elsewhere would still be fine because the regions never nest.
+func (c *C) unlockedHandoff() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.d.mu.Lock()
+	c.d.mu.Unlock()
+}
+
+// G and H invert each other too, but the canonical edge (G.mu -> H.mu,
+// the cycle's smallest lock) carries an ignore: suppressed, no want.
+
+type G struct {
+	mu sync.Mutex
+	h  *H
+}
+
+type H struct {
+	mu sync.Mutex
+	g  *G
+}
+
+func (g *G) gFirst() {
+	g.mu.Lock()
+	//axmlvet:ignore lockorder deliberate inversion to assert suppression
+	g.h.mu.Lock()
+	g.h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func (h *H) hFirst() {
+	h.mu.Lock()
+	h.g.mu.Lock()
+	h.g.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// Same-identity nesting (two instances of one type) is not an order
+// violation for a type-keyed analysis: no finding.
+
+type Node struct {
+	mu     sync.Mutex
+	parent *Node
+}
+
+func (n *Node) withParent() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parent.mu.Lock()
+	n.parent.mu.Unlock()
+}
+
+// Locks on locals have no stable identity and are skipped.
+func localLocks() {
+	var a, b sync.Mutex
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}

@@ -1,0 +1,69 @@
+package spanend
+
+import (
+	"context"
+
+	"axml/internal/obs"
+)
+
+// Path-sensitive cases for the PR 8 CFG rewrite: branch-merge coverage
+// that the lexical dominance rule flagged wrongly, and skipped-End
+// paths it wrongly accepted.
+
+// endsBothBranches ends the span in every branch; the merged return is
+// covered. The old dominance check reported this (false positive).
+func endsBothBranches(ctx context.Context, ok bool) error {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	if ok {
+		sp.End()
+	} else {
+		sp.Fail(nil)
+		sp.End()
+	}
+	return nil
+}
+
+// switchAllCases: a default clause makes the switch exhaustive, so
+// every path ends the span.
+func switchAllCases(ctx context.Context, kind string) error {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	switch kind {
+	case "eval":
+		sp.End()
+	default:
+		sp.End()
+	}
+	return nil
+}
+
+// gotoSkip: control flow can jump over the End — lexically before the
+// return, never executed on the retry path. The old check accepted
+// this (false negative).
+func gotoSkip(ctx context.Context, retry bool) error {
+	_, sp := obs.StartSpan(ctx, "query", "q")
+	if retry {
+		goto out
+	}
+	sp.End()
+out:
+	return nil // want `return without ending span sp`
+}
+
+// branchOnlyEnd ends the span on one path of a void function; the
+// other path falls off the end with it live.
+func branchOnlyEnd(ctx context.Context, done bool) {
+	_, sp := obs.StartSpan(ctx, "query", "q") // want `span sp may not be ended when branchOnlyEnd falls off the end`
+	if done {
+		sp.End()
+	}
+}
+
+// conditionalStart: the span exists only where it was started; paths
+// that never ran StartSpan carry no fact and are not checked.
+func conditionalStart(ctx context.Context, trace bool) error {
+	if trace {
+		_, sp := obs.StartSpan(ctx, "query", "q")
+		sp.End()
+	}
+	return nil
+}
