@@ -96,6 +96,9 @@ type (
 	NodeRef = peer.NodeRef
 	// Peer is a peer runtime hosting documents and services.
 	Peer = peer.Peer
+	// Snapshot is a pinned, immutable view of a peer's document store
+	// at one epoch — obtained with Peer.Snapshot, freed with Release.
+	Snapshot = peer.Handle
 	// Service is a Web service s@p (declarative or builtin).
 	Service = service.Service
 	// Signature is a service type signature (τin, τout).
@@ -254,6 +257,29 @@ func Wrap(sys *core.System) *System {
 	s.metrics.Gauge("net.messages_total", func() int64 { m, _, _ := sys.Net.Totals(); return m })
 	s.metrics.Gauge("net.bytes_total", func() int64 { _, b, _ := sys.Net.Totals(); return b })
 	s.metrics.Gauge("net.max_vt_ms", func() int64 { _, _, vt := sys.Net.Totals(); return int64(vt) })
+	// MVCC epoch health across all peers: how many historical epochs
+	// readers currently pin, and the age of the oldest pin — a climbing
+	// age flags a stuck or leaking reader retaining history.
+	s.metrics.Gauge("peer.epochs.pinned", func() int64 {
+		var total int64
+		for _, id := range sys.Peers() {
+			if p, ok := sys.Peer(id); ok {
+				total += int64(p.PinnedEpochs())
+			}
+		}
+		return total
+	})
+	s.metrics.Gauge("peer.epochs.oldest_pin_ms", func() int64 {
+		var oldest int64
+		for _, id := range sys.Peers() {
+			if p, ok := sys.Peer(id); ok {
+				if ms := p.OldestPinAge().Milliseconds(); ms > oldest {
+					oldest = ms
+				}
+			}
+		}
+		return oldest
+	})
 	return s
 }
 

@@ -130,7 +130,13 @@ func TestFacadeActivationViaAxmldoc(t *testing.T) {
 	if _, err := act.ActivateDocument("view"); err != nil {
 		t.Fatal(err)
 	}
-	out := axml.SerializeXML(page)
+	// Activation publishes a new copy-on-write epoch; serialize the
+	// newest root rather than the pre-activation pointer.
+	d, ok := host.Document("view")
+	if !ok {
+		t.Fatal("view document vanished")
+	}
+	out := axml.SerializeXML(d.Root)
 	if !strings.Contains(out, "<e>one</e>") {
 		t.Errorf("activation result missing: %s", out)
 	}

@@ -1,4 +1,4 @@
-// Command axmlbench runs the experiment suite (E1–E15) and prints the
+// Command axmlbench runs the experiment suite (E1–E16) and prints the
 // tables recorded in EXPERIMENTS.md. E11 measures the materialized-
 // view subsystem (internal/view) on a subscription workload; E12
 // measures provenance-based view maintenance against full refresh on
@@ -7,11 +7,13 @@
 // (optimize-once vs optimize-per-query); E14 measures the pull-based
 // streaming evaluator's time-to-first-row against eager
 // materialization; E15 measures adaptive view placement against a
-// static deployment on a skewed multi-peer subscription workload.
+// static deployment on a skewed multi-peer subscription workload;
+// E16 measures concurrent serving — snapshot-pinned readers against a
+// store-wide-locked baseline under a continuously-committing writer.
 //
 // Usage:
 //
-//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming,placement]
+//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming,placement,concurrency]
 //
 // -only restricts the run to a comma-separated list of experiment IDs;
 // -quick shrinks the workloads for a fast smoke run. -json writes the
@@ -26,8 +28,10 @@
 // largest measured size; "placement" exits non-zero unless E15's
 // adaptive mode beats the static deployment on both total bytes
 // shipped and median query latency while converging to a stable
-// placement. CI runs both, so a regression in either loop fails the
-// build.
+// placement; "concurrency" exits non-zero unless E16's snapshot
+// readers beat the locked baseline at the largest reader count and
+// their aggregate throughput scales with the reader count. CI runs all
+// three, so a regression in any loop fails the build.
 package main
 
 import (
@@ -50,14 +54,14 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E5)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	jsonPath := flag.String("json", "", "write results as JSON to this file")
-	gate := flag.String("gate", "", "comma-separated acceptance gates to enforce (streaming, placement)")
+	gate := flag.String("gate", "", "comma-separated acceptance gates to enforce (streaming, placement, concurrency)")
 	flag.Parse()
 	gates := map[string]bool{}
 	for _, g := range strings.Split(*gate, ",") {
 		if g = strings.TrimSpace(g); g == "" {
 			continue
 		}
-		if g != "streaming" && g != "placement" {
+		if g != "streaming" && g != "placement" && g != "concurrency" {
 			// Rejected up front: an unknown gate must not burn a full
 			// suite run before failing.
 			fmt.Fprintf(os.Stderr, "axmlbench: unknown gate %q\n", g)
@@ -68,6 +72,7 @@ func main() {
 
 	var streaming []bench.StreamingPoint
 	var placementPt *bench.PlacementPoint
+	var concurrency []bench.ConcurrencyPoint
 	registry := []experiment{
 		{"E1", func(q bool) (*bench.Table, error) {
 			if q {
@@ -189,6 +194,27 @@ func main() {
 			t.AddPoint("last_action_round", label, float64(pt.LastActionRound))
 			return t, err
 		}},
+		{"E16", func(q bool) (*bench.Table, error) {
+			window := bench.DefaultConcurrencyWindow
+			if q {
+				window = bench.QuickConcurrencyWindow
+			}
+			pts, t, err := bench.E16Concurrency(bench.DefaultConcurrencyReaders, window)
+			if err != nil {
+				return t, err
+			}
+			concurrency = pts
+			for _, p := range pts {
+				label := fmt.Sprintf("%d readers", p.Readers)
+				t.AddPoint("snapshot_reads_per_sec", label, p.SnapshotReadsPerSec)
+				t.AddPoint("locked_reads_per_sec", label, p.LockedReadsPerSec)
+				t.AddPoint("snapshot_p50_ms", label, p.SnapshotP50Ms)
+				t.AddPoint("locked_p50_ms", label, p.LockedP50Ms)
+				t.AddPoint("read_speedup", label, p.ReadSpeedup)
+				t.AddPoint("snapshot_writes_per_sec", label, p.SnapshotWritesPerSec)
+			}
+			return t, err
+		}},
 	}
 
 	selected := map[string]bool{}
@@ -204,6 +230,9 @@ func main() {
 		}
 		if gates["placement"] {
 			selected["E15"] = true
+		}
+		if gates["concurrency"] {
+			selected["E16"] = true
 		}
 	}
 
@@ -226,7 +255,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *quick, tables, streaming, placementPt); err != nil {
+		if err := writeJSON(*jsonPath, *quick, tables, streaming, placementPt, concurrency); err != nil {
 			fmt.Fprintf(os.Stderr, "axmlbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -252,6 +281,47 @@ func main() {
 			placementPt.AdaptiveMedianMs, placementPt.StaticMedianMs, placementPt.LatencyGain,
 			placementPt.LastActionRound)
 	}
+	if gates["concurrency"] {
+		if err := gateConcurrency(concurrency); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: gate failed: %v\n", err)
+			os.Exit(1)
+		}
+		first, last := concurrency[0], concurrency[len(concurrency)-1]
+		fmt.Printf("gate concurrency: OK — snapshot %.0f reads/s at %d readers (%.0f at %d) vs locked %.0f (%.1fx)\n",
+			last.SnapshotReadsPerSec, last.Readers, first.SnapshotReadsPerSec, first.Readers,
+			last.LockedReadsPerSec, last.ReadSpeedup)
+	}
+}
+
+// gateConcurrency is the CI acceptance check of the MVCC serving path:
+// at the largest reader count, snapshot readers must not be serialized
+// behind the writer — their aggregate throughput must beat the
+// store-wide-locked baseline and must have scaled up from the
+// single-reader configuration. The scaling margin is deliberately
+// loose (1.15x for a 4x reader increase) to absorb CI timing noise;
+// the point is to catch accidental reintroduction of a global lock on
+// the read path, which collapses scaling to ~1.0x and parity with the
+// locked baseline.
+func gateConcurrency(points []bench.ConcurrencyPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("concurrency gate requires E16 to run (check -only)")
+	}
+	first, last := points[0], points[len(points)-1]
+	if last.Readers <= first.Readers {
+		return fmt.Errorf("concurrency gate needs increasing reader counts, got %d..%d",
+			first.Readers, last.Readers)
+	}
+	if last.SnapshotReadsPerSec <= last.LockedReadsPerSec {
+		return fmt.Errorf(
+			"snapshot readers do not beat the locked baseline at %d readers: %.0f vs %.0f reads/s",
+			last.Readers, last.SnapshotReadsPerSec, last.LockedReadsPerSec)
+	}
+	if last.SnapshotReadsPerSec < first.SnapshotReadsPerSec*1.15 {
+		return fmt.Errorf(
+			"snapshot throughput does not scale with readers: %.0f reads/s at %d readers vs %.0f at %d",
+			last.SnapshotReadsPerSec, last.Readers, first.SnapshotReadsPerSec, first.Readers)
+	}
+	return nil
 }
 
 // gatePlacement is the CI acceptance check of the adaptive-placement
@@ -294,20 +364,24 @@ func gateStreaming(points []bench.StreamingPoint) error {
 }
 
 // benchReport is the BENCH_*.json schema: the rendered tables plus
-// E14's raw streaming points and E15's placement summary, so
-// trajectory tooling can plot first-row latency and placement gains
-// across commits without re-parsing table strings.
+// E14's raw streaming points, E15's placement summary, and E16's
+// concurrency points, so trajectory tooling can plot first-row
+// latency, placement gains, and snapshot-vs-locked throughput across
+// commits without re-parsing table strings.
 type benchReport struct {
-	Quick       bool                   `json:"quick"`
-	Experiments []*bench.Table         `json:"experiments"`
-	Streaming   []bench.StreamingPoint `json:"streaming,omitempty"`
-	Placement   *bench.PlacementPoint  `json:"placement,omitempty"`
+	Quick       bool                     `json:"quick"`
+	Experiments []*bench.Table           `json:"experiments"`
+	Streaming   []bench.StreamingPoint   `json:"streaming,omitempty"`
+	Placement   *bench.PlacementPoint    `json:"placement,omitempty"`
+	Concurrency []bench.ConcurrencyPoint `json:"concurrency,omitempty"`
 }
 
 func writeJSON(path string, quick bool, tables []*bench.Table,
-	streaming []bench.StreamingPoint, placement *bench.PlacementPoint) error {
+	streaming []bench.StreamingPoint, placement *bench.PlacementPoint,
+	concurrency []bench.ConcurrencyPoint) error {
 	data, err := json.MarshalIndent(benchReport{
 		Quick: quick, Experiments: tables, Streaming: streaming, Placement: placement,
+		Concurrency: concurrency,
 	}, "", "  ")
 	if err != nil {
 		return err

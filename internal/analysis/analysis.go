@@ -13,6 +13,7 @@
 //	lockedcall   network calls / channel sends while holding a mutex
 //	lockorder    inconsistent mutex acquisition order across the module
 //	spanend      obs.StartSpan results that are not End()ed on all paths
+//	epochpin     peer.Snapshot handles that are not Release()d on all paths
 //	closeguard   session Rows / cursors that are never Closed
 //	goleak       goroutines that can block forever (chans, tickers, locks)
 //	senterr      sentinel errors compared with == instead of errors.Is
@@ -228,6 +229,7 @@ func All() []*Analyzer {
 		LockedCall,
 		LockOrder,
 		SpanEnd,
+		EpochPin,
 		CloseGuard,
 		GoLeak,
 		SentErr,

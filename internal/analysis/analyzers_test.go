@@ -35,6 +35,7 @@ func TestCtxFlow(t *testing.T)     { testFixture(t, CtxFlow, "ctxflow") }
 func TestLockedCall(t *testing.T)  { testFixture(t, LockedCall, "lockedcall") }
 func TestLockOrder(t *testing.T)   { testFixture(t, LockOrder, "lockorder") }
 func TestSpanEnd(t *testing.T)     { testFixture(t, SpanEnd, "spanend") }
+func TestEpochPin(t *testing.T)    { testFixture(t, EpochPin, "epochpin") }
 func TestCloseGuard(t *testing.T)  { testFixture(t, CloseGuard, "closeguard") }
 func TestGoLeak(t *testing.T)      { testFixture(t, GoLeak, "goleak") }
 func TestSentErr(t *testing.T)     { testFixture(t, SentErr, "senterr") }
@@ -44,7 +45,7 @@ func TestSentErr(t *testing.T)     { testFixture(t, SentErr, "senterr") }
 // must also be unique — the -run filter, baseline keys, and ignore
 // comments all key on them.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"atomicfield", "ctxflow", "lockedcall", "lockorder", "spanend", "closeguard", "goleak", "senterr"}
+	want := []string{"atomicfield", "ctxflow", "lockedcall", "lockorder", "spanend", "epochpin", "closeguard", "goleak", "senterr"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))

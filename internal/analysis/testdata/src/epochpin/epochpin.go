@@ -1,0 +1,73 @@
+package epochpin
+
+import (
+	"axml/internal/peer"
+	"axml/internal/xmltree"
+)
+
+func deferred(p *peer.Peer) *xmltree.Node {
+	h := p.Snapshot()
+	defer h.Release()
+	root, _ := h.Root("doc")
+	return root
+}
+
+func neverReleased(p *peer.Peer) {
+	h := p.Snapshot() // want `snapshot handle h is pinned but never released`
+	_, _ = h.Root("doc")
+}
+
+func earlyReturn(p *peer.Peer, fail bool) error {
+	h := p.Snapshot()
+	if fail {
+		return nil // want `return without releasing snapshot handle h`
+	}
+	h.Release()
+	return nil
+}
+
+func allBranches(p *peer.Peer, fail bool) error {
+	h := p.Snapshot()
+	if fail {
+		h.Release()
+		return nil
+	}
+	h.Release()
+	return nil // every path releases the handle: fine
+}
+
+func escapes(p *peer.Peer) *peer.Handle {
+	h := p.Snapshot()
+	return h // handed to the caller: their responsibility
+}
+
+func readsAreNotEscapes(p *peer.Peer) int {
+	h := p.Snapshot()
+	defer h.Release()
+	// Method calls through the handle are reads, not escapes.
+	names := h.Docs()
+	_ = h.Resolver()
+	return len(names)
+}
+
+func errorPathMissed(p *peer.Peer) error {
+	h := p.Snapshot()
+	if _, err := h.Root("doc"); err != nil {
+		return err // want `return without releasing snapshot handle h`
+	}
+	h.Release()
+	return nil
+}
+
+func fallsOffEnd(p *peer.Peer, ok bool) {
+	h := p.Snapshot() // want `snapshot handle h may not be released when fallsOffEnd falls off the end`
+	if ok {
+		h.Release()
+	}
+}
+
+func deliberate(p *peer.Peer) {
+	//axmlvet:ignore epochpin handle owned by the stream wrapper by design
+	h := p.Snapshot()
+	_, _ = h.Root("doc")
+}

@@ -71,6 +71,12 @@ func (a *Activator) ActivateNode(sc *xmltree.Node) error {
 	if sc == nil || sc.Kind != xmltree.ElementNode || sc.Label != "sc" {
 		return fmt.Errorf("axmldoc: node is not an sc element")
 	}
+	// Re-resolve against the newest epoch: documents are copy-on-write,
+	// so the caller may hold the node as of an earlier snapshot walk
+	// while a sibling's activation has since published newer state.
+	if live, ok := a.Peer.NodeByID(sc.ID); ok && live.Kind == xmltree.ElementNode && live.Label == "sc" {
+		sc = live
+	}
 	if v, _ := sc.Attr(attrState); v == stateActive {
 		return fmt.Errorf("axmldoc: call already activated")
 	}
@@ -78,8 +84,17 @@ func (a *Activator) ActivateNode(sc *xmltree.Node) error {
 		return fmt.Errorf("axmldoc: sc element has no parent to receive results")
 	}
 	// after="id": the referenced call must have been activated first.
+	// The dependency's state lives in the newest epoch, so look it up
+	// through the document store rather than this node's Parent chain
+	// (which may climb into an older epoch's spine).
 	if afterID, ok := sc.Attr(attrAfter); ok {
-		dep := findCallByID(sc.Root(), afterID)
+		root := sc.Root()
+		if docName, ok := a.Peer.DocumentOfNode(sc.ID); ok && docName != "" {
+			if d, ok := a.Peer.Document(docName); ok {
+				root = d.Root
+			}
+		}
+		dep := findCallByID(root, afterID)
 		if dep == nil {
 			return fmt.Errorf("axmldoc: after=%q references no sc element", afterID)
 		}
@@ -100,7 +115,13 @@ func (a *Activator) ActivateNode(sc *xmltree.Node) error {
 	if _, err := a.Sys.Eval(a.Peer.ID, call); err != nil {
 		return err
 	}
-	sc.SetAttr(attrState, stateActive)
+	// Publish the activation marker through the peer so it commits as
+	// its own epoch instead of mutating the shared sc node in place.
+	updated := xmltree.DeepCopyKeepIDs(sc)
+	updated.SetAttr(attrState, stateActive)
+	if err := a.Peer.ReplaceChildByID(0, sc.ID, updated); err != nil {
+		return fmt.Errorf("axmldoc: recording activation: %w", err)
+	}
 	return nil
 }
 
@@ -270,6 +291,7 @@ func (a *Activator) Equivalent(t1, t2 *xmltree.Node, maxRounds int) (equal bool,
 	names := [2]string{"x:equiv-probe-1", "x:equiv-probe-2"}
 	trees := [2]*xmltree.Node{xmltree.DeepCopy(t1), xmltree.DeepCopy(t2)}
 	reached = true
+	var expanded [2]*xmltree.Node
 	for i := range names {
 		if err := a.Peer.InstallDocument(names[i], trees[i]); err != nil {
 			return false, false, err
@@ -282,9 +304,16 @@ func (a *Activator) Equivalent(t1, t2 *xmltree.Node, maxRounds int) (equal bool,
 		if !ok {
 			reached = false
 		}
+		// Expansion publishes new epochs; the installed pointer is the
+		// pre-activation snapshot, so fetch the newest root to compare.
+		d, ok2 := a.Peer.Document(names[i])
+		if !ok2 {
+			return false, false, fmt.Errorf("axmldoc: probe document %q vanished", names[i])
+		}
+		expanded[i] = d.Root
 	}
-	c1 := xmltree.DeepCopy(trees[0])
-	c2 := xmltree.DeepCopy(trees[1])
+	c1 := xmltree.DeepCopy(expanded[0])
+	c2 := xmltree.DeepCopy(expanded[1])
 	stripActivationState(c1)
 	stripActivationState(c2)
 	return xmltree.Equal(c1, c2), reached, nil

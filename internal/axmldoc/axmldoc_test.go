@@ -33,6 +33,18 @@ func setup(t *testing.T) (*core.System, *Activator, *peer.Peer) {
 	return sys, New(sys, host), host
 }
 
+// currentRoot fetches the newest epoch's root: activation publishes
+// copy-on-write epochs, so a root pointer held across an activation is
+// a frozen pre-activation snapshot.
+func currentRoot(t *testing.T, p *peer.Peer, name string) *xmltree.Node {
+	t.Helper()
+	d, ok := p.Document(name)
+	if !ok {
+		t.Fatalf("document %q vanished", name)
+	}
+	return d.Root
+}
+
 func TestActivateInsertsSiblings(t *testing.T) {
 	_, act, host := setup(t)
 	doc := xmltree.MustParse(`<page><title>Offers</title><sc provider="data" service="cheap"/></page>`)
@@ -47,11 +59,12 @@ func TestActivateInsertsSiblings(t *testing.T) {
 		t.Fatalf("activate: %v", err)
 	}
 	// Results land as siblings of the sc node, inside <page>.
-	if got := len(doc.ChildElementsByLabel("offer")); got != 2 {
-		t.Errorf("offers = %d, want 2: %s", got, xmltree.Serialize(doc))
+	cur := currentRoot(t, host, "page")
+	if got := len(cur.ChildElementsByLabel("offer")); got != 2 {
+		t.Errorf("offers = %d, want 2: %s", got, xmltree.Serialize(cur))
 	}
 	// The sc stays, marked activated.
-	sc := doc.FirstChildElement("sc")
+	sc := cur.FirstChildElement("sc")
 	if sc == nil {
 		t.Fatal("sc element removed")
 	}
@@ -79,7 +92,7 @@ func TestActivateLegacySyntax(t *testing.T) {
 	if err := act.ActivateNode(pending[0]); err != nil {
 		t.Fatalf("activate legacy: %v", err)
 	}
-	if got := len(doc.ChildElementsByLabel("offer")); got != 2 {
+	if got := len(currentRoot(t, host, "page").ChildElementsByLabel("offer")); got != 2 {
 		t.Errorf("offers = %d", got)
 	}
 }
@@ -99,9 +112,10 @@ func TestActivateWithParams(t *testing.T) {
 	if err := act.ActivateNode(pending[0]); err != nil {
 		t.Fatalf("activate: %v", err)
 	}
-	hits := doc.ChildElementsByLabel("hit")
+	cur := currentRoot(t, host, "page")
+	hits := cur.ChildElementsByLabel("hit")
 	if len(hits) != 1 || hits[0].TextContent() != "lamp" {
-		t.Errorf("hits = %v: %s", len(hits), xmltree.Serialize(doc))
+		t.Errorf("hits = %v: %s", len(hits), xmltree.Serialize(cur))
 	}
 }
 
@@ -131,7 +145,7 @@ func TestAfterOrdering(t *testing.T) {
 	if n != 2 {
 		t.Errorf("activated %d, want 2", n)
 	}
-	if got := len(doc.ChildElementsByLabel("offer")); got != 4 {
+	if got := len(currentRoot(t, host, "page").ChildElementsByLabel("offer")); got != 4 {
 		t.Errorf("offers = %d, want 4", got)
 	}
 }
@@ -174,12 +188,13 @@ func TestFixpointNestedCalls(t *testing.T) {
 	if !reached || rounds < 2 {
 		t.Errorf("rounds=%d reached=%v", rounds, reached)
 	}
-	wrapped := doc.FindAll("wrapped")
+	cur := currentRoot(t, host, "page")
+	wrapped := cur.FindAll("wrapped")
 	if len(wrapped) != 1 {
 		t.Fatalf("wrapped = %d", len(wrapped))
 	}
 	if got := len(wrapped[0].ChildElementsByLabel("offer")); got != 2 {
-		t.Errorf("nested offers = %d: %s", got, xmltree.Serialize(doc))
+		t.Errorf("nested offers = %d: %s", got, xmltree.Serialize(cur))
 	}
 }
 

@@ -23,12 +23,22 @@ import (
 // and their bookkeeping) or maxRounds is exhausted. It returns the
 // number of calls activated and whether conformance was reached.
 func (a *Activator) ActivateToType(docName string, schema *xtype.Schema, maxRounds int) (activated int, conforms bool, err error) {
-	d, ok := a.Peer.Document(docName)
-	if !ok {
-		return 0, false, fmt.Errorf("axmldoc: peer %s: no document %q", a.Peer.ID, docName)
+	// Activation publishes copy-on-write epochs, so every conformance
+	// check must look at the newest root rather than a pointer captured
+	// before the round.
+	root := func() (*xmltree.Node, error) {
+		d, ok := a.Peer.Document(docName)
+		if !ok {
+			return nil, fmt.Errorf("axmldoc: peer %s: no document %q", a.Peer.ID, docName)
+		}
+		return d.Root, nil
+	}
+	cur, err := root()
+	if err != nil {
+		return 0, false, err
 	}
 	for round := 0; round < maxRounds; round++ {
-		if typeConforms(d.Root, schema) {
+		if typeConforms(cur, schema) {
 			return activated, true, nil
 		}
 		// Find the invalid regions and the pending calls under them.
@@ -37,11 +47,11 @@ func (a *Activator) ActivateToType(docName string, schema *xtype.Schema, maxRoun
 			return activated, false, err
 		}
 		if len(pending) == 0 {
-			return activated, typeConforms(d.Root, schema), nil
+			return activated, typeConforms(cur, schema), nil
 		}
 		progressed := false
 		for _, sc := range pending {
-			if !underInvalidRegion(sc, schema) {
+			if !underInvalidRegion(a, sc, schema) {
 				continue
 			}
 			if err := a.ActivateNode(sc); err != nil {
@@ -62,11 +72,17 @@ func (a *Activator) ActivateToType(docName string, schema *xtype.Schema, maxRoun
 			}
 			activated += n
 			if n == 0 {
-				return activated, typeConforms(d.Root, schema), nil
+				if cur, err = root(); err != nil {
+					return activated, false, err
+				}
+				return activated, typeConforms(cur, schema), nil
 			}
 		}
+		if cur, err = root(); err != nil {
+			return activated, false, err
+		}
 	}
-	return activated, typeConforms(d.Root, schema), nil
+	return activated, typeConforms(cur, schema), nil
 }
 
 // typeConforms validates a view of the tree with sc elements and their
@@ -80,11 +96,16 @@ func typeConforms(root *xmltree.Node, schema *xtype.Schema) bool {
 
 // underInvalidRegion reports whether the sc's parent element currently
 // violates its content model — i.e. whether activating this call can
-// contribute to conformance.
-func underInvalidRegion(sc *xmltree.Node, schema *xtype.Schema) bool {
+// contribute to conformance. The parent is re-resolved through the
+// peer's index so the check sees the newest epoch even when the sc
+// node's Parent pointer climbs into an older spine.
+func underInvalidRegion(a *Activator, sc *xmltree.Node, schema *xtype.Schema) bool {
 	parent := sc.Parent
 	if parent == nil {
 		return true
+	}
+	if live, ok := a.Peer.NodeByID(parent.ID); ok {
+		parent = live
 	}
 	view := xmltree.DeepCopy(parent)
 	stripActivationState(view)

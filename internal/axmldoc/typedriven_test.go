@@ -64,7 +64,7 @@ func TestActivateToTypeReachesConformance(t *testing.T) {
 	if n != 1 {
 		t.Errorf("activated %d calls, want 1", n)
 	}
-	if got := len(doc.ChildElementsByLabel("offer")); got != 2 {
+	if got := len(currentRoot(t, act.Peer, "page").ChildElementsByLabel("offer")); got != 2 {
 		t.Errorf("offers = %d", got)
 	}
 }

@@ -122,6 +122,7 @@ func (s *System) queryCursor(ctx context.Context, p *peer.Peer, q *Query) (*RowC
 	}
 	cur, err := q.Q.EvalCursor(ctx, run.env, run.args...)
 	if err != nil {
+		run.release()
 		return nil, err
 	}
 	rc := &RowCursor{}

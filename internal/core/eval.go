@@ -212,11 +212,13 @@ func (s *System) evalDoc(ctx context.Context, p *peer.Peer, d *Doc, vt float64) 
 	if d.At != p.ID {
 		return s.delegate(ctx, p.ID, d.At, d, vt)
 	}
-	doc, ok := p.Document(d.Name)
-	if !ok {
-		return nil, fmt.Errorf("core: peer %s: %w: %q", p.ID, ErrNoSuchDoc, d.Name)
+	h := p.Snapshot()
+	defer h.Release()
+	root, err := h.Root(d.Name)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Result{Forest: []*xmltree.Node{xmltree.DeepCopy(doc.Root)}, VT: vt}, nil
+	return &Result{Forest: []*xmltree.Node{xmltree.DeepCopy(root)}, VT: vt}, nil
 }
 
 // evalQuery implements definitions (2) and (7): evaluate the argument
@@ -229,6 +231,7 @@ func (s *System) evalQuery(ctx context.Context, p *peer.Peer, q *Query, vt float
 	}
 	out, err := q.Q.Eval(run.env, run.args...)
 	if err != nil {
+		run.release()
 		return nil, err
 	}
 	return &Result{Forest: out, VT: run.finish(countNodes(out))}, nil
@@ -243,14 +246,27 @@ type queryRun struct {
 	p          *peer.Peer
 	args       [][]*xmltree.Node
 	env        *xquery.Env
+	snap       *peer.Handle // pinned epoch the run's local doc reads answer from
+	ownSnap    bool         // run pinned snap itself (vs. WithDocSnapshot caller-owned)
 	inputNodes int
 	startVT    float64 // max arg-completion VT; doc fetches may push past it
 	fetchVT    float64
 }
 
+// release drops the run's epoch pin. Idempotent (Handle.Release is),
+// and a no-op for a caller-owned snapshot carried in via
+// WithDocSnapshot — the caller releases that one.
+func (r *queryRun) release() {
+	if r.ownSnap {
+		r.snap.Release()
+	}
+}
+
 // finish charges the query's compute cost once the output size is
-// known and returns the completion VT.
+// known and returns the completion VT. It also releases the run's
+// snapshot: the stream is over, the pinned epoch may be reclaimed.
 func (r *queryRun) finish(outNodes int) float64 {
+	r.release()
 	maxVT := r.startVT
 	if r.fetchVT > maxVT {
 		maxVT = r.fetchVT
@@ -326,14 +342,26 @@ func (s *System) prepareQuery(ctx context.Context, p *peer.Peer, q *Query, vt fl
 	}
 	run := &queryRun{sys: s, p: p, args: args, inputNodes: inputNodes,
 		startVT: maxVT, fetchVT: maxVT}
+	// Pin the evaluation site's documents: every doc("name") the body
+	// resolves locally answers from one epoch, so the query sees a
+	// consistent store even while concurrent writers publish new epochs
+	// mid-stream. A context-carried handle (WithDocSnapshot) extends the
+	// same epoch across several statements; otherwise the run pins its
+	// own and releases it in finish.
+	if h := docSnapshotFrom(ctx, p); h != nil {
+		run.snap = h
+	} else {
+		run.snap = p.Snapshot()
+		run.ownSnap = true
+	}
 	// Resolve doc("name") references: local documents are free; a
 	// document hosted elsewhere is fetched whole — the naive plan of
 	// definition (7) that Example 1's pushdown improves on. Generic
 	// classes resolve through pickDoc (definition (9)).
 	run.env = &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
-		if doc, ok := p.Document(name); ok {
-			run.inputNodes += doc.Root.NodeCount()
-			return doc.Root, nil
+		if root, err := run.snap.Root(name); err == nil {
+			run.inputNodes += root.NodeCount()
+			return root, nil
 		}
 		// Resolution order: the generics catalog (pickDoc, def (9))
 		// takes priority — a registered equivalence class is the
@@ -808,14 +836,19 @@ func (s *System) applyService(p *peer.Peer, svc *service.Service, args [][]*xmlt
 		nodes := forestNodes(args) + countNodes(out)
 		return out, s.queryCost(p.ID, nodes), nil
 	}
-	out, err := p.RunQuery(svc.Body, args...)
+	// One pinned epoch serves both the evaluation and the cost model's
+	// input-size accounting, so the two agree even when a writer
+	// publishes between them.
+	h := p.Snapshot()
+	defer h.Release()
+	out, err := svc.Body.Eval(&xquery.Env{Resolve: h.Resolver()}, args...)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: service %s@%s: %w", svc.Name, p.ID, err)
 	}
 	nodes := forestNodes(args) + countNodes(out)
 	for _, name := range svc.Body.DocRefs() {
-		if doc, ok := p.Document(name); ok {
-			nodes += doc.Root.NodeCount()
+		if root, err := h.Root(name); err == nil {
+			nodes += root.NodeCount()
 		}
 	}
 	return out, s.queryCost(p.ID, nodes), nil

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+
+	"axml/internal/peer"
+)
+
+// docSnapshotKey carries a caller-owned peer.Handle through a context
+// so every query prepared under it reads the same pinned epoch.
+type docSnapshotKey struct{}
+
+// WithDocSnapshot pins query evaluation to an existing document
+// snapshot: any query prepared under the returned context whose
+// evaluation site is the handle's owner resolves doc("name") references
+// from the handle's epoch instead of pinning a fresh one. The caller
+// keeps ownership — the evaluation never releases the handle — which is
+// how a session spanning several statements reads one consistent epoch
+// (session.WithSnapshotIsolation builds on this).
+func WithDocSnapshot(ctx context.Context, h *peer.Handle) context.Context {
+	return context.WithValue(ctx, docSnapshotKey{}, h)
+}
+
+// docSnapshotFrom returns the context-carried handle when it snapshots
+// the given peer, nil otherwise. A handle owned by a different peer is
+// ignored: delegated sub-evaluations at other peers pin their own
+// epochs.
+func docSnapshotFrom(ctx context.Context, p *peer.Peer) *peer.Handle {
+	h, _ := ctx.Value(docSnapshotKey{}).(*peer.Handle)
+	if h == nil || h.Owner() != p {
+		return nil
+	}
+	return h
+}

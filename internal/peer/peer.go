@@ -48,7 +48,11 @@ func ParseNodeRef(s string) (NodeRef, error) {
 	return NodeRef{Peer: netsim.PeerID(peerName), Node: xmltree.NodeID(id)}, nil
 }
 
-// Document is a named tree d@p.
+// Document is a named tree d@p. The descriptor is live: Root always
+// points at the newest epoch's root and is swapped — never mutated in
+// place — on each committed write, so a published root and everything
+// below it is immutable. Callers that need a stable multi-document
+// view across reads use Peer.Snapshot instead of holding Root.
 type Document struct {
 	Name    string
 	Root    *xmltree.Node
@@ -88,22 +92,35 @@ func (k ChangeKind) String() string {
 // Change is one typed document-change notification: what happened, to
 // which document, and the identifier of the affected subtree root (the
 // inserted/replacing tree for inserts and replaces, the removed tree
-// for deletes; zero for Touch). Watch channels coalesce under
+// for deletes; zero for Touch). Epoch is the store epoch the change
+// committed as — a reader holding a Snapshot handle with an equal or
+// later epoch already sees it. Watch channels coalesce under
 // backpressure — a received Change means "at least this happened since
 // you last looked", so consumers that need exactness (view maintenance)
 // diff against their own recorded state rather than replaying events.
 type Change struct {
-	Kind ChangeKind
-	Doc  string
-	Node xmltree.NodeID
+	Kind  ChangeKind
+	Doc   string
+	Node  xmltree.NodeID
+	Epoch uint64
 }
 
+// indexEntry records where a node currently lives: the newest-epoch
+// node carrying the ID, its owning document, and its parent's ID.
+// Ancestry is reconstructed through parent IDs rather than the nodes'
+// Parent pointers because copy-on-write shares subtrees between
+// epochs: a shared node's Parent still points into the spine of the
+// epoch that created it and must never be rewritten once published.
 type indexEntry struct {
-	node *xmltree.Node
-	doc  string
+	node   *xmltree.Node
+	doc    string
+	parent xmltree.NodeID
 }
 
 // Peer is one peer p ∈ P.
+//
+// Lock ordering: p.mu before p.pinMu (Snapshot pins while still
+// publishing-consistent); pinMu is never held across a p.mu acquire.
 type Peer struct {
 	ID netsim.PeerID
 
@@ -113,6 +130,14 @@ type Peer struct {
 	idgen    xmltree.SeqIDGen
 	index    map[xmltree.NodeID]indexEntry
 	watchers map[string][]chan Change
+	// epoch counts committed mutations across the whole store. Every
+	// write publishes a new root for the touched document and bumps it;
+	// Snapshot captures it so readers can name the version they saw.
+	epoch uint64
+
+	// pinMu guards the epoch pin table (see snapshot.go).
+	pinMu sync.Mutex
+	pins  map[uint64]*pin
 }
 
 // New creates an empty peer.
@@ -123,6 +148,7 @@ func New(id netsim.PeerID) *Peer {
 		services: map[string]*service.Service{},
 		index:    map[xmltree.NodeID]indexEntry{},
 		watchers: map[string][]chan Change{},
+		pins:     map[uint64]*pin{},
 	}
 }
 
@@ -142,11 +168,9 @@ func (p *Peer) InstallDocument(name string, root *xmltree.Node) error {
 		return fmt.Errorf("peer %s: document %q already exists", p.ID, name)
 	}
 	xmltree.AssignIDs(root, &p.idgen)
-	root.Walk(func(n *xmltree.Node) bool {
-		p.index[n.ID] = indexEntry{node: n, doc: name}
-		return true
-	})
+	p.indexSubtree(root, name, 0)
 	p.docs[name] = &Document{Name: name, Root: root, Version: 1}
+	p.epoch++
 	return nil
 }
 
@@ -163,11 +187,14 @@ func (p *Peer) RemoveDocument(name string) error {
 		return true
 	})
 	delete(p.docs, name)
+	p.epoch++
 	return nil
 }
 
 // Document returns the named document. The returned root must be
 // treated as read-only by callers; mutations go through peer methods.
+// The descriptor is live (Root tracks the newest epoch) — readers that
+// must not observe concurrent writes pin a Snapshot handle instead.
 func (p *Peer) Document(name string) (*Document, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
@@ -214,6 +241,12 @@ func (p *Peer) DocumentOfNode(id xmltree.NodeID) (string, bool) {
 // peer takes ownership of the tree (fresh IDs, indexed). Watchers of
 // the owning document are notified. This is the landing operation of
 // definition (4): the sent tree is "added as a child of n@p".
+//
+// Like every structural mutation, the write is copy-on-write: the
+// spine from the document root down to the target is cloned, the rest
+// of the tree is shared structurally with the previous epoch, and the
+// new root is published by swapping the document's root pointer.
+// Snapshot handles pinned before the call keep seeing the old epoch.
 func (p *Peer) AddChild(parent xmltree.NodeID, tree *xmltree.Node) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -224,9 +257,20 @@ func (p *Peer) AddChild(parent xmltree.NodeID, tree *xmltree.Node) error {
 	if e.node.Kind != xmltree.ElementNode {
 		return fmt.Errorf("peer %s: node n%d cannot take children", p.ID, parent)
 	}
-	p.adopt(tree, e.doc)
-	e.node.AppendChild(tree)
-	p.bumpLocked(e.doc, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
+	if e.doc == "" {
+		// Detached anchors (FreshAnchor) are not published documents:
+		// mutate in place, no epoch, no watchers.
+		p.adopt(tree, "", parent)
+		e.node.AppendChild(tree)
+		return nil
+	}
+	newRoot, target, err := p.cowSpineLocked(e.doc, parent)
+	if err != nil {
+		return err
+	}
+	p.adopt(tree, e.doc, parent)
+	target.AppendChild(tree)
+	p.publishLocked(e.doc, newRoot, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
 	return nil
 }
 
@@ -239,14 +283,25 @@ func (p *Peer) InsertAfter(ref xmltree.NodeID, tree *xmltree.Node) error {
 	if !ok {
 		return fmt.Errorf("peer %s: no node n%d", p.ID, ref)
 	}
-	if e.node.Parent == nil {
+	if e.parent == 0 {
 		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, ref)
 	}
-	p.adopt(tree, e.doc)
-	if err := e.node.Parent.InsertAfter(e.node, tree); err != nil {
+	if e.doc == "" {
+		pe := p.index[e.parent]
+		p.adopt(tree, "", e.parent)
+		return pe.node.InsertAfter(e.node, tree)
+	}
+	newRoot, target, err := p.cowSpineLocked(e.doc, e.parent)
+	if err != nil {
 		return err
 	}
-	p.bumpLocked(e.doc, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
+	i := childIndex(target, ref)
+	if i < 0 {
+		return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, ref)
+	}
+	p.adopt(tree, e.doc, e.parent)
+	target.InsertChildAt(i+1, tree)
+	p.publishLocked(e.doc, newRoot, Change{Kind: ChangeInsert, Doc: e.doc, Node: tree.ID})
 	return nil
 }
 
@@ -263,18 +318,39 @@ func (p *Peer) RemoveChildByID(parent, child xmltree.NodeID) error {
 	if !ok {
 		return fmt.Errorf("peer %s: no node n%d", p.ID, child)
 	}
-	if e.node.Parent == nil {
+	if e.parent == 0 {
 		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, child)
 	}
-	if parent != 0 && e.node.Parent.ID != parent {
+	if parent != 0 && e.parent != parent {
 		return fmt.Errorf("peer %s: node n%d is not a child of n%d", p.ID, child, parent)
 	}
-	e.node.Parent.RemoveChild(e.node)
+	if e.doc == "" {
+		pe := p.index[e.parent]
+		if !pe.node.RemoveChild(e.node) {
+			return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, child)
+		}
+		e.node.Walk(func(n *xmltree.Node) bool {
+			delete(p.index, n.ID)
+			return true
+		})
+		return nil
+	}
+	newRoot, target, err := p.cowSpineLocked(e.doc, e.parent)
+	if err != nil {
+		return err
+	}
+	i := childIndex(target, child)
+	if i < 0 {
+		return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, child)
+	}
+	// Splice without touching the removed subtree: it is still shared
+	// with older epochs, so its Parent pointers must survive as-is.
+	target.Children = append(target.Children[:i], target.Children[i+1:]...)
 	e.node.Walk(func(n *xmltree.Node) bool {
 		delete(p.index, n.ID)
 		return true
 	})
-	p.bumpLocked(e.doc, Change{Kind: ChangeDelete, Doc: e.doc, Node: child})
+	p.publishLocked(e.doc, newRoot, Change{Kind: ChangeDelete, Doc: e.doc, Node: child})
 	return nil
 }
 
@@ -293,21 +369,40 @@ func (p *Peer) ReplaceChildByID(parent, child xmltree.NodeID, tree *xmltree.Node
 	if !ok {
 		return fmt.Errorf("peer %s: no node n%d", p.ID, child)
 	}
-	if e.node.Parent == nil {
+	if e.parent == 0 {
 		return fmt.Errorf("peer %s: node n%d has no parent", p.ID, child)
 	}
-	if parent != 0 && e.node.Parent.ID != parent {
+	if parent != 0 && e.parent != parent {
 		return fmt.Errorf("peer %s: node n%d is not a child of n%d", p.ID, child, parent)
 	}
-	p.adopt(tree, e.doc)
-	if !e.node.Parent.ReplaceChild(e.node, tree) {
+	if e.doc == "" {
+		pe := p.index[e.parent]
+		p.adopt(tree, "", e.parent)
+		if !pe.node.ReplaceChild(e.node, tree) {
+			return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, child)
+		}
+		e.node.Walk(func(n *xmltree.Node) bool {
+			delete(p.index, n.ID)
+			return true
+		})
+		return nil
+	}
+	newRoot, target, err := p.cowSpineLocked(e.doc, e.parent)
+	if err != nil {
+		return err
+	}
+	i := childIndex(target, child)
+	if i < 0 {
 		return fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, child)
 	}
 	e.node.Walk(func(n *xmltree.Node) bool {
 		delete(p.index, n.ID)
 		return true
 	})
-	p.bumpLocked(e.doc, Change{Kind: ChangeReplace, Doc: e.doc, Node: tree.ID})
+	p.adopt(tree, e.doc, e.parent)
+	tree.Parent = target
+	target.Children[i] = tree
+	p.publishLocked(e.doc, newRoot, Change{Kind: ChangeReplace, Doc: e.doc, Node: tree.ID})
 	return nil
 }
 
@@ -326,19 +421,36 @@ func (p *Peer) ReplaceChildren(id xmltree.NodeID, forest []*xmltree.Node) error 
 	if e.node.Kind != xmltree.ElementNode {
 		return fmt.Errorf("peer %s: node n%d cannot take children", p.ID, id)
 	}
-	for _, c := range e.node.Children {
+	if e.doc == "" {
+		for _, c := range e.node.Children {
+			c.Walk(func(n *xmltree.Node) bool {
+				delete(p.index, n.ID)
+				return true
+			})
+		}
+		e.node.Children = nil
+		for _, tree := range forest {
+			p.adopt(tree, "", id)
+			e.node.AppendChild(tree)
+		}
+		return nil
+	}
+	newRoot, target, err := p.cowSpineLocked(e.doc, id)
+	if err != nil {
+		return err
+	}
+	for _, c := range target.Children {
 		c.Walk(func(n *xmltree.Node) bool {
 			delete(p.index, n.ID)
 			return true
 		})
-		c.Parent = nil
 	}
-	e.node.Children = nil
+	target.Children = nil
 	for _, tree := range forest {
-		p.adopt(tree, e.doc)
-		e.node.AppendChild(tree)
+		p.adopt(tree, e.doc, id)
+		target.AppendChild(tree)
 	}
-	p.bumpLocked(e.doc, Change{Kind: ChangeReplace, Doc: e.doc, Node: id})
+	p.publishLocked(e.doc, newRoot, Change{Kind: ChangeReplace, Doc: e.doc, Node: id})
 	return nil
 }
 
@@ -386,39 +498,109 @@ func (p *Peer) SelectIDs(q *xquery.Query) ([]xmltree.NodeID, error) {
 	return out, nil
 }
 
-// SnapshotEval runs fn under the peer's read lock with a resolver over
-// the live document store, excluding concurrent mutations for the
-// duration. fn must not call other locking methods of this peer (the
-// lock is not reentrant) and must not retain the resolver or any
-// resolved tree beyond the call.
-func (p *Peer) SnapshotEval(fn func(resolve xquery.DocResolver) error) error {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return fn(func(name string) (*xmltree.Node, error) {
-		d, ok := p.docs[name]
-		if !ok {
-			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
-		}
-		return d.Root, nil
-	})
-}
-
-// adopt assigns IDs and indexes a subtree into the given document.
-func (p *Peer) adopt(tree *xmltree.Node, doc string) {
+// adopt assigns IDs and indexes a subtree into the given document,
+// recording parent as the subtree root's parent identifier.
+func (p *Peer) adopt(tree *xmltree.Node, doc string, parent xmltree.NodeID) {
 	xmltree.AssignIDs(tree, &p.idgen)
-	tree.Walk(func(n *xmltree.Node) bool {
-		p.index[n.ID] = indexEntry{node: n, doc: doc}
-		return true
-	})
+	p.indexSubtree(tree, doc, parent)
 }
 
-// bumpLocked increments a document version and notifies watchers with
-// the typed change event. Callers hold p.mu.
-func (p *Peer) bumpLocked(doc string, ev Change) {
+// indexSubtree indexes n and its descendants, tracking parent IDs.
+func (p *Peer) indexSubtree(n *xmltree.Node, doc string, parent xmltree.NodeID) {
+	p.index[n.ID] = indexEntry{node: n, doc: doc, parent: parent}
+	for _, c := range n.Children {
+		p.indexSubtree(c, doc, n.ID)
+	}
+}
+
+// cowSpineLocked prepares a copy-on-write mutation of the node with
+// the given id inside doc: it clones the spine from the document root
+// down to the target (fresh Children and Attrs backing arrays, same
+// IDs), shares every off-spine subtree with the current epoch, points
+// the index at the clones, and returns the new root together with the
+// target's clone. The caller mutates the returned target freely — it
+// is unpublished until publishLocked swaps the document root. Shared
+// subtrees are never written: their Parent pointers keep referring to
+// the spine of the epoch that created them, which is why ancestry
+// flows through index parent IDs instead.
+func (p *Peer) cowSpineLocked(doc string, id xmltree.NodeID) (newRoot, target *xmltree.Node, err error) {
+	d, ok := p.docs[doc]
+	if !ok {
+		return nil, nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, doc)
+	}
+	// Collect the ID chain target..root through the index.
+	var chain []xmltree.NodeID
+	for cur := id; cur != 0; {
+		chain = append(chain, cur)
+		e, ok := p.index[cur]
+		if !ok {
+			return nil, nil, fmt.Errorf("peer %s: no node n%d", p.ID, cur)
+		}
+		cur = e.parent
+	}
+	if chain[len(chain)-1] != d.Root.ID {
+		return nil, nil, fmt.Errorf("peer %s: node n%d is not in document %q", p.ID, id, doc)
+	}
+	cur := cloneShallow(d.Root)
+	p.reindexClone(cur)
+	newRoot = cur
+	for i := len(chain) - 2; i >= 0; i-- {
+		j := childIndex(cur, chain[i])
+		if j < 0 {
+			return nil, nil, fmt.Errorf("peer %s: node n%d vanished from its parent", p.ID, chain[i])
+		}
+		child := cloneShallow(cur.Children[j])
+		child.Parent = cur
+		cur.Children[j] = child
+		p.reindexClone(child)
+		cur = child
+	}
+	return newRoot, cur, nil
+}
+
+// reindexClone points the index entry for a spine clone at the clone,
+// keeping document and parent unchanged (clones keep their node IDs).
+func (p *Peer) reindexClone(n *xmltree.Node) {
+	e := p.index[n.ID]
+	e.node = n
+	p.index[n.ID] = e
+}
+
+// cloneShallow copies one node with fresh Attrs/Children backing
+// arrays still referencing the shared child subtrees.
+func cloneShallow(n *xmltree.Node) *xmltree.Node {
+	c := &xmltree.Node{ID: n.ID, Kind: n.Kind, Label: n.Label, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		c.Attrs = append([]xmltree.Attr(nil), n.Attrs...)
+	}
+	if len(n.Children) > 0 {
+		c.Children = append([]*xmltree.Node(nil), n.Children...)
+	}
+	return c
+}
+
+// childIndex finds the position of the child with the given ID.
+func childIndex(parent *xmltree.Node, id xmltree.NodeID) int {
+	for i, c := range parent.Children {
+		if c.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// publishLocked commits a copy-on-write mutation: swaps the document's
+// root to the new epoch's tree, bumps the store epoch and the document
+// version, and notifies watchers with the typed change event. Callers
+// hold p.mu.
+func (p *Peer) publishLocked(doc string, newRoot *xmltree.Node, ev Change) {
 	d, ok := p.docs[doc]
 	if !ok {
 		return
 	}
+	d.Root = newRoot
+	p.epoch++
+	ev.Epoch = p.epoch
 	d.Version++
 	for _, ch := range p.watchers[doc] {
 		select {
@@ -429,11 +611,16 @@ func (p *Peer) bumpLocked(doc string, ev Change) {
 }
 
 // Touch bumps a document's version and notifies watchers without a
-// structural change (used by engines after bulk edits).
+// structural change (used by engines after bulk edits). The root is
+// republished unchanged, so it still commits a fresh epoch.
 func (p *Peer) Touch(doc string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.bumpLocked(doc, Change{Kind: ChangeTouch, Doc: doc})
+	d, ok := p.docs[doc]
+	if !ok {
+		return
+	}
+	p.publishLocked(doc, d.Root, Change{Kind: ChangeTouch, Doc: doc})
 }
 
 // Watch returns a channel receiving typed change events whenever the
@@ -496,11 +683,18 @@ func (p *Peer) ServiceNames() []string {
 	return out
 }
 
-// Resolver returns a document resolver over this peer's store, for
-// evaluating queries locally.
+// Resolver returns a read-committed document resolver over this
+// peer's store: each resolution returns the newest published root at
+// that instant, so two resolutions inside one evaluation may observe
+// different epochs. Long-lived consumers (subscriptions) want exactly
+// that — each pump sees fresh data. Readers needing a consistent
+// multi-document view for the whole evaluation pin a Snapshot and use
+// Handle.Resolver instead.
 func (p *Peer) Resolver() xquery.DocResolver {
 	return func(name string) (*xmltree.Node, error) {
-		d, ok := p.Document(name)
+		p.mu.RLock()
+		d, ok := p.docs[name]
+		p.mu.RUnlock()
 		if !ok {
 			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
 		}
@@ -508,19 +702,13 @@ func (p *Peer) Resolver() xquery.DocResolver {
 	}
 }
 
-// RunQuery evaluates a query against this peer's documents under a
-// read lock (concurrent mutations are excluded for the duration).
+// RunQuery evaluates a query against a pinned snapshot of this peer's
+// documents. Concurrent writers proceed — they publish new epochs the
+// evaluation never observes.
 func (p *Peer) RunQuery(q *xquery.Query, args ...[]*xmltree.Node) ([]*xmltree.Node, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	env := &xquery.Env{Resolve: func(name string) (*xmltree.Node, error) {
-		d, ok := p.docs[name]
-		if !ok {
-			return nil, fmt.Errorf("peer %s: %w: %q", p.ID, ErrNoSuchDoc, name)
-		}
-		return d.Root, nil
-	}}
-	return q.Eval(env, args...)
+	h := p.Snapshot()
+	defer h.Release()
+	return q.Eval(&xquery.Env{Resolve: h.Resolver()}, args...)
 }
 
 // FreshAnchor creates a detached element owned by the peer (indexed,

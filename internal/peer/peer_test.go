@@ -86,8 +86,14 @@ func TestAddChildAndInsertAfter(t *testing.T) {
 	if err := p.AddChild(root.ID, newEntry); err != nil {
 		t.Fatalf("AddChild: %v", err)
 	}
-	if len(root.Children) != 2 {
-		t.Errorf("children = %d", len(root.Children))
+	// Writes are copy-on-write: the pre-mutation root is a frozen
+	// epoch, the document descriptor tracks the newest one.
+	if len(root.Children) != 1 {
+		t.Errorf("pinned epoch changed: children = %d, want 1", len(root.Children))
+	}
+	d, _ := p.Document("log")
+	if len(d.Root.Children) != 2 {
+		t.Errorf("children = %d", len(d.Root.Children))
 	}
 	if newEntry.ID == 0 {
 		t.Error("added tree not adopted (no ID)")
@@ -100,18 +106,18 @@ func TestAddChildAndInsertAfter(t *testing.T) {
 	default:
 		t.Error("watcher not notified")
 	}
-	d, _ := p.Document("log")
 	if d.Version != 2 {
 		t.Errorf("version = %d, want 2", d.Version)
 	}
 
-	first := root.Children[0]
+	first := d.Root.Children[0]
 	mid := xmltree.E("entry", "one-and-a-half")
 	if err := p.InsertAfter(first.ID, mid); err != nil {
 		t.Fatalf("InsertAfter: %v", err)
 	}
-	if root.Children[1] != mid {
-		t.Errorf("InsertAfter position wrong: %s", xmltree.Serialize(root))
+	d, _ = p.Document("log")
+	if len(d.Root.Children) != 3 || d.Root.Children[1] != mid {
+		t.Errorf("InsertAfter position wrong: %s", xmltree.Serialize(d.Root))
 	}
 
 	// Errors.
@@ -290,8 +296,9 @@ func TestRemoveChildByID(t *testing.T) {
 	if err := p.RemoveChildByID(root.ID, victim.ID); err != nil {
 		t.Fatalf("RemoveChildByID: %v", err)
 	}
-	if len(root.Children) != 1 || root.Children[0].TextContent() != "two" {
-		t.Errorf("wrong child removed: %s", xmltree.Serialize(root))
+	d, _ := p.Document("log")
+	if len(d.Root.Children) != 1 || d.Root.Children[0].TextContent() != "two" {
+		t.Errorf("wrong child removed: %s", xmltree.Serialize(d.Root))
 	}
 	if _, ok := p.NodeByID(victim.ID); ok {
 		t.Error("removed subtree root still indexed")
@@ -312,7 +319,7 @@ func TestRemoveChildByID(t *testing.T) {
 	if err := p.RemoveChildByID(0, 99999); err == nil {
 		t.Error("removing unknown node should error")
 	}
-	if err := p.RemoveChildByID(victim.ID, root.Children[0].ID); err == nil {
+	if err := p.RemoveChildByID(victim.ID, d.Root.Children[0].ID); err == nil {
 		t.Error("wrong-parent check should fire")
 	}
 	if err := p.RemoveChildByID(0, root.ID); err == nil {
@@ -334,7 +341,7 @@ func TestReplaceChildByID(t *testing.T) {
 	if err := p.ReplaceChildByID(root.ID, old.ID, repl); err != nil {
 		t.Fatalf("ReplaceChildByID: %v", err)
 	}
-	if root.Children[0] != repl {
+	if d, _ := p.Document("log"); d.Root.Children[0] != repl {
 		t.Error("replacement not in position 0")
 	}
 	if repl.ID == 0 {

@@ -127,6 +127,16 @@ type Config struct {
 	// sessions trace through the context instead (obs.WithTrace), which
 	// carries the whole trace object, not just an ID.
 	TraceID string
+	// SnapshotIsolation pins the call to one epoch of the evaluating
+	// peer's document store before the first row is produced: every
+	// doc("name") the plan resolves at that peer answers from the pinned
+	// epoch, so concurrent writers never change (or tear) the stream's
+	// view of the data. The pin is dropped when the stream ends. Wire
+	// sessions forward the intent as the +snapshot flag and the server
+	// pins on its side. Reads at other peers (delegated sub-plans) pin
+	// their own per-query snapshots as always — the option widens the
+	// pin from per-query to per-statement at the session's home peer.
+	SnapshotIsolation bool
 }
 
 // Option is a functional option of Session.Query/Exec and Stmt.Query.
@@ -160,6 +170,12 @@ func WithEagerEval() Option { return func(c *Config) { c.Eager = true } }
 // (wire sessions; local sessions pass a trace in the context via
 // obs.WithTrace instead).
 func WithTraceID(id string) Option { return func(c *Config) { c.TraceID = id } }
+
+// WithSnapshotIsolation pins the statement to one epoch of the
+// session peer's document store: the whole stream reads the documents
+// exactly as they were when the call started, no matter what concurrent
+// writers publish meanwhile. See Config.SnapshotIsolation.
+func WithSnapshotIsolation() Option { return func(c *Config) { c.SnapshotIsolation = true } }
 
 // BuildConfig folds options into a Config. Backends (wire) use it to
 // interpret the shared option vocabulary.
@@ -470,8 +486,53 @@ func (s *Local) observe(q *xquery.Query, expr core.Expr) {
 }
 
 // rowsFor opens the result stream for a planned expression under the
-// call's context rules (timeout, consistent views, eager override).
+// call's context rules (timeout, consistent views, eager override,
+// snapshot isolation).
 func (s *Local) rowsFor(ctx context.Context, expr core.Expr, cfg *Config) (*Rows, error) {
+	if cfg.SnapshotIsolation {
+		if p, ok := s.sys.Peer(s.at); ok {
+			// Pin the session peer's current epoch for the whole stream;
+			// prepareQuery finds the handle in the context and resolves
+			// local documents from it instead of pinning per query.
+			h := p.Snapshot()
+			rows, err := s.openRows(core.WithDocSnapshot(ctx, h), expr, cfg)
+			if err != nil {
+				h.Release()
+				return nil, err
+			}
+			return pinRows(rows, h), nil
+		}
+	}
+	return s.openRows(ctx, expr, cfg)
+}
+
+// pinRows ties a snapshot handle's lifetime to a result stream: the
+// pin drops when the stream ends — exhaustion, failure, or Close,
+// whichever comes first (Release is idempotent).
+func pinRows(rows *Rows, h *peer.Handle) *Rows {
+	pull := rows.pull
+	rows.pull = func() (*xmltree.Node, error) {
+		n, err := pull()
+		if err != nil || n == nil {
+			h.Release()
+		}
+		return n, err
+	}
+	closeFn := rows.closeFn
+	rows.closeFn = func() error {
+		var err error
+		if closeFn != nil {
+			err = closeFn()
+		}
+		h.Release()
+		return err
+	}
+	return rows
+}
+
+// openRows opens the result stream for a planned expression (timeout,
+// consistent views, eager override).
+func (s *Local) openRows(ctx context.Context, expr core.Expr, cfg *Config) (*Rows, error) {
 	if cfg.Eager {
 		res, err := s.run(ctx, expr, cfg)
 		if err != nil {

@@ -215,7 +215,13 @@ func (m *Manager) Migrate(ctx context.Context, name string, from, to netsim.Peer
 	if !ok {
 		return fmt.Errorf("view %q: placement peer %q is gone", name, from)
 	}
-	oldRoot, ok := source.NodeByID(old.root)
+	// Pin an epoch of the source store and ship it: the outgoing copy's
+	// root, child list and shipped trees all come from one immutable
+	// snapshot, so concurrent writers at the source cannot tear the
+	// migrated content.
+	snap := source.Snapshot()
+	defer snap.Release()
+	oldRoot, ok := snap.NodeByID(old.root)
 	if !ok {
 		return fmt.Errorf("view %q: placement root vanished at %s", name, from)
 	}
@@ -240,7 +246,10 @@ func (m *Manager) Migrate(ctx context.Context, name string, from, to netsim.Peer
 	if err := target.InstallDocument(staging, newRoot); err != nil {
 		return fmt.Errorf("view %q: migrating to %s: %w", name, to, err)
 	}
-	oldKids, _ := source.ChildIDs(old.root)
+	oldKids := make([]xmltree.NodeID, len(oldRoot.Children))
+	for i, c := range oldRoot.Children {
+		oldKids[i] = c.ID
+	}
 	if len(oldRoot.Children) > 0 {
 		ref := peer.NodeRef{Peer: to, Node: newRoot.ID}
 		// Shipping under st.mu is deliberate: the lock is what makes
@@ -273,12 +282,18 @@ func (m *Manager) Migrate(ctx context.Context, name string, from, to netsim.Peer
 		}
 	}
 
-	// Swap staging → final. The tree is complete and no longer mutated,
-	// so the first reader to resolve the new name sees the full copy.
+	// Swap staging → final. The landed rows live in the staging doc's
+	// newest epoch (the shell pointer held here predates the landings),
+	// so re-fetch its current root; node identifiers survive the swap.
+	landed, ok := target.Document(staging)
+	if !ok {
+		return fmt.Errorf("view %q: staging document vanished at %s", name, to)
+	}
+	landedRoot := landed.Root
 	if err := target.RemoveDocument(staging); err != nil {
 		return fmt.Errorf("view %q: migrating to %s: %w", name, to, err)
 	}
-	if err := target.InstallDocument(docName, newRoot); err != nil {
+	if err := target.InstallDocument(docName, landedRoot); err != nil {
 		return fmt.Errorf("view %q: migrating to %s: %w", name, to, err)
 	}
 

@@ -121,12 +121,11 @@ func (m *Manager) refreshPlacement(ctx context.Context, st *state, p *placement)
 	if !ok {
 		return 0, fmt.Errorf("base peer %q is gone", p.baseAt)
 	}
-	var ev *xquery.Events
-	err := host.SnapshotEval(func(resolve xquery.DocResolver) error {
-		out, err := p.inc.DeltaEventsWith(&xquery.Env{Resolve: resolve})
-		ev = out
-		return err
-	})
+	// Pin an epoch of the base store: the delta derives from a
+	// consistent point-in-time view while base writers proceed.
+	h := host.Snapshot()
+	ev, err := p.inc.DeltaEventsWith(&xquery.Env{Resolve: h.Resolver()})
+	h.Release()
 	if err != nil {
 		return 0, err
 	}
@@ -241,12 +240,9 @@ func (m *Manager) refreshPlacementFull(ctx context.Context, st *state, p *placem
 			return 0, fmt.Errorf("placement peer %q is gone", p.at)
 		}
 		fresh, _ := xquery.NewDeltaFor(st.def.Query, nil)
-		var ev *xquery.Events
-		err := host.SnapshotEval(func(resolve xquery.DocResolver) error {
-			out, err := fresh.DeltaEventsWith(&xquery.Env{Resolve: resolve})
-			ev = out
-			return err
-		})
+		h := host.Snapshot()
+		ev, err := fresh.DeltaEventsWith(&xquery.Env{Resolve: h.Resolver()})
+		h.Release()
 		if err != nil {
 			return 0, err
 		}

@@ -252,12 +252,9 @@ func (m *Manager) materialize(ctx context.Context, st *state, at netsim.PeerID) 
 		}
 		host, _ := m.sys.Peer(baseAt)
 		inc, _ := xquery.NewDeltaFor(st.def.Query, nil)
-		var initial *xquery.Events
-		err = host.SnapshotEval(func(resolve xquery.DocResolver) error {
-			ev, err := inc.DeltaEventsWith(&xquery.Env{Resolve: resolve})
-			initial = ev
-			return err
-		})
+		h := host.Snapshot()
+		initial, err := inc.DeltaEventsWith(&xquery.Env{Resolve: h.Resolver()})
+		h.Release()
 		if err != nil {
 			return nil, fmt.Errorf("view %q: materializing: %w", st.def.Name, err)
 		}

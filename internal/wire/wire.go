@@ -32,9 +32,11 @@
 // <x:end>. A client that hangs up mid-stream makes the next row write
 // fail, which abandons the server-side cursor — no further evaluation
 // happens for a stream nobody is reading. Flags: +noopt (evaluate as
-// written), +nocache (re-plan even on a cache hit), +trace=<id>
-// (record a span tree for this query, retrievable with TRACE <id>).
-// EXEC accepts the same flag token.
+// written), +nocache (re-plan even on a cache hit), +snapshot (pin the
+// stream to one epoch of the server peer's document store — snapshot
+// isolation for the whole statement), +trace=<id> (record a span tree
+// for this query, retrievable with TRACE <id>). EXEC accepts the same
+// flag token.
 //
 // STATS returns the server's unified metrics snapshot (<x:stats>):
 // session plan-cache counters, wire streaming gauges, netsim totals.
@@ -184,6 +186,30 @@ func (s *Server) metrics() *obs.Registry {
 			s.Metrics.Gauge("net.messages_total", func() int64 { m, _, _ := net.Totals(); return m })
 			s.Metrics.Gauge("net.bytes_total", func() int64 { _, b, _ := net.Totals(); return b })
 			s.Metrics.Gauge("net.max_vt_ms", func() int64 { _, _, vt := net.Totals(); return int64(vt) })
+			// MVCC epoch health: pins held by live snapshot streams. A
+			// stuck gauge here is a leaked pin keeping store history
+			// alive — exactly what a long-lived server must notice.
+			sys := s.Views.System()
+			s.Metrics.Gauge("peer.epochs.pinned", func() int64 {
+				var n int64
+				for _, id := range sys.Peers() {
+					if p, ok := sys.Peer(id); ok {
+						n += int64(p.PinnedEpochs())
+					}
+				}
+				return n
+			})
+			s.Metrics.Gauge("peer.epochs.oldest_pin_ms", func() int64 {
+				var oldest int64
+				for _, id := range sys.Peers() {
+					if p, ok := sys.Peer(id); ok {
+						if ms := p.OldestPinAge().Milliseconds(); ms > oldest {
+							oldest = ms
+						}
+					}
+				}
+				return oldest
+			})
 		}
 	})
 	return s.Metrics
@@ -349,6 +375,8 @@ func parseFlags(rest string) (string, []session.Option) {
 			opts = append(opts, session.WithNoOptimize())
 		case "nocache":
 			opts = append(opts, session.WithNoPlanCache())
+		case "snapshot":
+			opts = append(opts, session.WithSnapshotIsolation())
 		case "trace":
 			if value != "" {
 				opts = append(opts, session.WithTraceID(value))
@@ -917,6 +945,9 @@ func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) 
 	if cfg.NoPlanCache {
 		flags = append(flags, "nocache")
 	}
+	if cfg.SnapshotIsolation {
+		flags = append(flags, "snapshot")
+	}
 	if cfg.TraceID != "" {
 		flags = append(flags, "trace="+cfg.TraceID)
 	}
@@ -1007,8 +1038,15 @@ func (c *Client) Exec(ctx context.Context, src string, opts ...session.Option) (
 		defer cancel()
 	}
 	line := "EXEC "
+	var flags []string
+	if cfg.SnapshotIsolation {
+		flags = append(flags, "snapshot")
+	}
 	if cfg.TraceID != "" {
-		line += "+trace=" + cfg.TraceID + " "
+		flags = append(flags, "trace="+cfg.TraceID)
+	}
+	if len(flags) > 0 {
+		line += "+" + strings.Join(flags, "+") + " "
 	}
 	root, err := c.roundTrip(ctx, line+src)
 	if err != nil {

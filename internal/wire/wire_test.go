@@ -523,3 +523,43 @@ func TestIOTimeout(t *testing.T) {
 		t.Error("I/O timeout did not bound the round trip")
 	}
 }
+
+// TestSnapshotFlagRoundtrip frames +snapshot from the client option and
+// checks the server pins the statement: a mutation committed while the
+// stream is open does not leak into the rows, and the pin is released
+// when the stream ends.
+func TestSnapshotFlagRoundtrip(t *testing.T) {
+	c, p := startServer(t)
+	d, _ := p.Document("catalog")
+	rootID := d.Root.ID
+	before := len(d.Root.ChildElementsByLabel("item"))
+
+	rows, err := c.Query(context.Background(), `doc("catalog")/item`,
+		session.WithSnapshotIsolation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddChild(rootID, xmltree.MustParse(
+		`<item><name>late</name><price>1</price></item>`)); err != nil {
+		t.Fatal(err)
+	}
+	forest, err := rows.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != before {
+		t.Errorf("snapshot wire stream yielded %d rows, want %d", len(forest), before)
+	}
+	if got := p.PinnedEpochs(); got != 0 {
+		t.Errorf("PinnedEpochs after wire stream = %d, want 0", got)
+	}
+
+	// Next statement observes the commit.
+	forest2, err := c.QueryAll(`doc("catalog")/item`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest2) != before+1 {
+		t.Errorf("post-mutation wire query yielded %d rows, want %d", len(forest2), before+1)
+	}
+}

@@ -44,12 +44,14 @@ type Cursor interface {
 // anywhere in the tuple stream before returning any data, a cursor
 // yields the rows preceding the failure first.
 //
-// Concurrency contract: like Eval, the cursor reads the resolved
-// documents without locking — the caller must not mutate them while
-// the evaluation is live. A cursor stretches "while" from the duration
-// of one Eval call to the lifetime of the stream (consumer-paced), so
-// callers interleaving updates with open cursors should close or drain
-// cursors first; ROADMAP tracks snapshot isolation for streams.
+// Concurrency contract: the cursor reads the resolved documents
+// without locking, which is safe because resolvers hand out immutable
+// snapshots — peer document stores are copy-on-write (every mutation
+// publishes a new epoch; published trees are never written again), so
+// a stream sees one frozen epoch for its whole lifetime no matter what
+// writers commit meanwhile. A resolver serving genuinely mutable trees
+// (hand-built Envs over scratch nodes) must not mutate them while the
+// stream is live.
 func (q *Query) EvalCursor(ctx context.Context, env *Env, args ...[]*xmltree.Node) (Cursor, error) {
 	if len(args) != len(q.Params) {
 		return nil, errf("query takes %d parameter(s), got %d", len(q.Params), len(args))

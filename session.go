@@ -74,6 +74,15 @@ func WithNoPlanCache() QueryOption { return session.WithNoPlanCache() }
 // data. Wire servers apply this by default.
 func WithConsistentView() QueryOption { return session.WithConsistentView() }
 
+// WithSnapshotIsolation pins the whole statement — including a
+// streamed Rows' full lifetime — to one epoch of the evaluating
+// peer's document store: rows reflect exactly the state at the moment
+// the call started, no matter what commits land while the client
+// drains the stream. The pin is dropped when the stream is exhausted,
+// closed, or fails. Works over both backends; a wire session frames
+// it as the +snapshot flag.
+func WithSnapshotIsolation() QueryOption { return session.WithSnapshotIsolation() }
+
 // WithTimeout bounds the call by a deadline relative to its start —
 // shorthand for passing a context.WithTimeout context.
 func WithTimeout(d time.Duration) QueryOption { return session.WithTimeout(d) }
