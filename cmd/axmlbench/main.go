@@ -9,11 +9,14 @@
 // materialization; E15 measures adaptive view placement against a
 // static deployment on a skewed multi-peer subscription workload;
 // E16 measures concurrent serving — snapshot-pinned readers against a
-// store-wide-locked baseline under a continuously-committing writer.
+// store-wide-locked baseline under a continuously-committing writer;
+// E17 (behind -tcp) measures the federated control plane in wall-clock
+// time over real axmlpeer processes — a coordinated deployment against
+// a static one on a skewed query stream.
 //
 // Usage:
 //
-//	axmlbench [-only E1,E5] [-quick] [-json out.json] [-gate streaming,placement,concurrency]
+//	axmlbench [-only E1,E5] [-quick] [-tcp] [-json out.json] [-gate streaming,placement,concurrency,federation]
 //
 // -only restricts the run to a comma-separated list of experiment IDs;
 // -quick shrinks the workloads for a fast smoke run. -json writes the
@@ -30,8 +33,11 @@
 // shipped and median query latency while converging to a stable
 // placement; "concurrency" exits non-zero unless E16's snapshot
 // readers beat the locked baseline at the largest reader count and
-// their aggregate throughput scales with the reader count. CI runs all
-// three, so a regression in any loop fails the build.
+// their aggregate throughput scales with the reader count;
+// "federation" (requires -tcp) exits non-zero unless E17 actuated at
+// least one migrate/replicate over real TCP, converged, and beat the
+// static deployment on measured wall-clock median latency. CI runs
+// them all, so a regression in any loop fails the build.
 package main
 
 import (
@@ -54,14 +60,15 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E5)")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	jsonPath := flag.String("json", "", "write results as JSON to this file")
-	gate := flag.String("gate", "", "comma-separated acceptance gates to enforce (streaming, placement, concurrency)")
+	tcp := flag.Bool("tcp", false, "include the wall-clock federation experiment (E17): real axmlpeer processes over TCP")
+	gate := flag.String("gate", "", "comma-separated acceptance gates to enforce (streaming, placement, concurrency, federation)")
 	flag.Parse()
 	gates := map[string]bool{}
 	for _, g := range strings.Split(*gate, ",") {
 		if g = strings.TrimSpace(g); g == "" {
 			continue
 		}
-		if g != "streaming" && g != "placement" && g != "concurrency" {
+		if g != "streaming" && g != "placement" && g != "concurrency" && g != "federation" {
 			// Rejected up front: an unknown gate must not burn a full
 			// suite run before failing.
 			fmt.Fprintf(os.Stderr, "axmlbench: unknown gate %q\n", g)
@@ -69,10 +76,15 @@ func main() {
 		}
 		gates[g] = true
 	}
+	if gates["federation"] && !*tcp {
+		fmt.Fprintln(os.Stderr, "axmlbench: the federation gate requires -tcp (E17 spawns real processes)")
+		os.Exit(2)
+	}
 
 	var streaming []bench.StreamingPoint
 	var placementPt *bench.PlacementPoint
 	var concurrency []bench.ConcurrencyPoint
+	var federationPt *bench.FederationPoint
 	registry := []experiment{
 		{"E1", func(q bool) (*bench.Table, error) {
 			if q {
@@ -216,6 +228,31 @@ func main() {
 			return t, err
 		}},
 	}
+	if *tcp {
+		// E17 spawns real OS processes (the federation harness), so it
+		// only joins the suite on explicit request.
+		registry = append(registry, experiment{"E17", func(q bool) (*bench.Table, error) {
+			var pt *bench.FederationPoint
+			var t *bench.Table
+			var err error
+			if q {
+				pt, t, err = bench.E17Federation(120, 3, 12)
+			} else {
+				pt, t, err = bench.E17Federation(400, 6, 25)
+			}
+			if err != nil {
+				return t, err
+			}
+			federationPt = pt
+			label := fmt.Sprintf("%d procs", pt.Processes)
+			t.AddPoint("static_median_ms", label, pt.StaticMedianMs)
+			t.AddPoint("federated_median_ms", label, pt.FederatedMedianMs)
+			t.AddPoint("latency_gain", label, pt.LatencyGain)
+			t.AddPoint("actions", label, float64(pt.Actions))
+			t.AddPoint("last_action_round", label, float64(pt.LastActionRound))
+			return t, err
+		}})
+	}
 
 	selected := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -233,6 +270,9 @@ func main() {
 		}
 		if gates["concurrency"] {
 			selected["E16"] = true
+		}
+		if gates["federation"] {
+			selected["E17"] = true
 		}
 	}
 
@@ -255,7 +295,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *quick, tables, streaming, placementPt, concurrency); err != nil {
+		if err := writeJSON(*jsonPath, *quick, tables, streaming, placementPt, concurrency, federationPt); err != nil {
 			fmt.Fprintf(os.Stderr, "axmlbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -291,6 +331,38 @@ func main() {
 			last.SnapshotReadsPerSec, last.Readers, first.SnapshotReadsPerSec, first.Readers,
 			last.LockedReadsPerSec, last.ReadSpeedup)
 	}
+	if gates["federation"] {
+		if err := gateFederation(federationPt); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: gate failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate federation: OK — federated median %.3fms vs static %.3fms (%.1fx), %d actions (last in round %d of %d)\n",
+			federationPt.FederatedMedianMs, federationPt.StaticMedianMs, federationPt.LatencyGain,
+			federationPt.Actions, federationPt.LastActionRound, federationPt.Rounds)
+	}
+}
+
+// gateFederation is the CI acceptance check of the federated control
+// plane measured over real processes: the coordinator must actuate at
+// least one migrate/replicate, the placement must settle (no actions in
+// the final third of the rounds), and the coordinated deployment must
+// beat the static one on measured wall-clock median latency.
+func gateFederation(pt *bench.FederationPoint) error {
+	if pt == nil {
+		return fmt.Errorf("federation gate requires E17 to run (check -only and -tcp)")
+	}
+	if pt.Migrates+pt.Replicates == 0 {
+		return fmt.Errorf("no migrate/replicate was actuated over TCP (%d actions total)", pt.Actions)
+	}
+	if !pt.Converged {
+		return fmt.Errorf("placement did not converge: %d actions, last in round %d of %d",
+			pt.Actions, pt.LastActionRound, pt.Rounds)
+	}
+	if pt.FederatedMedianMs >= pt.StaticMedianMs {
+		return fmt.Errorf("federated does not beat static on median wall-clock latency: %.3fms vs %.3fms",
+			pt.FederatedMedianMs, pt.StaticMedianMs)
+	}
+	return nil
 }
 
 // gateConcurrency is the CI acceptance check of the MVCC serving path:
@@ -374,14 +446,15 @@ type benchReport struct {
 	Streaming   []bench.StreamingPoint   `json:"streaming,omitempty"`
 	Placement   *bench.PlacementPoint    `json:"placement,omitempty"`
 	Concurrency []bench.ConcurrencyPoint `json:"concurrency,omitempty"`
+	Federation  *bench.FederationPoint   `json:"federation,omitempty"`
 }
 
 func writeJSON(path string, quick bool, tables []*bench.Table,
 	streaming []bench.StreamingPoint, placement *bench.PlacementPoint,
-	concurrency []bench.ConcurrencyPoint) error {
+	concurrency []bench.ConcurrencyPoint, federation *bench.FederationPoint) error {
 	data, err := json.MarshalIndent(benchReport{
 		Quick: quick, Experiments: tables, Streaming: streaming, Placement: placement,
-		Concurrency: concurrency,
+		Concurrency: concurrency, Federation: federation,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -29,6 +29,24 @@
 // telemetry); -metrics :9090 serves the unified metrics registry as
 // JSON over HTTP GET /metrics — the same counters the STATS wire verb
 // reports.
+//
+// Federation (internal/cluster): `-coordinator` runs the process as
+// the cluster control plane (members register via HELLO; `-round`
+// self-steps placement rounds, otherwise STEP drives them);
+// `-join <addr>` runs it as a member of that coordinator — it
+// heartbeats its inventory, answers DEMAND with its local demand
+// export, ships and adopts views on MIGRATE/REPLICATE/ACCEPTVIEW, and
+// forwards queries over documents other members host. `-advertise`
+// overrides the address other members dial (defaults to the actual
+// listen address); `-addr-file` writes that address to a file once the
+// listener is up, which is how the test harness learns the port of an
+// `-addr 127.0.0.1:0` process.
+//
+// On SIGINT/SIGTERM the process shuts down gracefully: the listener
+// closes, in-flight requests (including QUERYX streams mid-row) drain,
+// the member deregisters from its coordinator (BYE), view maintenance
+// stops, and any still-pinned snapshot epochs are reported before
+// exit.
 package main
 
 import (
@@ -40,9 +58,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"axml/internal/cluster"
 	"axml/internal/core"
 	"axml/internal/netsim"
 	"axml/internal/placement"
@@ -69,6 +90,17 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn or error")
 	metricsAddr := flag.String("metrics", "",
 		"serve the metrics registry as JSON on this address (GET /metrics)")
+	coordMode := flag.Bool("coordinator", false,
+		"run as the federation coordinator (members register via HELLO)")
+	round := flag.Duration("round", 0,
+		"coordinator placement-round interval (0 = rounds only on STEP)")
+	join := flag.String("join", "",
+		"coordinator address to register with (runs this process as a federation member)")
+	advertise := flag.String("advertise", "",
+		"address other members dial to reach this process (default: the actual listen address)")
+	heartbeat := flag.Duration("hb", 2*time.Second, "member HELLO heartbeat interval")
+	addrFile := flag.String("addr-file", "",
+		"write the actual listen address to this file once listening")
 	var docs, services pairList
 	flag.Var(&docs, "doc", "name=file[@peer] of a document to install (repeatable)")
 	flag.Var(&services, "service", "name=file of a declarative service body (repeatable)")
@@ -141,6 +173,12 @@ func main() {
 		logger.Info("registered service", "name", name, "file", file)
 	}
 
+	// ctx ends on SIGINT/SIGTERM and stops every background ticker;
+	// the serve loop below turns its cancellation into a graceful
+	// drain.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	srv := &wire.Server{Peer: p, Views: views}
 	if *adaptive > 0 || *budget > 0 {
 		// A single served peer cannot migrate views anywhere, but the
@@ -165,7 +203,12 @@ func main() {
 		go func() {
 			t := time.NewTicker(*adaptive)
 			defer t.Stop()
-			for range t.C {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
 				if _, err := ctrl.Step(context.Background()); err != nil {
 					logger.Warn("placement step", "err", err)
 				}
@@ -181,8 +224,108 @@ func main() {
 	if err != nil {
 		fatal("listen", "addr", *addr, "err", err)
 	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(l.Addr().String()+"\n"), 0o644); err != nil {
+			fatal("writing -addr-file", "file", *addrFile, "err", err)
+		}
+	}
+
+	// Federation wiring happens after the listener is up: a member
+	// advertises a dialable address, which by default is the one the
+	// OS actually assigned.
+	var member *cluster.Member
+	switch {
+	case *coordMode && *join != "":
+		fatal("-coordinator and -join are mutually exclusive")
+	case *coordMode:
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Logger:  logger.With("component", "cluster"),
+			Metrics: srv.MetricsRegistry(),
+		})
+		srv.Control = coord
+		logger.Info("coordinating", "round", round.String())
+		if *round > 0 {
+			go func() {
+				t := time.NewTicker(*round)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+					}
+					if _, err := coord.Step(context.Background()); err != nil {
+						logger.Warn("cluster round", "err", err)
+					}
+				}
+			}()
+		}
+	case *join != "":
+		if *advertise == "" {
+			*advertise = l.Addr().String()
+		}
+		obsv := placement.NewObserver()
+		// The federation demand observer is the session's traffic
+		// sink; it replaces an in-process controller's observer (the
+		// coordinator decides placement for federated deployments).
+		if srv.SessionOptions != nil {
+			logger.Info("federation demand sink replaces the in-process controller's observer")
+		}
+		srv.SessionOptions = []session.LocalOption{session.WithTrafficSink(obsv)}
+		member, err = cluster.NewMember(cluster.MemberConfig{
+			ID:                *id,
+			Advertise:         *advertise,
+			Coordinator:       *join,
+			SelfPeer:          p.ID,
+			HeartbeatInterval: *heartbeat,
+			Logger:            logger.With("component", "cluster"),
+			Metrics:           srv.MetricsRegistry(),
+		}, sys, views, obsv)
+		if err != nil {
+			fatal("joining federation", "err", err)
+		}
+		srv.Control = member
+		srv.Forward = member
+		member.Start()
+		logger.Info("joined federation", "coordinator", *join, "advertise", *advertise)
+	}
+
 	logger.Info("peer listening", "id", *id, "addr", l.Addr().String())
-	fatal("serve", "err", srv.Serve(l))
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		fatal("serve", "err", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests and
+	// streams, deregister from the coordinator, stop view maintenance,
+	// then report any snapshot epoch still pinned (drained streams
+	// release theirs; a nonzero count here is a leak worth logging).
+	stopSignals() // a second signal kills immediately
+	logger.Info("shutting down")
+	l.Close()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Warn("drain incomplete; connections cut", "err", err)
+	}
+	cancelDrain()
+	if member != nil {
+		member.Close()
+	}
+	views.Close()
+	pins := 0
+	for _, pid := range sys.Peers() {
+		if pp, ok := sys.Peer(pid); ok {
+			pins += pp.PinnedEpochs()
+		}
+	}
+	if pins > 0 {
+		logger.Warn("snapshot epochs still pinned at exit", "pins", pins)
+	} else {
+		logger.Info("shutdown complete")
+	}
 }
 
 // newLogger builds the process logger at the requested threshold.

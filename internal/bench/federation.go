@@ -1,0 +1,229 @@
+// E17: the federated control plane measured in wall-clock time over
+// real axmlpeer OS processes and real TCP — where E15 measures the same
+// placement loop inside one process on the simulated network. Member A
+// hosts the catalog and a full-copy view, member B issues every query:
+// the static deployment forwards forever, the federated one lets the
+// coordinator observe the skew and migrate the copy to B, after which
+// the queries are answered locally.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"axml/internal/cluster"
+	"axml/internal/placement"
+	"axml/internal/wire"
+	"axml/internal/workload"
+	"axml/internal/xmltree"
+)
+
+// FederationPoint is the machine-readable summary of E17. cmd/axmlbench
+// records it in BENCH_*.json; the "federation" gate requires at least
+// one actuated migrate/replicate, convergence (no actions in the final
+// third of the rounds), and a federated median wall-clock latency below
+// the static deployment's.
+type FederationPoint struct {
+	Processes         int     `json:"processes"`
+	Rounds            int     `json:"rounds"`
+	QueriesPerRound   int     `json:"queriesPerRound"`
+	StaticMedianMs    float64 `json:"staticMedianMs"`
+	FederatedMedianMs float64 `json:"federatedMedianMs"`
+	LatencyGain       float64 `json:"latencyGain"`
+	Actions           int     `json:"actions"`
+	Migrates          int     `json:"migrates"`
+	Replicates        int     `json:"replicates"`
+	LastActionRound   int     `json:"lastActionRound"`
+	Converged         bool    `json:"converged"`
+}
+
+// e17Run is one deployment mode's measurement.
+type e17Run struct {
+	medianMs  float64
+	decisions []placement.Decision
+	lastRound int
+}
+
+// E17Federation spawns a 3-process topology (coordinator + 2 members)
+// twice — static and federated — and measures the query stream's
+// wall-clock latency at the consuming member.
+func E17Federation(items, rounds, perRound int) (*FederationPoint, *Table, error) {
+	t := &Table{
+		ID:     "E17",
+		Title:  "Federated placement: real processes over TCP, static vs coordinated",
+		Anchor: "internal/cluster (control plane over the wire protocol)",
+		Header: []string{"config", "medianMs", "p90Ms", "rows", "moves"},
+		Notes:  "member B issues every query; the coordinator migrates the full copy to it after the first round",
+	}
+	dir, err := os.MkdirTemp("", "axml-e17-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	h, err := cluster.NewHarness(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer h.Close()
+
+	catalog := xmltree.Serialize(workload.Catalog(workload.CatalogSpec{
+		Items: items, PriceMax: 1000, DescWords: 6, Seed: 17}))
+	const query = `doc("catalog")/item/name`
+
+	run := func(prefix string, federated bool) (e17Run, error) {
+		var out e17Run
+		coord, err := h.Start(cluster.PeerSpec{ID: prefix + "coord", Coordinator: true})
+		if err != nil {
+			return out, err
+		}
+		a, err := h.Start(cluster.PeerSpec{ID: prefix + "a",
+			Docs:      map[string]string{"catalog": catalog},
+			Join:      coord.Addr,
+			Heartbeat: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return out, err
+		}
+		b, err := h.Start(cluster.PeerSpec{ID: prefix + "b",
+			Join: coord.Addr, Heartbeat: 100 * time.Millisecond})
+		if err != nil {
+			return out, err
+		}
+		stopAll := func() {
+			for _, p := range []*cluster.Proc{b, a, coord} {
+				_ = p.Stop(10 * time.Second)
+			}
+		}
+		defer stopAll()
+		ctx := context.Background()
+
+		cc, err := wire.Dial(coord.Addr)
+		if err != nil {
+			return out, err
+		}
+		defer cc.Close()
+		if err := waitCond(10*time.Second, func() bool {
+			snap, err := cc.Stats(ctx)
+			return err == nil && snap.Gauges["cluster.members"] == 2
+		}); err != nil {
+			return out, fmt.Errorf("members never registered: %w", err)
+		}
+		ca, err := wire.Dial(a.Addr)
+		if err != nil {
+			return out, err
+		}
+		defer ca.Close()
+		if err := ca.DefineView(ctx, "copy", `doc("catalog")`); err != nil {
+			return out, err
+		}
+		cb, err := wire.Dial(b.Addr)
+		if err != nil {
+			return out, err
+		}
+		defer cb.Close()
+		// The first query races B's route discovery (one heartbeat away);
+		// warm it in before the measured stream starts.
+		var warmRows int
+		if err := waitCond(10*time.Second, func() bool {
+			rows, err := cb.QueryAll(query)
+			warmRows = len(rows)
+			return err == nil && warmRows == items
+		}); err != nil {
+			return out, fmt.Errorf("first forwarded query never succeeded: %w", err)
+		}
+
+		var latencies []float64
+		for r := 1; r <= rounds; r++ {
+			for q := 0; q < perRound; q++ {
+				start := time.Now()
+				rows, err := cb.QueryAll(query)
+				if err != nil {
+					return out, fmt.Errorf("round %d query %d: %w", r, q, err)
+				}
+				if len(rows) != items {
+					return out, fmt.Errorf("round %d query %d: %d rows, want %d", r, q, len(rows), items)
+				}
+				latencies = append(latencies, float64(time.Since(start).Microseconds())/1000)
+			}
+			if federated {
+				decisions, err := cc.Step(ctx)
+				if err != nil {
+					return out, fmt.Errorf("round %d STEP: %w", r, err)
+				}
+				for _, d := range decisions {
+					d.Round = r
+					out.decisions = append(out.decisions, d)
+					out.lastRound = r
+				}
+			}
+		}
+		out.medianMs = quantile(latencies, 0.5)
+		t.Rows = append(t.Rows, []string{
+			map[bool]string{false: "static", true: "federated"}[federated],
+			fmt.Sprintf("%.3f", out.medianMs),
+			fmt.Sprintf("%.3f", quantile(latencies, 0.9)),
+			fmt.Sprintf("%d", items),
+			fmt.Sprintf("%d", len(out.decisions)),
+		})
+		return out, nil
+	}
+
+	static, err := run("s-", false)
+	if err != nil {
+		return nil, t, fmt.Errorf("E17 static run: %w", err)
+	}
+	fed, err := run("f-", true)
+	if err != nil {
+		return nil, t, fmt.Errorf("E17 federated run: %w", err)
+	}
+
+	pt := &FederationPoint{
+		Processes:         3,
+		Rounds:            rounds,
+		QueriesPerRound:   perRound,
+		StaticMedianMs:    static.medianMs,
+		FederatedMedianMs: fed.medianMs,
+		Actions:           len(fed.decisions),
+		LastActionRound:   fed.lastRound,
+	}
+	if fed.medianMs > 0 {
+		pt.LatencyGain = static.medianMs / fed.medianMs
+	}
+	for _, d := range fed.decisions {
+		switch d.Action {
+		case "migrate":
+			pt.Migrates++
+		case "replicate":
+			pt.Replicates++
+		}
+	}
+	pt.Converged = pt.Actions > 0 && fed.lastRound <= rounds-rounds/3
+	return pt, t, nil
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not met within %s", d)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// quantile returns the q-quantile of the samples (copied and sorted).
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}

@@ -1,0 +1,34 @@
+// Package cluster is the federated control plane: adaptive view
+// placement across real axmlpeer processes over TCP, where
+// internal/placement runs it across simulated peers in one process.
+//
+// Roles:
+//
+//   - A Member wraps one deployment (one axmlpeer process): it
+//     registers with the coordinator (HELLO heartbeats), reports its
+//     placement demand on request (DEMAND — the serializable form of
+//     its placement.Observer aggregates, selectivities estimated
+//     locally where the data lives), actuates shipping orders
+//     (MIGRATE/REPLICATE send the materialized view to another member
+//     via ACCEPTVIEW; DROPVIEW drops the local copy) and forwards
+//     queries over documents another member hosts (one hop, marked
+//     +fwd so demand is attributed once and routes cannot loop).
+//
+//   - The Coordinator runs placement rounds over the membership: it
+//     collects every member's demand export (per-call timeouts,
+//     bounded retry with backoff), aggregates per-(view, member)
+//     demand, runs the same placement.Scorer the in-process controller
+//     uses, and actuates the winning decisions through the control
+//     verbs. It fails open: an unreachable member degrades to its
+//     last-known demand, decayed each missed round — a down peer ages
+//     out of the demand picture instead of wedging the round.
+//
+// The Harness spawns real OS processes for tests and benchmarks
+// (axmlbench -tcp measures the federated convergence trajectory, E17).
+//
+// What this layer deliberately does not do yet: cross-deployment view
+// maintenance. A view adopted from another member is a point-in-time
+// snapshot, refreshed only by a re-ship (the next REPLICATE to the
+// same member swaps the content in place); gossip-style delta
+// propagation between deployments is the natural follow-on.
+package cluster

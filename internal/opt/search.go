@@ -3,6 +3,7 @@ package opt
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"strings"
 
 	"axml/internal/core"
@@ -78,11 +79,18 @@ func Optimize(sys *core.System, at netsim.PeerID, e core.Expr, opts Options) (*P
 	est := NewEstimator(sys)
 	ctx := &rewrite.Context{Sys: sys, At: at}
 
-	baseEst, err := est.Estimate(at, e)
-	if err != nil {
-		return nil, 0, fmt.Errorf("opt: estimating original plan: %w", err)
+	baseEst, baseErr := est.Estimate(at, e)
+	baseCost := math.Inf(1)
+	if baseErr == nil {
+		baseCost = baseEst.Total(opts.Weights)
 	}
-	start := &node{expr: e, cost: baseEst.Total(opts.Weights), est: baseEst}
+	// An inestimable original is not immediately fatal: the expression
+	// may read a document no local peer hosts while a rewrite onto a
+	// materialized copy (e.g. a view adopted from another deployment)
+	// is perfectly answerable. Seed the search with an infinite-cost
+	// start node; only if no alternative estimates either does the
+	// original error stand.
+	start := &node{expr: e, cost: baseCost, est: baseEst}
 	best := start
 
 	seen := map[string]bool{string(core.SerializeExpr(e)): true}
@@ -118,11 +126,20 @@ func Optimize(sys *core.System, at netsim.PeerID, e core.Expr, opts Options) (*P
 			})
 		}
 	}
+	if best == start && baseErr != nil {
+		return nil, explored, fmt.Errorf("opt: estimating original plan: %w", baseErr)
+	}
+	if math.IsInf(baseCost, 1) {
+		// The original never estimated; report the chosen plan's own
+		// cost as the baseline so downstream consumers (plan-cache
+		// eviction weights) see a finite, zero-saving baseline.
+		baseCost = best.cost
+	}
 	return &Plan{
 		Expr:       best.expr,
 		Est:        best.est,
 		Cost:       best.cost,
-		BaseCost:   start.cost,
+		BaseCost:   baseCost,
 		Derivation: best.deriv,
 	}, explored, nil
 }

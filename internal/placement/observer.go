@@ -178,6 +178,22 @@ func (o *Observer) Shapes(doc string) map[string]float64 {
 	return out
 }
 
+// Loads returns the full decayed per-(document, shape) demand table —
+// the raw material of a member's federated demand export (Export).
+func (o *Observer) Loads() map[string]map[string]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]map[string]float64, len(o.shapes))
+	for doc, byShape := range o.shapes {
+		m := make(map[string]float64, len(byShape))
+		for s, v := range byShape {
+			m[s] = v
+		}
+		out[doc] = m
+	}
+	return out
+}
+
 // ShipRate returns the recent maintenance-traffic rate (bytes per
 // controller round) on the from→to link.
 func (o *Observer) ShipRate(from, to netsim.PeerID) float64 {

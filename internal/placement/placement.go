@@ -166,6 +166,7 @@ type Controller struct {
 	views *view.Manager
 	obs   *Observer
 	cfg   Config
+	score *Scorer
 
 	mu    sync.Mutex
 	round int
@@ -178,13 +179,18 @@ type Controller struct {
 // returned controller's Observer() into the sessions whose traffic
 // should drive placement (session.WithTrafficSink).
 func New(views *view.Manager, cfg Config) *Controller {
+	sys := views.System()
 	return &Controller{
-		sys:   views.System(),
+		sys:   sys,
 		views: views,
 		obs:   NewObserver(),
 		cfg:   cfg.filled(),
-		cool:  map[string]int{},
-		sel:   map[string]float64{},
+		score: NewScorer(cfg, sys.Net.LinkInfo, func(p netsim.PeerID) bool {
+			_, ok := sys.Peer(p)
+			return ok
+		}),
+		cool: map[string]int{},
+		sel:  map[string]float64{},
 	}
 }
 

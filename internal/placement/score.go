@@ -5,12 +5,19 @@
 // estimates (opt.Estimator.QuerySelectivity) the plan search prices
 // plans with — the controller and the optimizer can disagree about
 // traffic, but never about what a transfer costs.
+//
+// The model lives in an exported Scorer decoupled from core.System so
+// the federated cluster coordinator (internal/cluster) prices
+// cross-deployment moves with exactly the same math the in-process
+// controller uses: the link model is a callback and everything about
+// one view's situation arrives as a ViewLoad built by the caller.
 
 package placement
 
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"axml/internal/netsim"
 	"axml/internal/opt"
@@ -26,20 +33,254 @@ const envelope = 64
 // rebuilds lazily beyond this.
 const selCacheCap = 1024
 
+// Scorer values candidate placement actions for one view: the
+// per-round cost of serving the observed demand from a placement set,
+// the per-round cost of keeping each replica fresh, and the one-time
+// cost of a move. Construct with NewScorer.
+type Scorer struct {
+	cfg     Config
+	link    func(from, to netsim.PeerID) netsim.Link
+	hasPeer func(netsim.PeerID) bool
+}
+
+// NewScorer builds a scorer with the config's defaults filled in.
+// link supplies the from→to transfer model (nil prices every remote
+// hop with the zero link: bytes and messages only, no latency term);
+// hasPeer reports whether a consumer is a viable placement target
+// (nil admits every consumer the demand names).
+func NewScorer(cfg Config, link func(from, to netsim.PeerID) netsim.Link,
+	hasPeer func(netsim.PeerID) bool) *Scorer {
+	return &Scorer{cfg: cfg.filled(), link: link, hasPeer: hasPeer}
+}
+
+// ViewLoad is everything the scorer needs to price one view's
+// placement: where it is, how big it is, who reads it how often, and
+// what keeping a copy fresh costs. The in-process controller builds it
+// from its Observer; the cluster coordinator from member demand
+// exports.
+type ViewLoad struct {
+	Name  string
+	Base  netsim.PeerID // peer hosting the primary base document ("" = unknown)
+	Sites []netsim.PeerID
+	Bytes int64
+	// Demand is the decayed per-consumer query weight against the view.
+	Demand map[netsim.PeerID]float64
+	// PerQuery estimates the bytes one query ships from a placement to
+	// its consumer (view size × demand-weighted mean shape selectivity).
+	PerQuery float64
+	// MaintRate is the observed maintenance volume (bytes per round)
+	// toward any current placement; 0 falls back to ChurnFrac × Bytes.
+	MaintRate float64
+	// Usage is the current view bytes placed per peer, for budget
+	// filtering of move targets.
+	Usage map[netsim.PeerID]int64
+	// Budget returns a peer's byte budget (0 = unlimited); nil means
+	// unlimited everywhere.
+	Budget func(netsim.PeerID) int64
+}
+
 // xfer prices one message of size bytes over from→to, mirroring
 // opt.Estimator.transfer scalarized with the configured weights.
 // Local delivery is free, like in the evaluator.
-func (c *Controller) xfer(from, to netsim.PeerID, bytes float64) float64 {
+func (s *Scorer) xfer(from, to netsim.PeerID, bytes float64) float64 {
 	if from == "" || to == "" || from == to {
 		return 0
 	}
-	l := c.sys.Net.LinkInfo(from, to)
+	var l netsim.Link
+	if s.link != nil {
+		l = s.link(from, to)
+	}
 	t := l.LatencyMs
 	if l.BytesPerMs > 0 {
 		t += (bytes + envelope) / l.BytesPerMs
 	}
-	w := c.cfg.Weights
+	w := s.cfg.Weights
 	return w.PerByte*(bytes+envelope) + w.PerMessage + w.PerMs*t
+}
+
+// ServeCost is the per-round cost of answering the observed demand
+// from the given serving sites: each consumer reads from its cheapest
+// site.
+func (s *Scorer) ServeCost(demand map[netsim.PeerID]float64, sites []netsim.PeerID, perQ float64) float64 {
+	total := 0.0
+	for consumer, weight := range demand {
+		best := -1.0
+		for _, site := range sites {
+			cost := s.xfer(site, consumer, perQ)
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		total += weight * best
+	}
+	return total
+}
+
+// rate is the per-round maintenance volume for one copy of the view:
+// the observed rate when there is one, else ChurnFrac of the view
+// size.
+func (s *Scorer) rate(v ViewLoad) float64 {
+	if v.MaintRate > 0 {
+		return v.MaintRate
+	}
+	return s.cfg.ChurnFrac * float64(v.Bytes)
+}
+
+// maintCost prices keeping a copy at `at` fresh from the base over the
+// base→at link.
+func (s *Scorer) maintCost(base, at netsim.PeerID, rate float64) float64 {
+	if base == "" || base == at {
+		return 0
+	}
+	return s.xfer(base, at, rate)
+}
+
+// EvictionBenefit is the per-round serving-cost increase of removing
+// the copy at victim, net of the maintenance it saves — with the base
+// peer as the implicit fallback site, so losing the last copy is
+// priced against serving straight from the base rather than as
+// infinite.
+func (s *Scorer) EvictionBenefit(v ViewLoad, victim netsim.PeerID) float64 {
+	with := append([]netsim.PeerID{}, v.Sites...)
+	without := make([]netsim.PeerID, 0, len(v.Sites))
+	for _, site := range v.Sites {
+		if site != victim {
+			without = append(without, site)
+		}
+	}
+	if v.Base != "" {
+		with = append(with, v.Base)
+		without = append(without, v.Base)
+	}
+	benefit := s.ServeCost(v.Demand, without, v.PerQuery) - s.ServeCost(v.Demand, with, v.PerQuery)
+	benefit -= s.maintCost(v.Base, victim, s.rate(v))
+	if benefit < 0 {
+		benefit = 0
+	}
+	return benefit
+}
+
+// topConsumers sorts the demand's consumers highest weight first (peer
+// order as the deterministic tie-break).
+func topConsumers(demand map[netsim.PeerID]float64) []netsim.PeerID {
+	out := make([]netsim.PeerID, 0, len(demand))
+	for p := range demand {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if demand[out[i]] != demand[out[j]] {
+			return demand[out[i]] > demand[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Plan scores the candidate actions for one view and returns the best
+// one when it clears the hysteresis margin, without executing it — the
+// caller actuates separately, because migrate/replicate ship the
+// view's bytes over the network. At most one action per view per
+// round keeps every move attributable and the system analyzable for
+// convergence. v.Usage (current view bytes per peer) filters
+// candidates up front: a peer whose budget cannot hold the view is
+// never a move target — without this, a tight budget would plan the
+// ship here and evict it in budget enforcement every round.
+func (s *Scorer) Plan(round int, v ViewLoad) *Decision {
+	if len(v.Demand) == 0 {
+		return nil
+	}
+	rate := s.rate(v)
+	cur := s.ServeCost(v.Demand, v.Sites, v.PerQuery)
+	curMaint := 0.0
+	for _, site := range v.Sites {
+		curMaint += s.maintCost(v.Base, site, rate)
+	}
+
+	type candidate struct {
+		action   string
+		from, to netsim.PeerID
+		gain     float64 // net per-round gain, move cost amortized in
+		oneTime  float64
+	}
+	var best *candidate
+	consider := func(cand candidate) {
+		if best == nil || cand.gain > best.gain {
+			b := cand
+			best = &b
+		}
+	}
+
+	hot := topConsumers(v.Demand)
+	if len(hot) > s.cfg.TopK {
+		hot = hot[:s.cfg.TopK]
+	}
+	placedAt := map[netsim.PeerID]bool{}
+	for _, site := range v.Sites {
+		placedAt[site] = true
+	}
+	for _, consumer := range hot {
+		if placedAt[consumer] {
+			continue
+		}
+		if s.hasPeer != nil && !s.hasPeer(consumer) {
+			continue
+		}
+		if v.Budget != nil {
+			if b := v.Budget(consumer); b > 0 && v.Usage[consumer]+v.Bytes > b {
+				continue // the target could not keep the copy anyway
+			}
+		}
+		newMaint := s.maintCost(v.Base, consumer, rate)
+		// Replicate: one more copy, one more maintenance stream.
+		if len(v.Sites) < s.cfg.MaxReplicas {
+			oneTime := s.xfer(v.Base, consumer, float64(v.Bytes))
+			gain := cur - s.ServeCost(v.Demand, append(append([]netsim.PeerID{}, v.Sites...), consumer), v.PerQuery) -
+				newMaint - oneTime/s.cfg.HorizonRounds
+			consider(candidate{action: "replicate", to: consumer, gain: gain, oneTime: oneTime})
+		}
+		// Migrate: swap each existing copy for one at the consumer.
+		for _, from := range v.Sites {
+			moved := make([]netsim.PeerID, 0, len(v.Sites))
+			for _, site := range v.Sites {
+				if site != from {
+					moved = append(moved, site)
+				}
+			}
+			moved = append(moved, consumer)
+			oneTime := s.xfer(from, consumer, float64(v.Bytes))
+			gain := cur - s.ServeCost(v.Demand, moved, v.PerQuery) +
+				s.maintCost(v.Base, from, rate) - newMaint -
+				oneTime/s.cfg.HorizonRounds
+			consider(candidate{action: "migrate", from: from, to: consumer, gain: gain, oneTime: oneTime})
+		}
+	}
+	// Drop a replica whose maintenance outweighs its serving benefit.
+	if len(v.Sites) > 1 {
+		for _, from := range v.Sites {
+			rest := make([]netsim.PeerID, 0, len(v.Sites)-1)
+			for _, site := range v.Sites {
+				if site != from {
+					rest = append(rest, site)
+				}
+			}
+			gain := s.maintCost(v.Base, from, rate) -
+				(s.ServeCost(v.Demand, rest, v.PerQuery) - cur)
+			consider(candidate{action: "drop", from: from, gain: gain})
+		}
+	}
+
+	if best == nil || best.gain <= s.cfg.MinGainFrac*(cur+curMaint)+1e-9 {
+		return nil
+	}
+	return &Decision{
+		Round: round, View: v.Name, Action: best.action,
+		From: best.from, To: best.to,
+		GainPerRound: best.gain, OneTime: best.oneTime,
+		Reason: fmt.Sprintf("demand-weighted serve cost %.1f/round", cur),
+	}
 }
 
 // perQueryBytes estimates what one query against the view ships from a
@@ -82,188 +323,51 @@ func (c *Controller) perQueryBytes(doc string, viewBytes int64) float64 {
 	return out
 }
 
-// serveCost is the per-round cost of answering the observed demand
-// from the given serving sites: each consumer reads from its cheapest
-// site.
-func (c *Controller) serveCost(demand map[netsim.PeerID]float64, sites []netsim.PeerID, perQ float64) float64 {
-	total := 0.0
-	for consumer, weight := range demand {
-		best := -1.0
-		for _, s := range sites {
-			cost := c.xfer(s, consumer, perQ)
-			if best < 0 || cost < best {
-				best = cost
+// load assembles the scorer's input for one view from the controller's
+// observer and the manager's placement map. bytes overrides the view
+// size when positive (eviction prices the victim's own copy).
+func (c *Controller) load(name string, placed []view.PlacementInfo,
+	usage map[netsim.PeerID]int64, bytes int64) ViewLoad {
+	doc := view.DocPrefix + name
+	base, _ := c.views.BaseOf(name)
+	if bytes <= 0 {
+		for _, pi := range placed {
+			if pi.Bytes > bytes {
+				bytes = pi.Bytes
 			}
 		}
-		if best < 0 {
-			continue
-		}
-		total += weight * best
-	}
-	return total
-}
-
-// maintCost is the per-round cost of keeping a copy at `at` fresh from
-// the base: the observed maintenance rate toward any current placement
-// when there is one (netsim's "ship"-kind accounting), else ChurnFrac
-// of the view size — priced over the base→at link either way.
-func (c *Controller) maintCost(base, at netsim.PeerID, viewBytes int64, placed []view.PlacementInfo) float64 {
-	if base == "" || base == at {
-		return 0
 	}
 	rate := 0.0
-	for _, pi := range placed {
+	sites := make([]netsim.PeerID, len(placed))
+	for i, pi := range placed {
+		sites[i] = pi.At
 		if r := c.obs.ShipRate(base, pi.At); r > rate {
 			rate = r
 		}
 	}
-	if rate == 0 {
-		rate = c.cfg.ChurnFrac * float64(viewBytes)
+	return ViewLoad{
+		Name:      name,
+		Base:      base,
+		Sites:     sites,
+		Bytes:     bytes,
+		Demand:    c.obs.Demand(doc),
+		PerQuery:  c.perQueryBytes(doc, bytes),
+		MaintRate: rate,
+		Usage:     usage,
+		Budget:    c.budgetFor,
 	}
-	return c.xfer(base, at, rate)
+}
+
+// plan scores one view's candidate actions against the live demand.
+func (c *Controller) plan(round int, name string, placed []view.PlacementInfo,
+	usage map[netsim.PeerID]int64) *Decision {
+	return c.score.Plan(round, c.load(name, placed, usage, 0))
 }
 
 // evictionBenefit is the per-round serving-cost increase of removing
-// one placement, net of the maintenance it saves — with the base peer
-// as the implicit fallback site, so losing the last copy is priced
-// against serving straight from the base rather than as infinite.
+// one placement (see Scorer.EvictionBenefit).
 func (c *Controller) evictionBenefit(name string, placed []view.PlacementInfo, victim view.PlacementInfo) float64 {
-	doc := view.DocPrefix + name
-	demand := c.obs.Demand(doc)
-	base, _ := c.views.BaseOf(name)
-	perQ := c.perQueryBytes(doc, victim.Bytes)
-	with := []netsim.PeerID{}
-	without := []netsim.PeerID{}
-	for _, pi := range placed {
-		with = append(with, pi.At)
-		if pi.At != victim.At {
-			without = append(without, pi.At)
-		}
-	}
-	if base != "" {
-		with = append(with, base)
-		without = append(without, base)
-	}
-	benefit := c.serveCost(demand, without, perQ) - c.serveCost(demand, with, perQ)
-	benefit -= c.maintCost(base, victim.At, victim.Bytes, placed)
-	if benefit < 0 {
-		benefit = 0
-	}
-	return benefit
-}
-
-// plan scores the candidate actions for one view and returns the best
-// one when it clears the hysteresis margin, without executing it — the
-// caller actuates via apply with the controller lock released, because
-// migrate/replicate ship the view's bytes over the network. At most
-// one action per view per round keeps every move attributable and the
-// system analyzable for convergence. usage (current view bytes per
-// peer) filters candidates up front: a peer whose budget cannot hold
-// the view is never a move target — without this, a tight budget would
-// plan the ship here and evict it in enforceBudgets every round.
-func (c *Controller) plan(round int, name string, placed []view.PlacementInfo,
-	usage map[netsim.PeerID]int64) *Decision {
-	doc := view.DocPrefix + name
-	demand := c.obs.Demand(doc)
-	if len(demand) == 0 {
-		return nil
-	}
-	sites := make([]netsim.PeerID, len(placed))
-	viewBytes := int64(0)
-	for i, pi := range placed {
-		sites[i] = pi.At
-		if pi.Bytes > viewBytes {
-			viewBytes = pi.Bytes
-		}
-	}
-	base, _ := c.views.BaseOf(name)
-	perQ := c.perQueryBytes(doc, viewBytes)
-	cur := c.serveCost(demand, sites, perQ)
-	curMaint := 0.0
-	for _, s := range sites {
-		curMaint += c.maintCost(base, s, viewBytes, placed)
-	}
-
-	type candidate struct {
-		action   string
-		from, to netsim.PeerID
-		gain     float64 // net per-round gain, move cost amortized in
-		oneTime  float64
-	}
-	var best *candidate
-	consider := func(cand candidate) {
-		if best == nil || cand.gain > best.gain {
-			b := cand
-			best = &b
-		}
-	}
-
-	hot := c.obs.TopConsumers(doc)
-	if len(hot) > c.cfg.TopK {
-		hot = hot[:c.cfg.TopK]
-	}
-	placedAt := map[netsim.PeerID]bool{}
-	for _, s := range sites {
-		placedAt[s] = true
-	}
-	for _, consumer := range hot {
-		if placedAt[consumer] {
-			continue
-		}
-		if _, ok := c.sys.Peer(consumer); !ok {
-			continue
-		}
-		if b := c.budgetFor(consumer); b > 0 && usage[consumer]+viewBytes > b {
-			continue // the target could not keep the copy anyway
-		}
-		newMaint := c.maintCost(base, consumer, viewBytes, placed)
-		// Replicate: one more copy, one more maintenance stream.
-		if len(sites) < c.cfg.MaxReplicas {
-			oneTime := c.xfer(base, consumer, float64(viewBytes))
-			gain := cur - c.serveCost(demand, append(append([]netsim.PeerID{}, sites...), consumer), perQ) -
-				newMaint - oneTime/c.cfg.HorizonRounds
-			consider(candidate{action: "replicate", to: consumer, gain: gain, oneTime: oneTime})
-		}
-		// Migrate: swap each existing copy for one at the consumer.
-		for _, from := range sites {
-			moved := make([]netsim.PeerID, 0, len(sites))
-			for _, s := range sites {
-				if s != from {
-					moved = append(moved, s)
-				}
-			}
-			moved = append(moved, consumer)
-			oneTime := c.xfer(from, consumer, float64(viewBytes))
-			gain := cur - c.serveCost(demand, moved, perQ) +
-				c.maintCost(base, from, viewBytes, placed) - newMaint -
-				oneTime/c.cfg.HorizonRounds
-			consider(candidate{action: "migrate", from: from, to: consumer, gain: gain, oneTime: oneTime})
-		}
-	}
-	// Drop a replica whose maintenance outweighs its serving benefit.
-	if len(sites) > 1 {
-		for _, from := range sites {
-			rest := make([]netsim.PeerID, 0, len(sites)-1)
-			for _, s := range sites {
-				if s != from {
-					rest = append(rest, s)
-				}
-			}
-			gain := c.maintCost(base, from, viewBytes, placed) -
-				(c.serveCost(demand, rest, perQ) - cur)
-			consider(candidate{action: "drop", from: from, gain: gain})
-		}
-	}
-
-	if best == nil || best.gain <= c.cfg.MinGainFrac*(cur+curMaint)+1e-9 {
-		return nil
-	}
-	return &Decision{
-		Round: round, View: name, Action: best.action,
-		From: best.from, To: best.to,
-		GainPerRound: best.gain, OneTime: best.oneTime,
-		Reason: fmt.Sprintf("demand-weighted serve cost %.1f/round", cur),
-	}
+	return c.score.EvictionBenefit(c.load(name, placed, nil, victim.Bytes), victim.At)
 }
 
 // apply executes a planned action. Callers must NOT hold c.mu: migrate

@@ -137,6 +137,15 @@ type Config struct {
 	// their own per-query snapshots as always — the option widens the
 	// pin from per-query to per-statement at the session's home peer.
 	SnapshotIsolation bool
+	// NoTraffic keeps the call out of the placement demand counters
+	// (the session's TrafficSink is not told about it). Federation uses
+	// it for forwarded queries: the member that forwarded already
+	// recorded the demand where the consumer sits, so the serving
+	// deployment must not count the same query a second time — that
+	// would attribute the demand to the wrong member and make the
+	// coordinator chase its own forwarding traffic. A wire client frames
+	// the intent as the +fwd flag.
+	NoTraffic bool
 }
 
 // Option is a functional option of Session.Query/Exec and Stmt.Query.
@@ -170,6 +179,11 @@ func WithEagerEval() Option { return func(c *Config) { c.Eager = true } }
 // (wire sessions; local sessions pass a trace in the context via
 // obs.WithTrace instead).
 func WithTraceID(id string) Option { return func(c *Config) { c.TraceID = id } }
+
+// WithNoTraffic keeps this call out of the placement demand counters.
+// Federation forwards queries with it so demand is attributed once, at
+// the member where the consumer actually sits.
+func WithNoTraffic() Option { return func(c *Config) { c.NoTraffic = true } }
 
 // WithSnapshotIsolation pins the statement to one epoch of the
 // session peer's document store: the whole stream reads the documents
@@ -420,7 +434,9 @@ func (s *Local) Query(ctx context.Context, src string, opts ...Option) (*Rows, e
 	}
 	plsp.End()
 
-	s.observe(q, expr)
+	if !cfg.NoTraffic {
+		s.observe(q, expr)
+	}
 	rows, err := s.rowsFor(ctx, expr, &cfg)
 	if err != nil {
 		root.Fail(err)
@@ -778,7 +794,9 @@ func (s *Local) Prepare(ctx context.Context, src string) (*Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.observe(q, expr)
+		if !cfg.NoTraffic {
+			s.observe(q, expr)
+		}
 		return s.rowsFor(ctx, expr, &cfg)
 	}
 	return NewStmt(src, run, nil), nil

@@ -1,0 +1,256 @@
+package view_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"axml/internal/core"
+	"axml/internal/netsim"
+	"axml/internal/session"
+	"axml/internal/view"
+	"axml/internal/workload"
+)
+
+var fedWAN = netsim.Link{LatencyMs: 20, BytesPerMs: 200}
+
+// srcSystem builds a one-peer "data" system hosting a generated
+// catalog — the shipping deployment.
+func srcSystem(t *testing.T, items int) *core.System {
+	t.Helper()
+	net := netsim.New()
+	netsim.Uniform(net, []netsim.PeerID{"data"}, fedWAN)
+	sys := core.NewSystem(net)
+	data := sys.MustAddPeer("data")
+	if err := data.InstallDocument("catalog", workload.Catalog(workload.CatalogSpec{
+		Items: items, PriceMax: 1000, DescWords: 4, Seed: 7})); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// emptySystem builds a one-peer system with no documents — the
+// receiving deployment of a federated ship.
+func emptySystem(t *testing.T, id netsim.PeerID) *core.System {
+	t.Helper()
+	net := netsim.New()
+	netsim.Uniform(net, []netsim.PeerID{id}, fedWAN)
+	sys := core.NewSystem(net)
+	sys.MustAddPeer(id)
+	return sys
+}
+
+// TestAdoptServesSelectionView: a selection view materialized in one
+// deployment, shipped (Materialized) and adopted in another, answers
+// matching queries there even though the base document never existed
+// in the adopting system.
+func TestAdoptServesSelectionView(t *testing.T) {
+	src := srcSystem(t, 80)
+	defer src.Close()
+	mSrc := view.NewManager(src)
+	defer mSrc.Close()
+	vq := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := mSrc.Define("cheap", vq, "data"); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := mSrc.Materialized("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Replica {
+		t.Error("a selection view must not ship as a base replica")
+	}
+
+	dst := emptySystem(t, "b")
+	defer dst.Close()
+	mDst := view.NewManager(dst)
+	defer mDst.Close()
+	if err := mDst.Adopt("cheap", mv.Query, "b", mv.Root, "memberA"); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := mDst.Views()
+	if len(infos) != 1 || infos[0].Mode != view.ModeAdopted || infos[0].Origin != "memberA" {
+		t.Fatalf("views after adopt: %+v", infos)
+	}
+	sites, ok := mDst.PlacementsOf("cheap")
+	if !ok || len(sites) != 1 || sites[0] != "b" {
+		t.Fatalf("placements = %v ok=%v", sites, ok)
+	}
+
+	// A query subsumed by the view rewrites onto the adopted copy; the
+	// base document does not exist here, so a correct answer proves the
+	// rewrite happened.
+	sess, err := session.NewLocal(dst, mDst, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(context.Background(),
+		`for $i in doc("catalog")/item where $i/price < 100 return $i`)
+	if err != nil {
+		t.Fatalf("query over adopted view: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("adopted view answered no rows for a matching query")
+	}
+}
+
+// TestAdoptFullCopyRegistersBaseClass: a whole-document view adopts as
+// a base replica, so plain doc("catalog") queries at the adopting
+// deployment land on the copy transparently.
+func TestAdoptFullCopyRegistersBaseClass(t *testing.T) {
+	src := srcSystem(t, 40)
+	defer src.Close()
+	mSrc := view.NewManager(src)
+	defer mSrc.Close()
+	if err := mSrc.Define("copy", `doc("catalog")`, "data"); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := mSrc.Materialized("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mv.Replica {
+		t.Fatal("a whole-document view must ship as a base replica")
+	}
+
+	dst := emptySystem(t, "b")
+	defer dst.Close()
+	mDst := view.NewManager(dst)
+	defer mDst.Close()
+	if err := mDst.Adopt("copy", mv.Query, "b", mv.Root, "memberA"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := session.NewLocal(dst, mDst, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(context.Background(), `doc("catalog")/item/name`)
+	if err != nil {
+		t.Fatalf("base-class query over adopted replica: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Errorf("base-class query rows = %d, want 40", n)
+	}
+}
+
+// TestAdoptedViewSkipsRefresh: refresh over an adopted view is a no-op
+// (the base lives in another deployment), and a re-adopt at the same
+// peer swaps the content in place — the federated freshness path.
+func TestAdoptedViewSkipsRefresh(t *testing.T) {
+	src := srcSystem(t, 30)
+	defer src.Close()
+	mSrc := view.NewManager(src)
+	defer mSrc.Close()
+	if err := mSrc.Define("copy", `doc("catalog")`, "data"); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := mSrc.Materialized("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := emptySystem(t, "b")
+	defer dst.Close()
+	mDst := view.NewManager(dst)
+	defer mDst.Close()
+	if err := mDst.Adopt("copy", mv.Query, "b", mv.Root, "memberA"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mDst.Refresh("copy"); err != nil || n != 0 {
+		t.Fatalf("refresh of adopted view = (%d, %v), want no-op", n, err)
+	}
+
+	// Grow the source and re-ship: the adopted copy swaps in place.
+	data, _ := src.Peer("data")
+	if err := data.RemoveDocument("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	if err := data.InstallDocument("catalog", workload.Catalog(workload.CatalogSpec{
+		Items: 50, PriceMax: 1000, DescWords: 4, Seed: 7})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mSrc.RefreshFull("copy"); err != nil {
+		t.Fatal(err)
+	}
+	mv2, err := mSrc.Materialized("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := mDst.Generation()
+	if err := mDst.Adopt("copy", mv2.Query, "b", mv2.Root, "memberA"); err != nil {
+		t.Fatalf("re-adopt: %v", err)
+	}
+	if mDst.Generation() == gen {
+		t.Error("re-adopt must bump the catalog generation")
+	}
+	sess, err := session.NewLocal(dst, mDst, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sess.Query(context.Background(), `doc("catalog")/item/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("rows after re-ship = %d, want 50", n)
+	}
+
+	// Dropping the adopted placement removes the copy cleanly.
+	if err := mDst.DropPlacement("copy", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if sites, ok := mDst.PlacementsOf("copy"); ok && len(sites) > 0 {
+		t.Errorf("placements after drop = %v", sites)
+	}
+}
+
+// TestAdoptRejectsConflicts: adopting over a locally materialized view
+// or with a different defining query is refused.
+func TestAdoptRejectsConflicts(t *testing.T) {
+	sys := srcSystem(t, 20)
+	defer sys.Close()
+	m := view.NewManager(sys)
+	defer m.Close()
+	vq := `for $i in doc("catalog")/item where $i/price < 500 return $i`
+	if err := m.Define("cheap", vq, "data"); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := m.Materialized("cheap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Adopt("cheap", mv.Query, "data", mv.Root, "other")
+	if err == nil || !strings.Contains(err.Error(), "refusing to adopt") {
+		t.Errorf("adopt over local view: %v", err)
+	}
+	err = m.Adopt("cheap2", mv.Query, "data", mv.Root, "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Adopt("cheap2", `doc("catalog")`, "data", mv.Root, "other")
+	if err == nil || !strings.Contains(err.Error(), "different query") {
+		t.Errorf("adopt with different query: %v", err)
+	}
+}

@@ -95,6 +95,12 @@ func (m *Manager) refreshStateWith(ctx context.Context, st *state,
 	refresh func(context.Context, *state, *placement) (int, error)) (int, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.mode == ModeAdopted {
+		// An adopted copy's base documents live in another deployment;
+		// it is refreshed by re-shipping (cluster REPLICATE), never by
+		// local maintenance.
+		return 0, nil
+	}
 	total := 0
 	var errs []error
 	for _, p := range st.placements {
@@ -355,7 +361,7 @@ func (m *Manager) watchPlacement(st *state, p *placement) {
 	m.mu.Lock()
 	done, closed, auto := m.done, m.closed, m.auto
 	m.mu.Unlock()
-	if !auto || closed || len(p.cancels) > 0 {
+	if !auto || closed || len(p.cancels) > 0 || st.mode == ModeAdopted {
 		return
 	}
 	for _, base := range st.bases {

@@ -62,8 +62,9 @@ func (d Definition) DocName() string { return DocPrefix + d.Name }
 type Info struct {
 	Name       string
 	Query      string
-	Mode       string // "incremental" or "recompute"
+	Mode       string // "incremental", "recompute" or "adopted"
 	Replica    bool   // full-copy view registered under the base class
+	Origin     string // owning member of an adopted view's base (federation)
 	Placements []netsim.PeerID
 	Trees      int    // result trees currently materialized (first placement)
 	LastError  string // most recent auto-refresh failure, if any
@@ -95,6 +96,7 @@ type state struct {
 	shape      *shape     // matchable normal form; nil when unmatchable
 	mode       string
 	replica    bool
+	origin     string   // owning member of an adopted view's base (federation)
 	bases      []string // documents the query reads
 	placements []*placement
 	lastErr    error
@@ -401,6 +403,7 @@ func (m *Manager) Views() []Info {
 			Query:   st.def.Query.String(),
 			Mode:    st.mode,
 			Replica: st.replica,
+			Origin:  st.origin,
 		}
 		if st.lastErr != nil {
 			info.LastError = st.lastErr.Error()

@@ -20,6 +20,25 @@
 //	STATS
 //	TRACE <trace-id>
 //
+// Federation adds control verbs (served when Server.Control is set;
+// see internal/cluster for the coordinator/member machinery behind
+// them):
+//
+//	HELLO <x:member id=… addr=…>…</x:member>   → <x:members>…</x:members>
+//	BYE <member-id>                            → <x:ok/>
+//	DEMAND                                     → <x:demand>…</x:demand>
+//	MIGRATE <view> <target-id> <target-addr>   → <x:ok/>
+//	REPLICATE <view> <target-id> <target-addr> → <x:ok/>
+//	DROPVIEW <view>                            → <x:ok/>
+//	ACCEPTVIEW <name> <x:ship query=… origin=…><tree/></x:ship> → <x:ok n=…/>
+//	STEP                                       → <x:decisions>…</x:decisions>
+//
+// HELLO/BYE manage membership at a coordinator; DEMAND asks a member
+// for its placement demand export; MIGRATE/REPLICATE tell the member
+// holding a view to ship it to another member (dropping or keeping its
+// own copy); ACCEPTVIEW lands the shipped view at the target; STEP
+// forces one coordinator placement round. See control.go.
+//
 // Single-line replies: <x:forest>…</x:forest>, <x:ok/> (update verbs
 // report the touched node count as <x:ok n="K"/>), <x:info>…</x:info>
 // or <x:error code="kind">message</x:error>. QUERYX is the streamed
@@ -120,6 +139,17 @@ type Server struct {
 	// totals, and the ring of recent query traces (+trace=<id> on
 	// QUERYX/EXEC; fetched back with TRACE <id>).
 	Metrics *obs.Registry
+	// Control optionally attaches the federation control plane: the
+	// HELLO/BYE/DEMAND/MIGRATE/REPLICATE/DROPVIEW/ACCEPTVIEW/STEP verbs
+	// are answered by it (a cluster.Coordinator on the coordinator
+	// process, a cluster.Member on peers). Nil rejects those verbs.
+	Control Control
+	// Forward optionally routes queries over documents this deployment
+	// does not host to the member that does (cluster.Member implements
+	// it). Only the streamed form (QUERYX) forwards, and only when the
+	// request did not itself arrive forwarded (+fwd) — one hop, no
+	// loops.
+	Forward Forwarder
 
 	sessOnce sync.Once
 	sess     *session.Local
@@ -130,6 +160,13 @@ type Server struct {
 	rowsStreamed   atomic.Uint64
 	streamsStarted atomic.Uint64
 	streamsAborted atomic.Uint64
+
+	// Shutdown support: live connections, the draining flag that stops
+	// new work, and the count of in-flight dispatches still writing.
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	active   atomic.Int64
 }
 
 // ServerStats counts streaming activity; tests and operators use it to
@@ -253,6 +290,11 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	defer s.untrack(conn)
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
@@ -265,10 +307,79 @@ func (s *Server) handle(conn net.Conn) {
 		if strings.EqualFold(line, "QUIT") {
 			return
 		}
-		s.dispatch(line, w)
-		if err := w.Flush(); err != nil {
+		// Count the dispatch (including its flush) as in-flight so
+		// Shutdown can drain it; the draining check happens after the
+		// increment, so a request either runs fully accounted or not at
+		// all.
+		s.active.Add(1)
+		if s.draining.Load() {
+			s.active.Add(-1)
 			return
 		}
+		s.dispatch(line, w)
+		err := w.Flush()
+		s.active.Add(-1)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// track registers a live connection; it refuses once draining started.
+func (s *Server) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = map[net.Conn]struct{}{}
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+// Shutdown drains the server: new connections and new requests are
+// refused, requests already dispatching — including a QUERYX stream
+// mid-row — run to completion, then every connection is closed. When
+// the context expires first, the remaining connections are closed
+// anyway (cutting their streams) and the context's error is returned.
+// Close the listener before calling Shutdown, or Serve keeps accepting
+// connections that handle() immediately drops.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.active.Load() != 0 {
+		select {
+		case <-ctx.Done():
+			s.closeConns()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	s.closeConns()
+	return nil
+}
+
+// closeConns closes every tracked connection, unblocking handlers idle
+// in their read loop. The close happens outside connMu so a slow
+// close cannot stall track/untrack.
+func (s *Server) closeConns() {
+	s.connMu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.connMu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
 	}
 }
 
@@ -353,6 +464,22 @@ func (s *Server) dispatch(line string, w *bufio.Writer) {
 		reply = s.doStats()
 	case "TRACE":
 		reply = s.doTrace(rest)
+	case "HELLO":
+		reply = s.doHello(rest)
+	case "BYE":
+		reply = s.doBye(rest)
+	case "DEMAND":
+		reply = s.doDemand()
+	case "MIGRATE":
+		reply = s.doMigrate(rest, false)
+	case "REPLICATE":
+		reply = s.doMigrate(rest, true)
+	case "DROPVIEW":
+		reply = s.doDropView(rest)
+	case "ACCEPTVIEW":
+		reply = s.doAcceptView(rest)
+	case "STEP":
+		reply = s.doStep()
 	default:
 		reply = errReply(fmt.Errorf("unknown command %q", cmd))
 	}
@@ -377,6 +504,12 @@ func parseFlags(rest string) (string, []session.Option) {
 			opts = append(opts, session.WithNoPlanCache())
 		case "snapshot":
 			opts = append(opts, session.WithSnapshotIsolation())
+		case "fwd":
+			// The request was forwarded from another member: keep it out
+			// of this deployment's demand counters (the forwarding member
+			// already recorded it where the consumer sits) and do not
+			// forward it again.
+			opts = append(opts, session.WithNoTraffic())
 		case "trace":
 			if value != "" {
 				opts = append(opts, session.WithTraceID(value))
@@ -440,13 +573,30 @@ func (s *Server) doQuery(src string) string {
 // aborted.
 func (s *Server) doQueryStream(rest string, w *bufio.Writer) {
 	src, opts := parseFlags(rest)
-	ctx, traceDone := s.traceContext(context.Background(), session.BuildConfig(opts))
+	cfg := session.BuildConfig(opts)
+	ctx, traceDone := s.traceContext(context.Background(), cfg)
 	defer traceDone()
 	s.streamsStarted.Add(1)
 	rows, err := s.streamRows(ctx, src, opts)
 	if err != nil {
-		fmt.Fprintln(w, errReply(err))
-		return
+		// A query over a document another federation member hosts is
+		// forwarded there — one hop only: a request that itself arrived
+		// forwarded (+fwd → cfg.NoTraffic) fails as it would have
+		// without a forwarder, so a stale route cannot loop.
+		if s.Forward != nil && !cfg.NoTraffic && errors.Is(err, session.ErrNoSuchDoc) {
+			if frows, ok, ferr := s.Forward.ForwardQuery(ctx, src); ok {
+				if ferr != nil {
+					fmt.Fprintln(w, errReply(ferr))
+					return
+				}
+				rows = frows
+				err = nil
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(w, errReply(err))
+			return
+		}
 	}
 	defer rows.Close()
 	n := 0
@@ -660,28 +810,43 @@ func (s *Server) doList() string {
 // doPlacements reports the view-placement map and, when a controller
 // is attached, its recent decisions.
 func (s *Server) doPlacements() string {
-	if s.Views == nil {
+	if s.Views == nil && s.Control == nil {
 		return errReply(fmt.Errorf("placements: peer serves no views"))
 	}
 	root := xmltree.E("x:placements")
-	for _, pi := range s.Views.Placements() {
-		root.AppendChild(xmltree.E("placement",
-			xmltree.A("view", pi.View),
-			xmltree.A("at", string(pi.At)),
-			xmltree.A("base", string(pi.BaseAt)),
-			xmltree.A("mode", pi.Mode),
-			xmltree.A("bytes", fmt.Sprint(pi.Bytes)),
-			xmltree.A("trees", fmt.Sprint(pi.Trees))))
+	if s.Views != nil {
+		for _, pi := range s.Views.Placements() {
+			root.AppendChild(xmltree.E("placement",
+				xmltree.A("view", pi.View),
+				xmltree.A("at", string(pi.At)),
+				xmltree.A("base", string(pi.BaseAt)),
+				xmltree.A("mode", pi.Mode),
+				xmltree.A("bytes", fmt.Sprint(pi.Bytes)),
+				xmltree.A("trees", fmt.Sprint(pi.Trees))))
+		}
 	}
 	if s.Placements != nil {
 		for _, d := range s.Placements.Decisions() {
-			root.AppendChild(xmltree.E("decision",
-				xmltree.A("round", fmt.Sprint(d.Round)),
-				xmltree.A("view", d.View),
-				xmltree.A("action", d.Action),
-				xmltree.A("from", string(d.From)),
-				xmltree.A("to", string(d.To)),
-				xmltree.A("summary", d.String())))
+			root.AppendChild(decisionToXML(d))
+		}
+	}
+	// A coordinator reports the cluster-wide map it aggregated from
+	// member demand exports, plus its own decision log — the `at`
+	// attribute then names a member, not a netsim peer.
+	if s.Control != nil {
+		if placements, decisions, ok := s.Control.ClusterPlacements(); ok {
+			for _, pi := range placements {
+				root.AppendChild(xmltree.E("placement",
+					xmltree.A("view", pi.View),
+					xmltree.A("at", string(pi.At)),
+					xmltree.A("base", string(pi.BaseAt)),
+					xmltree.A("mode", pi.Mode),
+					xmltree.A("bytes", fmt.Sprint(pi.Bytes)),
+					xmltree.A("trees", fmt.Sprint(pi.Trees))))
+			}
+			for _, d := range decisions {
+				root.AppendChild(decisionToXML(d))
+			}
 		}
 	}
 	return xmltree.Serialize(root)
@@ -753,6 +918,15 @@ type Client struct {
 	sc        *bufio.Scanner
 	ioTimeout time.Duration
 
+	// addr and dialTimeout enable a transparent one-shot reconnect:
+	// when a call on a pooled connection fails with ErrPeerDown before
+	// any reply row was delivered — a peer restarted under us — the
+	// client redials once and replays the request, for idempotent verbs
+	// only. Clients built directly over an existing conn (tests, pipes)
+	// have addr == "" and never redial.
+	addr        string
+	dialTimeout time.Duration
+
 	mu     sync.Mutex
 	busy   bool // an exchange (round trip or open Rows) owns the conn
 	closed bool
@@ -776,7 +950,50 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 64*1024), maxLine)
-	return &Client{conn: conn, sc: sc, ioTimeout: cfg.ioTimeout}, nil
+	return &Client{conn: conn, sc: sc, ioTimeout: cfg.ioTimeout,
+		addr: addr, dialTimeout: cfg.dialTimeout}, nil
+}
+
+// redial replaces a dead connection with a fresh dial to the original
+// address. Callers must hold the busy claim (no other exchange can
+// touch the conn fields). Reports whether a fresh connection is in
+// place.
+func (c *Client) redial() bool {
+	if c.addr == "" {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return false
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	old := c.conn
+	c.conn, c.sc = conn, sc
+	c.mu.Unlock()
+	_ = old.Close()
+	return true
+}
+
+// idempotentLine reports whether a request line may be transparently
+// replayed after a reconnect: reads and cache warmers only. Update and
+// actuation verbs (EXEC, INSTALL, MIGRATE, ACCEPTVIEW, …) may have
+// taken effect server-side before the connection died, so replaying
+// them could double-apply; their callers see ErrPeerDown and decide.
+func idempotentLine(line string) bool {
+	cmd, _, _ := strings.Cut(line, " ")
+	switch strings.ToUpper(cmd) {
+	case "QUERY", "QUERYX", "PREPARE", "LIST", "PLACEMENTS", "STATS",
+		"TRACE", "DEMAND", "HELLO", "BYE":
+		return true
+	}
+	return false
 }
 
 // Close terminates the session.
@@ -910,11 +1127,24 @@ func (c *Client) end() {
 }
 
 // roundTrip sends one request line and parses the single reply line.
+// An ErrPeerDown on an idempotent verb — the stale-pooled-socket case
+// after a peer restart — is retried once over a fresh connection.
 func (c *Client) roundTrip(ctx context.Context, line string) (*xmltree.Node, error) {
 	if err := c.begin(); err != nil {
 		return nil, err
 	}
 	defer c.end()
+	root, err := c.exchange(ctx, line)
+	if err != nil && errors.Is(err, session.ErrPeerDown) &&
+		ctx.Err() == nil && idempotentLine(line) && c.redial() {
+		root, err = c.exchange(ctx, line)
+	}
+	return root, err
+}
+
+// exchange performs one send/recv attempt. The caller holds the busy
+// claim.
+func (c *Client) exchange(ctx context.Context, line string) (*xmltree.Node, error) {
 	bump, release := c.guard(ctx)
 	defer release()
 	if err := c.send(ctx, line); err != nil {
@@ -926,18 +1156,16 @@ func (c *Client) roundTrip(ctx context.Context, line string) (*xmltree.Node, err
 
 // Query evaluates a query on the server and streams the result rows as
 // they arrive (QUERYX). The returned Rows must be closed (or fully
-// drained) before the client can carry another request.
+// drained) before the client can carry another request. A connection
+// that died between calls (peer restart under a pooled client)
+// surfaces as ErrPeerDown on the eager first read — before any row was
+// delivered — and is retried once over a fresh dial; QUERYX is a read,
+// so the replay is safe.
 func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) (*session.Rows, error) {
 	if err := c.begin(); err != nil {
 		return nil, err
 	}
 	cfg := session.BuildConfig(opts)
-	cancelTimeout := func() {}
-	if cfg.Timeout > 0 {
-		// The timeout spans the whole stream, not just this call; the
-		// derived context is released when the stream finishes.
-		ctx, cancelTimeout = context.WithTimeout(ctx, cfg.Timeout)
-	}
 	var flags []string
 	if cfg.NoOptimize {
 		flags = append(flags, "noopt")
@@ -948,6 +1176,9 @@ func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) 
 	if cfg.SnapshotIsolation {
 		flags = append(flags, "snapshot")
 	}
+	if cfg.NoTraffic {
+		flags = append(flags, "fwd")
+	}
 	if cfg.TraceID != "" {
 		flags = append(flags, "trace="+cfg.TraceID)
 	}
@@ -957,24 +1188,72 @@ func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) 
 	}
 	line += src
 
-	// The begin() claim stays held for the whole stream; finish()
-	// releases it when the terminator, an error, or Close is reached.
+	first, next, finish, err := c.openStream(ctx, line, cfg.Timeout)
+	if err != nil && errors.Is(err, session.ErrPeerDown) &&
+		ctx.Err() == nil && c.redial() {
+		first, next, finish, err = c.openStream(ctx, line, cfg.Timeout)
+	}
+	if err != nil {
+		c.end()
+		return nil, err
+	}
+	// The begin() claim stays held for the whole stream; fin releases
+	// it when the terminator, an error, or Close is reached.
+	done := false
+	fin := func() {
+		if done {
+			return
+		}
+		done = true
+		finish()
+		c.end()
+	}
+	if first == nil {
+		// Empty result: the attempt already saw x:end.
+		fin()
+	}
+	delivered := first == nil
+	pull := func() (*xmltree.Node, error) {
+		if !delivered {
+			delivered = true
+			return first, nil
+		}
+		n, err := next()
+		if n == nil || err != nil {
+			fin()
+		}
+		return n, err
+	}
+	return session.NewRows(pull, func() error { fin(); return nil }), nil
+}
+
+// openStream performs one QUERYX attempt: arm the guard, apply the
+// per-attempt timeout, send the request and eagerly read the first
+// reply, so planning errors (bad query, missing document) surface from
+// Query itself, exactly as they do on the local backend. The returned
+// finish releases the attempt's guard and timeout (idempotent; it does
+// NOT release the client's busy claim — the caller owns that). A
+// failed attempt has already cleaned itself up.
+func (c *Client) openStream(parent context.Context, line string, timeout time.Duration) (
+	first *xmltree.Node, next func() (*xmltree.Node, error), finish func(), err error) {
+	ctx := parent
+	cancelTimeout := func() {}
+	if timeout > 0 {
+		// The timeout spans the whole stream, not just the open; the
+		// derived context is released when the stream finishes.
+		ctx, cancelTimeout = context.WithTimeout(parent, timeout)
+	}
 	bump, release := c.guard(ctx)
 	finished := false
-	finish := func() {
+	finish = func() {
 		if finished {
 			return
 		}
 		finished = true
 		release()
 		cancelTimeout()
-		c.end()
 	}
-	if err := c.send(ctx, line); err != nil {
-		finish()
-		return nil, err
-	}
-	next := func() (*xmltree.Node, error) {
+	next = func() (*xmltree.Node, error) {
 		if finished {
 			return nil, nil
 		}
@@ -1000,22 +1279,15 @@ func (c *Client) Query(ctx context.Context, src string, opts ...session.Option) 
 			return nil, fmt.Errorf("wire: unexpected stream reply %q", root.Label)
 		}
 	}
-	// Read the first reply eagerly: planning errors (bad query, missing
-	// document) surface from Query itself, exactly as they do on the
-	// local backend, instead of hiding until the first Next.
-	first, err := next()
+	if err := c.send(ctx, line); err != nil {
+		finish()
+		return nil, nil, nil, err
+	}
+	first, err = next()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	delivered := first == nil // empty result: stream already finished
-	pull := func() (*xmltree.Node, error) {
-		if !delivered {
-			delivered = true
-			return first, nil
-		}
-		return next()
-	}
-	return session.NewRows(pull, func() error { finish(); return nil }), nil
+	return first, next, finish, nil
 }
 
 // QueryAll is Query + Collect: the whole result forest in one call.
